@@ -1,0 +1,30 @@
+//! Per-frame detector cost — the microbenchmark behind the energy/time
+//! columns of Tables II–IV: each of the four algorithms on a lab-resolution
+//! (360×288) and a chap-resolution (1024×768) frame.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eecs_detect::bank::DetectorBank;
+use eecs_scene::dataset::{DatasetId, DatasetProfile};
+use eecs_scene::sequence::VideoFeed;
+use std::hint::black_box;
+
+fn detector_benches(c: &mut Criterion) {
+    let bank = DetectorBank::train_quick(7).expect("bank");
+    let mut group = c.benchmark_group("detect_frame");
+    group.sample_size(10);
+    for id in [DatasetId::Lab, DatasetId::Chap] {
+        let profile = DatasetProfile::for_id(id);
+        let frame = VideoFeed::open(profile, 0).frame(0).image;
+        for (alg, det) in bank.all() {
+            group.bench_with_input(
+                BenchmarkId::new(alg.to_string(), id.to_string()),
+                &frame,
+                |b, frame| b.iter(|| black_box(det.detect(black_box(frame)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, detector_benches);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! End-to-end pipeline benchmarks: cross-camera re-identification fusion
+//! and a full assessment → selection → operation round on the miniature
+//! dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eecs_core::config::EecsConfig;
+use eecs_core::metadata::{CameraReport, ObjectMetadata};
+use eecs_core::reid::{fuse_reports, ReidConfig};
+use eecs_core::simulation::{OperatingMode, Simulation, SimulationConfig};
+use eecs_detect::bank::DetectorBank;
+use eecs_detect::detection::BBox;
+use eecs_geometry::calibration::{landmark_grid, GroundCalibration};
+use eecs_geometry::camera::Camera;
+use eecs_geometry::point::{Point2, Point3};
+use eecs_scene::dataset::{DatasetId, DatasetProfile};
+use std::hint::black_box;
+
+fn reid_bench(c: &mut Criterion) {
+    // 4 cameras × 8 people per frame.
+    let lm = landmark_grid(10.0, 5);
+    let mut cams = Vec::new();
+    let mut cals = Vec::new();
+    for k in 0..4 {
+        let angle = k as f64 / 4.0 * std::f64::consts::TAU;
+        let cam = Camera::new(
+            Point3::new(5.0 + 8.0 * angle.cos(), 5.0 + 8.0 * angle.sin(), 2.8),
+            angle + std::f64::consts::PI,
+            0.33,
+            320.0,
+            360,
+            288,
+        );
+        cals.push(GroundCalibration::from_camera(&cam, &lm).unwrap());
+        cams.push(cam);
+    }
+    let reports: Vec<CameraReport> = cams
+        .iter()
+        .enumerate()
+        .map(|(j, cam)| CameraReport {
+            objects: (0..8)
+                .filter_map(|i| {
+                    let a = i as f64 / 8.0 * std::f64::consts::TAU;
+                    let t = Point2::new(5.0 + 2.5 * a.cos(), 5.0 + 2.5 * a.sin());
+                    cam.person_bbox(&t, 1.7, 0.5)
+                        .ok()
+                        .map(|(x0, y0, x1, y1)| ObjectMetadata {
+                            camera: j,
+                            bbox: BBox::new(x0, y0, x1, y1),
+                            probability: 0.8,
+                            color: vec![i as f64 * 0.1; 8],
+                        })
+                })
+                .collect(),
+        })
+        .collect();
+    let reid = ReidConfig {
+        ground_gate_m: 0.9,
+        color_gate: 8.0,
+        color_metric: None,
+    };
+    c.bench_function("reid_fuse_4cams_8people", |b| {
+        b.iter(|| black_box(fuse_reports(black_box(&reports), &cals, &reid)))
+    });
+}
+
+fn round_bench(c: &mut Criterion) {
+    let mut profile = DatasetProfile::miniature(DatasetId::Lab);
+    profile.num_people = 4;
+    let mut eecs = EecsConfig::default();
+    eecs.assessment_period = 10;
+    eecs.recalibration_interval = 30;
+    eecs.key_frames = 8;
+    let sim = Simulation::prepare(
+        DetectorBank::train_quick(5).expect("bank"),
+        SimulationConfig {
+            profile,
+            cameras: 2,
+            start_frame: 40,
+            end_frame: 70,
+            budget_j_per_frame: 10.0,
+            mode: OperatingMode::FullEecs,
+            eecs,
+            feature_words: 12,
+            max_training_frames: 8,
+            boost_every: 0,
+        },
+    )
+    .expect("prepare");
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("full_eecs_round_miniature", |b| {
+        b.iter(|| black_box(sim.run().expect("run")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reid_bench, round_bench);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Selection-algorithm benchmarks and the greedy-vs-exhaustive ablation
+//! (DESIGN.md §5): the greedy camera-subset choice of Section IV-B.3
+//! against brute-force enumeration of all camera subsets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eecs_core::config::EecsConfig;
+use eecs_core::metadata::{CameraReport, ObjectMetadata};
+use eecs_core::profile::{AlgorithmProfile, TrainingRecord};
+use eecs_core::reid::ReidConfig;
+use eecs_core::selection::{select_cameras_and_algorithms, AssessmentData};
+use eecs_detect::detection::{AlgorithmId, BBox};
+use eecs_detect::probability::ScoreCalibration;
+use eecs_energy::budget::EnergyBudget;
+use eecs_geometry::calibration::{landmark_grid, GroundCalibration};
+use eecs_geometry::camera::Camera;
+use eecs_geometry::point::{Point2, Point3};
+use eecs_linalg::Mat;
+use eecs_manifold::video::VideoItem;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn profile(algorithm: AlgorithmId, f_score: f64, energy: f64) -> AlgorithmProfile {
+    AlgorithmProfile {
+        algorithm,
+        threshold: 0.0,
+        recall: f_score,
+        precision: f_score,
+        f_score,
+        energy_per_frame_j: energy,
+        processing_time_s: energy,
+        calibration: ScoreCalibration::from_parts(1.0, 0.0),
+    }
+}
+
+fn record() -> TrainingRecord {
+    TrainingRecord::new(
+        "T",
+        VideoItem::new("T", Mat::from_fn(3, 4, |i, j| (i + j + 1) as f64)).unwrap(),
+        vec![
+            profile(AlgorithmId::Hog, 0.74, 1.08),
+            profile(AlgorithmId::Acf, 0.66, 0.07),
+        ],
+    )
+    .unwrap()
+}
+
+/// A rig of `m` cameras on a circle plus assessment data where every camera
+/// sees every one of `people` targets.
+fn setup(m: usize, people: usize) -> (Vec<GroundCalibration>, AssessmentData) {
+    let lm = landmark_grid(10.0, 5);
+    let mut cals = Vec::new();
+    let mut cams = Vec::new();
+    for k in 0..m {
+        let angle = k as f64 / m as f64 * std::f64::consts::TAU;
+        let cam = Camera::new(
+            Point3::new(5.0 + 8.0 * angle.cos(), 5.0 + 8.0 * angle.sin(), 2.8),
+            angle + std::f64::consts::PI,
+            0.33,
+            320.0,
+            360,
+            288,
+        );
+        cals.push(GroundCalibration::from_camera(&cam, &lm).unwrap());
+        cams.push(cam);
+    }
+    let targets: Vec<Point2> = (0..people)
+        .map(|i| {
+            let a = i as f64 / people as f64 * std::f64::consts::TAU;
+            Point2::new(5.0 + 2.0 * a.cos(), 5.0 + 2.0 * a.sin())
+        })
+        .collect();
+    let mut reports = Vec::new();
+    for (j, cam) in cams.iter().enumerate() {
+        let mut by_alg = BTreeMap::new();
+        for (alg, p) in [(AlgorithmId::Hog, 0.9), (AlgorithmId::Acf, 0.75)] {
+            let objects: Vec<ObjectMetadata> = targets
+                .iter()
+                .filter_map(|t| {
+                    cam.person_bbox(t, 1.7, 0.5)
+                        .ok()
+                        .map(|(x0, y0, x1, y1)| ObjectMetadata {
+                            camera: j,
+                            bbox: BBox::new(x0, y0, x1, y1),
+                            probability: p,
+                            color: vec![0.5; 3],
+                        })
+                })
+                .collect();
+            by_alg.insert(alg, vec![CameraReport { objects }]);
+        }
+        reports.push(by_alg);
+    }
+    (cals, AssessmentData { reports })
+}
+
+fn selection_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    let reid = ReidConfig {
+        ground_gate_m: 0.9,
+        color_gate: 8.0,
+        color_metric: None,
+    };
+    let config = EecsConfig::default();
+    for &m in &[4usize, 8, 12] {
+        let (cals, data) = setup(m, 6);
+        let rec = record();
+        let records: Vec<&TrainingRecord> = vec![&rec; m];
+        let budgets = vec![EnergyBudget::per_frame(1.2).unwrap(); m];
+        group.bench_with_input(BenchmarkId::new("greedy", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(
+                    select_cameras_and_algorithms(
+                        &data, &records, &budgets, &cals, &config, &reid, true,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        // Exhaustive ablation: evaluate every non-empty camera subset with
+        // best algorithms and keep the cheapest one meeting the bar.
+        group.bench_with_input(BenchmarkId::new("exhaustive", m), &m, |b, _| {
+            b.iter(|| {
+                let mut best_assign: BTreeMap<usize, AlgorithmId> = BTreeMap::new();
+                for j in 0..m {
+                    best_assign.insert(j, AlgorithmId::Hog);
+                }
+                let baseline = data.accuracy_for(&best_assign, &cals, &reid);
+                let needed =
+                    eecs_core::accuracy::DesiredAccuracy::from_baseline(&baseline, 0.85, 0.8);
+                let mut best: Option<(usize, BTreeMap<usize, AlgorithmId>)> = None;
+                for mask in 1u32..(1 << m) {
+                    let assign: BTreeMap<usize, AlgorithmId> = (0..m)
+                        .filter(|j| mask & (1 << j) != 0)
+                        .map(|j| (j, AlgorithmId::Hog))
+                        .collect();
+                    let acc = data.accuracy_for(&assign, &cals, &reid);
+                    if needed.met_by(&acc) {
+                        let size = assign.len();
+                        if best.as_ref().map(|(s, _)| size < *s).unwrap_or(true) {
+                            best = Some((size, assign));
+                        }
+                    }
+                }
+                black_box(best)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, selection_benches);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Video-similarity cost (Section III / Table V) and the DESIGN.md §5
+//! ablation: Grassmann GFK similarity vs naive Euclidean mean-feature
+//! distance, at the compact feature size and at the paper's full 4180-d.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eecs_manifold::similarity::{video_similarity, SimilarityConfig};
+use eecs_manifold::video::VideoItem;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn make_item(k: usize, alpha: usize, seed: u64) -> VideoItem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<f64> = (0..alpha).map(|_| rng.random_range(0.0..1.0)).collect();
+    let frames: Vec<Vec<f64>> = (0..k)
+        .map(|_| {
+            base.iter()
+                .map(|&b| b + rng.random_range(-0.1..0.1))
+                .collect()
+        })
+        .collect();
+    VideoItem::from_frames("bench", &frames).unwrap()
+}
+
+fn naive_similarity(t: &VideoItem, v: &VideoItem) -> f64 {
+    let mean = |item: &VideoItem| -> Vec<f64> {
+        let k = item.num_frames() as f64;
+        let mut m = vec![0.0; item.feature_dim()];
+        for row in item.features().iter_rows() {
+            for (acc, &x) in m.iter_mut().zip(row) {
+                *acc += x;
+            }
+        }
+        m.iter().map(|x| x / k).collect()
+    };
+    let (mt, mv) = (mean(t), mean(v));
+    let d2: f64 = mt.iter().zip(&mv).map(|(a, b)| (a - b) * (a - b)).sum();
+    (-d2.sqrt()).exp()
+}
+
+fn similarity_benches(c: &mut Criterion) {
+    let cfg = SimilarityConfig {
+        beta: 10,
+        scale: 1.0,
+    };
+    let mut group = c.benchmark_group("video_similarity");
+    group.sample_size(10);
+    // Compact feature size (the default pipeline) and the paper's 4180-d.
+    for &(k, alpha) in &[(30usize, 232usize), (30, 4180)] {
+        let t = make_item(k, alpha, 1);
+        let v = make_item(k, alpha, 2);
+        group.bench_with_input(
+            BenchmarkId::new("gfk", format!("k{k}_a{alpha}")),
+            &(&t, &v),
+            |b, (t, v)| b.iter(|| black_box(video_similarity(t, v, &cfg).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("k{k}_a{alpha}")),
+            &(&t, &v),
+            |b, (t, v)| b.iter(|| black_box(naive_similarity(t, v))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, similarity_benches);
+criterion_main!(benches);

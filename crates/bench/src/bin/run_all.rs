@@ -1,0 +1,40 @@
+//! Runs every table/figure harness in sequence and tees the combined
+//! output to `EXPERIMENTS-report.txt` in the current directory.
+//!
+//! Flags are forwarded (e.g. `--quick`).
+
+use std::io::Write;
+use std::process::Command;
+
+const BINARIES: [&str; 6] = ["table2_3_4", "table5", "fig3", "fig4", "fig5", "fig6"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("binary directory")
+        .to_path_buf();
+    let mut report = String::new();
+
+    for bin in BINARIES {
+        println!("\n########## {bin} ##########");
+        report.push_str(&format!("\n########## {bin} ##########\n"));
+        let output = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        print!("{stdout}");
+        report.push_str(&stdout);
+        if !output.status.success() {
+            let stderr = String::from_utf8_lossy(&output.stderr);
+            eprintln!("{bin} FAILED:\n{stderr}");
+            report.push_str(&format!("{bin} FAILED:\n{stderr}\n"));
+        }
+    }
+
+    let mut file = std::fs::File::create("EXPERIMENTS-report.txt").expect("writable cwd");
+    file.write_all(report.as_bytes()).expect("report written");
+    println!("\nreport written to EXPERIMENTS-report.txt");
+}

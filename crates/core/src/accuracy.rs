@@ -1,0 +1,196 @@
+//! Global detection accuracy (Section IV-C).
+//!
+//! Accuracy is characterized by two measurable quantities: the number of
+//! distinct objects jointly detected (after re-identification) and the mean
+//! combined detection probability of those objects, where each object's
+//! probability fuses its per-camera probabilities by Eq. 6:
+//!
+//! ```text
+//! P_i = 1 − Π_j (1 − P_ij)
+//! ```
+
+use crate::reid::FusedObject;
+
+/// Eq. 6: the combined true-positive probability of per-camera
+/// probabilities `p_ij`.
+///
+/// # Panics
+///
+/// Panics (debug) if any probability is outside `[0, 1]`.
+pub fn combined_probability(per_camera: &[f64]) -> f64 {
+    let mut miss = 1.0;
+    for &p in per_camera {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        miss *= 1.0 - p.clamp(0.0, 1.0);
+    }
+    1.0 - miss
+}
+
+/// Greedy matching of fused objects against ground-truth ground positions:
+/// each fused object claims the nearest unclaimed truth within `gate_m`
+/// meters. Returns the number of correctly detected people.
+pub fn count_correct(
+    fused: &[FusedObject],
+    gt_positions: &[eecs_geometry::point::Point2],
+    gate_m: f64,
+) -> usize {
+    let mut claimed = vec![false; gt_positions.len()];
+    let mut correct = 0;
+    for obj in fused {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, p) in gt_positions.iter().enumerate() {
+            if claimed[i] {
+                continue;
+            }
+            let d = obj.ground.distance(p);
+            if d <= gate_m && best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((i, d));
+            }
+        }
+        if let Some((i, _)) = best {
+            claimed[i] = true;
+            correct += 1;
+        }
+    }
+    correct
+}
+
+/// A measured global accuracy: `(N, P̄)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GlobalAccuracy {
+    /// Number of distinct detected objects `N` (summed over assessed
+    /// frames).
+    pub objects: usize,
+    /// Mean combined detection probability `P̄` over those objects
+    /// (0 when none).
+    pub mean_probability: f64,
+}
+
+impl GlobalAccuracy {
+    /// Aggregates fused objects from one or more frames.
+    pub fn from_objects(objects: &[FusedObject]) -> GlobalAccuracy {
+        if objects.is_empty() {
+            return GlobalAccuracy::default();
+        }
+        let total: f64 = objects.iter().map(|o| o.probability).sum();
+        GlobalAccuracy {
+            objects: objects.len(),
+            mean_probability: total / objects.len() as f64,
+        }
+    }
+}
+
+/// The desired accuracy `D = [D_n, D_p]`, derived from a baseline
+/// (`N*`, `P*`) and the `γ` knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesiredAccuracy {
+    /// Required object count `D_n ≥ γ_n · N*`.
+    pub min_objects: f64,
+    /// Required mean probability `D_p ≥ γ_p · P*`.
+    pub min_probability: f64,
+}
+
+impl DesiredAccuracy {
+    /// Builds `D` from the all-best baseline and the γ knobs
+    /// (Section IV-C / VI-E).
+    pub fn from_baseline(baseline: &GlobalAccuracy, gamma_n: f64, gamma_p: f64) -> DesiredAccuracy {
+        DesiredAccuracy {
+            min_objects: gamma_n * baseline.objects as f64,
+            min_probability: gamma_p * baseline.mean_probability,
+        }
+    }
+
+    /// Whether a measured accuracy meets the requirement.
+    pub fn met_by(&self, measured: &GlobalAccuracy) -> bool {
+        measured.objects as f64 >= self.min_objects - 1e-9
+            && measured.mean_probability >= self.min_probability - 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reid::FusedObject;
+    use eecs_geometry::point::Point2;
+
+    fn obj(p: f64) -> FusedObject {
+        FusedObject {
+            ground: Point2::new(0.0, 0.0),
+            cameras: vec![0],
+            probability: p,
+        }
+    }
+
+    #[test]
+    fn eq6_single_camera_identity() {
+        assert!((combined_probability(&[0.7]) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq6_two_cameras() {
+        // 1 − 0.3·0.4 = 0.88.
+        assert!((combined_probability(&[0.7, 0.6]) - 0.88).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq6_monotone_in_cameras() {
+        let one = combined_probability(&[0.5]);
+        let two = combined_probability(&[0.5, 0.5]);
+        let three = combined_probability(&[0.5, 0.5, 0.5]);
+        assert!(one < two && two < three);
+        assert!(three <= 1.0);
+    }
+
+    #[test]
+    fn eq6_empty_is_zero() {
+        assert_eq!(combined_probability(&[]), 0.0);
+    }
+
+    #[test]
+    fn eq6_certain_camera_dominates() {
+        assert!((combined_probability(&[1.0, 0.1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_accuracy_aggregates() {
+        let acc = GlobalAccuracy::from_objects(&[obj(0.8), obj(0.6)]);
+        assert_eq!(acc.objects, 2);
+        assert!((acc.mean_probability - 0.7).abs() < 1e-12);
+        assert_eq!(GlobalAccuracy::from_objects(&[]), GlobalAccuracy::default());
+    }
+
+    #[test]
+    fn count_correct_greedy_matching() {
+        use eecs_geometry::point::Point2;
+        let fused = vec![obj(0.9), obj(0.8)];
+        // Both fused objects sit at the origin; two truths, one nearby.
+        let gts = vec![Point2::new(0.1, 0.0), Point2::new(5.0, 5.0)];
+        assert_eq!(count_correct(&fused, &gts, 1.0), 1);
+        assert_eq!(count_correct(&fused, &gts, 10.0), 2);
+        assert_eq!(count_correct(&[], &gts, 1.0), 0);
+        assert_eq!(count_correct(&fused, &[], 1.0), 0);
+    }
+
+    #[test]
+    fn desired_accuracy_gate() {
+        let baseline = GlobalAccuracy {
+            objects: 100,
+            mean_probability: 0.9,
+        };
+        let d = DesiredAccuracy::from_baseline(&baseline, 0.85, 0.8);
+        assert!((d.min_objects - 85.0).abs() < 1e-12);
+        assert!((d.min_probability - 0.72).abs() < 1e-12);
+        assert!(d.met_by(&GlobalAccuracy {
+            objects: 85,
+            mean_probability: 0.72
+        }));
+        assert!(!d.met_by(&GlobalAccuracy {
+            objects: 84,
+            mean_probability: 0.9
+        }));
+        assert!(!d.met_by(&GlobalAccuracy {
+            objects: 100,
+            mean_probability: 0.71
+        }));
+    }
+}

@@ -1,0 +1,134 @@
+//! EECS configuration.
+
+use crate::profile::DowngradeRule;
+use crate::{EecsError, Result};
+use eecs_detect::eval::EvalConfig;
+use eecs_energy::comm::LinkModel;
+use eecs_energy::model::DeviceEnergyModel;
+use eecs_manifold::similarity::SimilarityConfig;
+
+/// All tunables of the framework, defaulted to the paper's evaluation
+/// settings (Section VI-E).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EecsConfig {
+    /// `γ_n`: required fraction of the baseline object count `N*`.
+    pub gamma_n: f64,
+    /// `γ_p`: required fraction of the baseline mean probability `P*`.
+    pub gamma_p: f64,
+    /// Accuracy-assessment duration in frames (paper: 100).
+    pub assessment_period: usize,
+    /// Recalibration interval in frames (paper: 500).
+    pub recalibration_interval: usize,
+    /// Number of key frames uploaded for video comparison (paper: 100).
+    pub key_frames: usize,
+    /// Video-similarity settings (`β`, scale).
+    pub similarity: SimilarityConfig,
+    /// Detection evaluation settings (IoU, visibility floor).
+    pub eval: EvalConfig,
+    /// Device energy constants.
+    pub device: DeviceEnergyModel,
+    /// Camera ↔ controller link.
+    pub link: LinkModel,
+    /// Ground-distance gate for homography re-identification (meters).
+    pub reid_ground_gate_m: f64,
+    /// Mahalanobis distance gate for the color verification step.
+    pub reid_color_gate: f64,
+    /// Downgrade policy (Section IV-B.4; `AnyCheaper` is the ablation).
+    pub downgrade_rule: DowngradeRule,
+}
+
+impl Default for EecsConfig {
+    fn default() -> Self {
+        EecsConfig {
+            gamma_n: 0.85,
+            gamma_p: 0.8,
+            assessment_period: 100,
+            recalibration_interval: 500,
+            key_frames: 100,
+            similarity: SimilarityConfig::default(),
+            eval: EvalConfig::default(),
+            device: DeviceEnergyModel::default(),
+            link: LinkModel::default(),
+            reid_ground_gate_m: 0.9,
+            reid_color_gate: 8.0,
+            downgrade_rule: DowngradeRule::default(),
+        }
+    }
+}
+
+impl EecsConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EecsError::InvalidArgument`] when γ values leave `(0, 1]`,
+    /// periods are zero, or the assessment period exceeds the
+    /// recalibration interval.
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [("gamma_n", self.gamma_n), ("gamma_p", self.gamma_p)] {
+            if !(0.0 < v && v <= 1.0) {
+                return Err(EecsError::InvalidArgument(format!(
+                    "{name} must be in (0, 1], got {v}"
+                )));
+            }
+        }
+        if self.assessment_period == 0 || self.recalibration_interval == 0 {
+            return Err(EecsError::InvalidArgument(
+                "assessment and recalibration periods must be positive".into(),
+            ));
+        }
+        if self.assessment_period > self.recalibration_interval {
+            return Err(EecsError::InvalidArgument(
+                "assessment period cannot exceed the recalibration interval".into(),
+            ));
+        }
+        if self.reid_ground_gate_m <= 0.0 || self.reid_color_gate <= 0.0 {
+            return Err(EecsError::InvalidArgument(
+                "re-identification gates must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EecsConfig::default();
+        assert_eq!(c.gamma_n, 0.85);
+        assert_eq!(c.gamma_p, 0.8);
+        assert_eq!(c.assessment_period, 100);
+        assert_eq!(c.recalibration_interval, 500);
+        assert_eq!(c.key_frames, 100);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_gammas() {
+        let mut c = EecsConfig::default();
+        c.gamma_n = 0.0;
+        assert!(c.validate().is_err());
+        c.gamma_n = 1.2;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_periods() {
+        let mut c = EecsConfig::default();
+        c.assessment_period = 0;
+        assert!(c.validate().is_err());
+        c = EecsConfig::default();
+        c.assessment_period = 600;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_gates() {
+        let mut c = EecsConfig::default();
+        c.reid_ground_gate_m = 0.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! The central controller.
+//!
+//! Holds the training library (video items + per-algorithm profiles),
+//! performs domain-adaptation matching of incoming feeds, fits the
+//! re-identification color metric, and runs the selection algorithm.
+//! "Video analytics and algorithm selection happen at the controller to
+//! avoid … executing processing-expensive domain adaptation at each
+//! battery-operated camera sensor" (Section IV).
+
+use crate::config::EecsConfig;
+use crate::profile::TrainingRecord;
+use crate::reid::{fuse_reports, FusedObject, ReidConfig};
+use crate::selection::{select_cameras_and_algorithms, AssessmentData, SelectionOutcome};
+use crate::{EecsError, Result};
+use eecs_energy::budget::EnergyBudget;
+use eecs_geometry::calibration::GroundCalibration;
+use eecs_linalg::stats::MahalanobisMetric;
+use eecs_linalg::Mat;
+use eecs_manifold::matcher::{MatchResult, TrainingLibrary};
+use eecs_manifold::video::VideoItem;
+
+/// The EECS central controller.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    config: EecsConfig,
+    records: Vec<TrainingRecord>,
+    library: TrainingLibrary,
+    calibrations: Vec<GroundCalibration>,
+}
+
+impl Controller {
+    /// Builds a controller from offline-training records and the rig's
+    /// ground calibrations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EecsError::InvalidArgument`] with no records, or
+    /// propagates manifold errors for degenerate video items.
+    pub fn new(
+        records: Vec<TrainingRecord>,
+        calibrations: Vec<GroundCalibration>,
+        config: EecsConfig,
+    ) -> Result<Controller> {
+        config.validate()?;
+        if records.is_empty() {
+            return Err(EecsError::InvalidArgument(
+                "controller needs at least one training record".into(),
+            ));
+        }
+        let mut library = TrainingLibrary::new(config.similarity);
+        for r in &records {
+            library.add(r.video.clone())?;
+        }
+        Ok(Controller {
+            config,
+            records,
+            library,
+            calibrations,
+        })
+    }
+
+    /// The framework configuration.
+    pub fn config(&self) -> &EecsConfig {
+        &self.config
+    }
+
+    /// All training records.
+    pub fn records(&self) -> &[TrainingRecord] {
+        &self.records
+    }
+
+    /// The rig's ground calibrations.
+    pub fn calibrations(&self) -> &[GroundCalibration] {
+        &self.calibrations
+    }
+
+    /// Matches an uploaded feed to the closest training item
+    /// (Section IV-B.2) and returns the match plus the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifold errors.
+    pub fn match_feed(&self, query: &VideoItem) -> Result<(MatchResult, &TrainingRecord)> {
+        let m = self.library.best_match(query)?;
+        let record = &self.records[m.best_index];
+        Ok((m, record))
+    }
+
+    /// Fits the Mahalanobis color metric from the color features present in
+    /// assessment data (the paper fits it offline on training features; the
+    /// assessment set is our training sample). Returns `None` when too few
+    /// features exist.
+    pub fn fit_color_metric(&self, data: &AssessmentData) -> Option<MahalanobisMetric> {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for cam in &data.reports {
+            for reports in cam.values() {
+                for r in reports {
+                    for o in &r.objects {
+                        if !o.color.is_empty() {
+                            rows.push(o.color.clone());
+                        }
+                    }
+                }
+            }
+        }
+        if rows.len() < 8 {
+            return None;
+        }
+        let dim = rows[0].len();
+        if rows.iter().any(|r| r.len() != dim) {
+            return None;
+        }
+        let data_mat = Mat::from_row_vecs(&rows);
+        MahalanobisMetric::fit(&data_mat, 1e-3).ok()
+    }
+
+    /// The re-identification configuration with an optional fitted metric.
+    pub fn reid_config(&self, color_metric: Option<MahalanobisMetric>) -> ReidConfig {
+        ReidConfig {
+            ground_gate_m: self.config.reid_ground_gate_m,
+            color_gate: self.config.reid_color_gate,
+            color_metric,
+        }
+    }
+
+    /// Fuses one frame's camera reports into distinct objects.
+    pub fn fuse(
+        &self,
+        reports: &[crate::metadata::CameraReport],
+        reid: &ReidConfig,
+    ) -> Vec<FusedObject> {
+        fuse_reports(reports, &self.calibrations, reid)
+    }
+
+    /// Runs the full selection (Sections IV-B.3/4) given assessment data,
+    /// the matched record index per camera, and per-camera budgets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection errors ([`EecsError::Infeasible`] and input
+    /// mismatches).
+    pub fn select(
+        &self,
+        data: &AssessmentData,
+        matched_record: &[usize],
+        budgets: &[EnergyBudget],
+        reid: &ReidConfig,
+        downgrade: bool,
+    ) -> Result<SelectionOutcome> {
+        let records: Vec<&TrainingRecord> = matched_record
+            .iter()
+            .map(|&i| {
+                self.records.get(i).ok_or_else(|| {
+                    EecsError::InvalidArgument(format!("record index {i} out of range"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        select_cameras_and_algorithms(
+            data,
+            &records,
+            budgets,
+            &self.calibrations,
+            &self.config,
+            reid,
+            downgrade,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::{CameraReport, ObjectMetadata};
+    use crate::profile::test_profile;
+    use eecs_detect::detection::{AlgorithmId, BBox};
+    use std::collections::BTreeMap;
+
+    fn video(dir: usize, seed: u64) -> VideoItem {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let frames: Vec<Vec<f64>> = (0..8)
+            .map(|_| {
+                let a = rng.random_range(-0.1..0.1);
+                let mut f = vec![0.05; 6];
+                f[dir] = 1.0 + a;
+                f[(dir + 1) % 6] = 0.6 + a;
+                f
+            })
+            .collect();
+        VideoItem::from_frames(format!("T{dir}"), &frames).unwrap()
+    }
+
+    fn record(dir: usize, seed: u64) -> TrainingRecord {
+        TrainingRecord::new(
+            format!("T{dir}"),
+            video(dir, seed),
+            vec![
+                test_profile(AlgorithmId::Hog, 0.7, 1.0),
+                test_profile(AlgorithmId::Acf, 0.6, 0.07),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn controller() -> Controller {
+        let mut cfg = EecsConfig::default();
+        cfg.similarity.beta = 2;
+        Controller::new(
+            vec![record(0, 1), record(2, 2), record(4, 3)],
+            Vec::new(),
+            cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_feed_to_right_record() {
+        let c = controller();
+        let (m, rec) = c.match_feed(&video(2, 99)).unwrap();
+        assert_eq!(m.best_index, 1);
+        assert_eq!(rec.name, "T2");
+    }
+
+    #[test]
+    fn rejects_empty_records() {
+        assert!(Controller::new(Vec::new(), Vec::new(), EecsConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut cfg = EecsConfig::default();
+        cfg.gamma_n = 2.0;
+        assert!(Controller::new(vec![record(0, 1)], Vec::new(), cfg).is_err());
+    }
+
+    #[test]
+    fn color_metric_needs_enough_samples() {
+        let c = controller();
+        let empty = AssessmentData::default();
+        assert!(c.fit_color_metric(&empty).is_none());
+
+        // Rich data: 10 objects with varied colors.
+        let mut by_alg = BTreeMap::new();
+        let reports: Vec<CameraReport> = (0..10)
+            .map(|i| CameraReport {
+                objects: vec![ObjectMetadata {
+                    camera: 0,
+                    bbox: BBox::new(0.0, 0.0, 10.0, 20.0),
+                    probability: 0.5,
+                    color: vec![
+                        i as f64 * 0.1,
+                        1.0 - i as f64 * 0.05,
+                        0.3 + (i % 3) as f64 * 0.2,
+                    ],
+                }],
+            })
+            .collect();
+        by_alg.insert(AlgorithmId::Hog, reports);
+        let data = AssessmentData {
+            reports: vec![by_alg],
+        };
+        let metric = c.fit_color_metric(&data);
+        assert!(metric.is_some());
+        assert_eq!(metric.unwrap().dim(), 3);
+    }
+
+    #[test]
+    fn select_validates_record_indices() {
+        let c = controller();
+        let data = AssessmentData {
+            reports: vec![BTreeMap::new()],
+        };
+        let reid = c.reid_config(None);
+        let budgets = vec![EnergyBudget::per_frame(1.0).unwrap()];
+        assert!(c.select(&data, &[99], &budgets, &reid, false).is_err());
+    }
+}

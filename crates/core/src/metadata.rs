@@ -1,0 +1,74 @@
+//! Detection metadata uploaded by cameras.
+//!
+//! Section IV-C: "for each detected area, the sensors extract and upload
+//! metadata of that area representing a potential object. Specifically,
+//! this metadata includes: (i) the location of the area in the image,
+//! (ii) color features of the area, and finally (iii) a confidence measure"
+//! — 172 bytes per object on the wire (Section V-A).
+
+use eecs_detect::detection::BBox;
+
+/// Metadata of one detected area `R_ij`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectMetadata {
+    /// Camera index `j` that produced this detection.
+    pub camera: usize,
+    /// The detected area (bounding box in that camera's image).
+    pub bbox: BBox,
+    /// Calibrated detection probability `P_ij` (footnote 5 / Eq. 6).
+    pub probability: f64,
+    /// Mean-color feature of the area (40-d, Section V-A).
+    pub color: Vec<f64>,
+}
+
+/// Everything one camera uploads for one assessed frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CameraReport {
+    /// Detected objects (already thresholded at the camera's `d_t`).
+    pub objects: Vec<ObjectMetadata>,
+}
+
+impl CameraReport {
+    /// Number of reported objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether anything was reported.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Metadata wire bytes for this report (172 per object, per the paper).
+    pub fn wire_bytes(&self) -> u64 {
+        eecs_energy::comm::metadata_bytes(self.objects.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accounting() {
+        let obj = ObjectMetadata {
+            camera: 1,
+            bbox: BBox::new(0.0, 0.0, 10.0, 30.0),
+            probability: 0.8,
+            color: vec![0.0; 40],
+        };
+        let report = CameraReport {
+            objects: vec![obj.clone(), obj],
+        };
+        assert_eq!(report.len(), 2);
+        assert!(!report.is_empty());
+        assert_eq!(report.wire_bytes(), 344);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = CameraReport::default();
+        assert!(r.is_empty());
+        assert_eq!(r.wire_bytes(), 0);
+    }
+}

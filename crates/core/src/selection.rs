@@ -1,0 +1,438 @@
+//! Resource-aware camera-subset and algorithm selection
+//! (Sections IV-B.3 and IV-B.4).
+
+use crate::accuracy::{DesiredAccuracy, GlobalAccuracy};
+use crate::config::EecsConfig;
+use crate::metadata::CameraReport;
+use crate::profile::TrainingRecord;
+use crate::reid::{fuse_reports, FusedObject, ReidConfig};
+use crate::{EecsError, Result};
+use eecs_detect::detection::AlgorithmId;
+use eecs_energy::budget::EnergyBudget;
+use eecs_geometry::calibration::GroundCalibration;
+use std::collections::BTreeMap;
+
+/// The detection metadata gathered during one accuracy-assessment period:
+/// for every camera and every budget-feasible algorithm, one
+/// [`CameraReport`] per assessed frame.
+#[derive(Debug, Clone, Default)]
+pub struct AssessmentData {
+    /// `reports[camera][algorithm][frame]`.
+    pub reports: Vec<BTreeMap<AlgorithmId, Vec<CameraReport>>>,
+}
+
+impl AssessmentData {
+    /// Number of cameras represented.
+    pub fn cameras(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Fuses, frame by frame, the reports of the given `(camera →
+    /// algorithm)` assignment and aggregates the global accuracy.
+    pub fn accuracy_for(
+        &self,
+        assignment: &BTreeMap<usize, AlgorithmId>,
+        calibrations: &[GroundCalibration],
+        reid: &ReidConfig,
+    ) -> GlobalAccuracy {
+        let frames = assignment
+            .iter()
+            .filter_map(|(&cam, alg)| {
+                self.reports
+                    .get(cam)
+                    .and_then(|m| m.get(alg))
+                    .map(|v| v.len())
+            })
+            .max()
+            .unwrap_or(0);
+        let mut all_objects: Vec<FusedObject> = Vec::new();
+        for f in 0..frames {
+            let frame_reports: Vec<CameraReport> = assignment
+                .iter()
+                .filter_map(|(&cam, alg)| {
+                    self.reports
+                        .get(cam)
+                        .and_then(|m| m.get(alg))
+                        .and_then(|v| v.get(f))
+                        .cloned()
+                })
+                .collect();
+            all_objects.extend(fuse_reports(&frame_reports, calibrations, reid));
+        }
+        GlobalAccuracy::from_objects(&all_objects)
+    }
+}
+
+/// The controller's decision for one recalibration round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionOutcome {
+    /// Chosen cameras `S'`, ascending index order.
+    pub active: Vec<usize>,
+    /// The algorithm each active camera must run.
+    pub assignment: BTreeMap<usize, AlgorithmId>,
+    /// Baseline accuracy (`N*`, `P*`): all feasible cameras, best
+    /// algorithms.
+    pub baseline: GlobalAccuracy,
+    /// The derived requirement `D`.
+    pub desired: DesiredAccuracy,
+    /// The accuracy estimate of the final assignment on the assessment
+    /// data.
+    pub achieved: GlobalAccuracy,
+}
+
+/// Runs the greedy selection of Sections IV-B.3/IV-B.4.
+///
+/// `records[j]` is the training record matched (via domain adaptation) to
+/// camera `j`; `budgets[j]` its per-frame energy budget. When `downgrade`
+/// is false, the algorithm stops after the camera-subset step (the middle
+/// bars of Figs. 5–6).
+///
+/// # Errors
+///
+/// Returns [`EecsError::Infeasible`] when no camera has any
+/// budget-feasible algorithm, or [`EecsError::InvalidArgument`] on
+/// mismatched slice lengths.
+pub fn select_cameras_and_algorithms(
+    data: &AssessmentData,
+    records: &[&TrainingRecord],
+    budgets: &[EnergyBudget],
+    calibrations: &[GroundCalibration],
+    config: &EecsConfig,
+    reid: &ReidConfig,
+    downgrade: bool,
+) -> Result<SelectionOutcome> {
+    let m = data.cameras();
+    if records.len() != m || budgets.len() != m || calibrations.len() < m {
+        return Err(EecsError::InvalidArgument(format!(
+            "mismatched inputs: {} cameras, {} records, {} budgets, {} calibrations",
+            m,
+            records.len(),
+            budgets.len(),
+            calibrations.len()
+        )));
+    }
+
+    // Best feasible algorithm per camera (A_j*).
+    let mut best: BTreeMap<usize, AlgorithmId> = BTreeMap::new();
+    for j in 0..m {
+        if let Some(p) = records[j].best_within_budget(&budgets[j]) {
+            best.insert(j, p.algorithm);
+        }
+    }
+    if best.is_empty() {
+        return Err(EecsError::Infeasible(
+            "no camera has a budget-feasible algorithm".into(),
+        ));
+    }
+
+    // Baseline N*, P*: every feasible camera with its best algorithm.
+    let baseline = data.accuracy_for(&best, calibrations, reid);
+    let desired = DesiredAccuracy::from_baseline(&baseline, config.gamma_n, config.gamma_p);
+
+    // Rank cameras by individual accuracy (objects, then probability).
+    let mut ranked: Vec<usize> = best.keys().copied().collect();
+    let individual: BTreeMap<usize, GlobalAccuracy> = ranked
+        .iter()
+        .map(|&j| {
+            let solo: BTreeMap<usize, AlgorithmId> = [(j, best[&j])].into();
+            (j, data.accuracy_for(&solo, calibrations, reid))
+        })
+        .collect();
+    ranked.sort_by(|&a, &b| {
+        let (ia, ib) = (&individual[&a], &individual[&b]);
+        ib.objects
+            .cmp(&ia.objects)
+            .then(
+                ib.mean_probability
+                    .partial_cmp(&ia.mean_probability)
+                    .unwrap(),
+            )
+            .then(a.cmp(&b))
+    });
+
+    // Greedy prefix: smallest set of top-ranked cameras meeting D.
+    let mut assignment: BTreeMap<usize, AlgorithmId> = BTreeMap::new();
+    let mut achieved = GlobalAccuracy::default();
+    for &j in &ranked {
+        assignment.insert(j, best[&j]);
+        achieved = data.accuracy_for(&assignment, calibrations, reid);
+        if desired.met_by(&achieved) {
+            break;
+        }
+    }
+
+    // Algorithm downgrades, least-accurate camera first (reverse rank).
+    if downgrade {
+        let mut order: Vec<usize> = ranked
+            .iter()
+            .copied()
+            .filter(|j| assignment.contains_key(j))
+            .collect();
+        order.reverse();
+        'cameras: for j in order {
+            let current_alg = assignment[&j];
+            let current = records[j]
+                .profile(current_alg)
+                .expect("assigned algorithm must be profiled");
+            let candidates =
+                records[j].downgrade_candidates_with(current, &budgets[j], config.downgrade_rule);
+            for cand in &candidates {
+                let mut trial = assignment.clone();
+                trial.insert(j, cand.algorithm);
+                let trial_acc = data.accuracy_for(&trial, calibrations, reid);
+                if desired.met_by(&trial_acc) {
+                    assignment = trial;
+                    achieved = trial_acc;
+                    continue 'cameras;
+                }
+            }
+            // Paper IV-B.4: "If such an algorithm is not found, then this
+            // process stops."
+            break;
+        }
+    }
+
+    Ok(SelectionOutcome {
+        active: assignment.keys().copied().collect(),
+        assignment,
+        baseline,
+        desired,
+        achieved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::ObjectMetadata;
+    use crate::profile::test_profile;
+    use eecs_detect::detection::BBox;
+    use eecs_geometry::calibration::landmark_grid;
+    use eecs_geometry::camera::Camera;
+    use eecs_geometry::point::{Point2, Point3};
+    use eecs_linalg::Mat;
+    use eecs_manifold::video::VideoItem;
+
+    /// Four cameras around a 10 m arena.
+    fn rig() -> (Vec<Camera>, Vec<GroundCalibration>) {
+        let mk = |x: f64, y: f64, yaw: f64| {
+            Camera::new(Point3::new(x, y, 2.8), yaw, 0.35, 320.0, 360, 288)
+        };
+        let cams = vec![
+            mk(5.0, -6.0, std::f64::consts::FRAC_PI_2),
+            mk(-6.0, 5.0, 0.0),
+            mk(5.0, 16.0, -std::f64::consts::FRAC_PI_2),
+            mk(16.0, 5.0, std::f64::consts::PI),
+        ];
+        let lm = landmark_grid(10.0, 5);
+        let cals = cams
+            .iter()
+            .map(|c| GroundCalibration::from_camera(c, &lm).unwrap())
+            .collect();
+        (cams, cals)
+    }
+
+    fn record(f_hog: f64, f_acf: f64) -> TrainingRecord {
+        TrainingRecord::new(
+            "T",
+            VideoItem::new("T", Mat::from_fn(3, 4, |i, j| (i + j) as f64)).unwrap(),
+            vec![
+                test_profile(AlgorithmId::Hog, f_hog, 1.08),
+                test_profile(AlgorithmId::Acf, f_acf, 0.07),
+                test_profile(AlgorithmId::C4, 0.63, 4.92),
+                test_profile(AlgorithmId::Lsvm, 0.89, 3.31),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Assessment data where `people` are all seen by all cameras with the
+    /// given per-algorithm probability; `extra_solo[j]` adds objects only
+    /// camera j sees with HOG (to differentiate camera quality).
+    fn assessment(
+        cams: &[Camera],
+        people: &[Point2],
+        prob_hog: f64,
+        prob_acf: f64,
+        acf_sees: &[bool],
+    ) -> AssessmentData {
+        let mut reports: Vec<BTreeMap<AlgorithmId, Vec<CameraReport>>> = Vec::new();
+        for (j, cam) in cams.iter().enumerate() {
+            let mut by_alg = BTreeMap::new();
+            for (alg, p, sees) in [
+                (AlgorithmId::Hog, prob_hog, true),
+                (AlgorithmId::Acf, prob_acf, acf_sees[j]),
+            ] {
+                let mut objects = Vec::new();
+                if sees {
+                    for person in people {
+                        if let Ok((x0, y0, x1, y1)) = cam.person_bbox(person, 1.7, 0.5) {
+                            objects.push(ObjectMetadata {
+                                camera: j,
+                                bbox: BBox::new(x0, y0, x1, y1),
+                                probability: p,
+                                color: vec![0.5; 3],
+                            });
+                        }
+                    }
+                }
+                by_alg.insert(alg, vec![CameraReport { objects }]);
+            }
+            reports.push(by_alg);
+        }
+        AssessmentData { reports }
+    }
+
+    fn reid() -> ReidConfig {
+        ReidConfig {
+            ground_gate_m: 0.9,
+            color_gate: 8.0,
+            color_metric: None,
+        }
+    }
+
+    #[test]
+    fn subset_smaller_than_full_rig_when_views_overlap() {
+        let (cams, cals) = rig();
+        let people = vec![
+            Point2::new(4.0, 5.0),
+            Point2::new(6.0, 5.0),
+            Point2::new(5.0, 7.0),
+        ];
+        let data = assessment(&cams, &people, 0.9, 0.7, &[true; 4]);
+        let rec = record(0.74, 0.66);
+        let records = vec![&rec; 4];
+        let budgets = vec![EnergyBudget::per_frame(1.2).unwrap(); 4];
+        let out = select_cameras_and_algorithms(
+            &data,
+            &records,
+            &budgets,
+            &cals,
+            &EecsConfig::default(),
+            &reid(),
+            false,
+        )
+        .unwrap();
+        // All cameras see all people, so one camera already meets γ_n·N*;
+        // γ_p then decides how many are needed — but certainly fewer than 4.
+        assert!(out.active.len() < 4, "chose {:?}", out.active);
+        assert!(out.desired.met_by(&out.achieved));
+        for alg in out.assignment.values() {
+            assert_eq!(*alg, AlgorithmId::Hog);
+        }
+    }
+
+    #[test]
+    fn downgrade_switches_to_acf_when_accuracy_allows() {
+        let (cams, cals) = rig();
+        let people = vec![Point2::new(4.0, 5.0), Point2::new(6.0, 5.0)];
+        // ACF sees everything with decent probability: downgrades succeed.
+        let data = assessment(&cams, &people, 0.9, 0.85, &[true; 4]);
+        let rec = record(0.74, 0.66);
+        let records = vec![&rec; 4];
+        let budgets = vec![EnergyBudget::per_frame(1.2).unwrap(); 4];
+        let out = select_cameras_and_algorithms(
+            &data,
+            &records,
+            &budgets,
+            &cals,
+            &EecsConfig::default(),
+            &reid(),
+            true,
+        )
+        .unwrap();
+        assert!(
+            out.assignment.values().any(|&a| a == AlgorithmId::Acf),
+            "expected at least one downgrade: {:?}",
+            out.assignment
+        );
+        assert!(out.desired.met_by(&out.achieved));
+    }
+
+    #[test]
+    fn no_downgrade_when_acf_blind() {
+        let (cams, cals) = rig();
+        let people = vec![Point2::new(4.0, 5.0), Point2::new(6.0, 5.0)];
+        // ACF sees nothing: switching any camera to ACF would lose objects.
+        let data = assessment(&cams, &people, 0.9, 0.8, &[false; 4]);
+        let rec = record(0.74, 0.66);
+        let records = vec![&rec; 4];
+        let budgets = vec![EnergyBudget::per_frame(1.2).unwrap(); 4];
+        let out = select_cameras_and_algorithms(
+            &data,
+            &records,
+            &budgets,
+            &cals,
+            &EecsConfig::default(),
+            &reid(),
+            true,
+        )
+        .unwrap();
+        assert!(out.assignment.values().all(|&a| a == AlgorithmId::Hog));
+    }
+
+    #[test]
+    fn tight_budget_forces_acf_everywhere() {
+        let (cams, cals) = rig();
+        let people = vec![Point2::new(5.0, 5.0)];
+        let data = assessment(&cams, &people, 0.9, 0.8, &[true; 4]);
+        let rec = record(0.74, 0.66);
+        let records = vec![&rec; 4];
+        // Fig 5b regime: budget ∈ [0.07, 1.08).
+        let budgets = vec![EnergyBudget::per_frame(0.5).unwrap(); 4];
+        let out = select_cameras_and_algorithms(
+            &data,
+            &records,
+            &budgets,
+            &cals,
+            &EecsConfig::default(),
+            &reid(),
+            true,
+        )
+        .unwrap();
+        assert!(out.assignment.values().all(|&a| a == AlgorithmId::Acf));
+    }
+
+    #[test]
+    fn infeasible_when_budget_below_everything() {
+        let (cams, cals) = rig();
+        let people = vec![Point2::new(5.0, 5.0)];
+        let data = assessment(&cams, &people, 0.9, 0.8, &[true; 4]);
+        let rec = record(0.74, 0.66);
+        let records = vec![&rec; 4];
+        let budgets = vec![EnergyBudget::per_frame(0.001).unwrap(); 4];
+        assert!(matches!(
+            select_cameras_and_algorithms(
+                &data,
+                &records,
+                &budgets,
+                &cals,
+                &EecsConfig::default(),
+                &reid(),
+                true,
+            ),
+            Err(EecsError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let (_, cals) = rig();
+        let data = AssessmentData {
+            reports: vec![BTreeMap::new(); 4],
+        };
+        let rec = record(0.7, 0.6);
+        let records = vec![&rec; 3]; // wrong length
+        let budgets = vec![EnergyBudget::per_frame(1.0).unwrap(); 4];
+        assert!(select_cameras_and_algorithms(
+            &data,
+            &records,
+            &budgets,
+            &cals,
+            &EecsConfig::default(),
+            &reid(),
+            false,
+        )
+        .is_err());
+    }
+}

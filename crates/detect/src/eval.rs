@@ -1,0 +1,360 @@
+//! Detection evaluation: precision, recall, f-score, threshold selection.
+//!
+//! Section VI-A of the paper: detections below a cut-off score `d_t` are
+//! discarded; for each (algorithm, training segment) pair the threshold
+//! maximizing f-score is chosen and then reused on the test segment.
+
+use crate::detection::{BBox, Detection};
+use eecs_scene::ground_truth::GtBox;
+
+/// Matching parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalConfig {
+    /// Minimum IoU for a detection to claim a ground-truth box.
+    pub iou_threshold: f64,
+    /// Ground-truth boxes with visibility below this are *ignore regions*:
+    /// matching them is neither rewarded nor punished (standard practice
+    /// for heavily occluded people).
+    pub min_visibility: f64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            iou_threshold: 0.5,
+            min_visibility: 0.35,
+        }
+    }
+}
+
+/// Aggregated true/false positive/negative counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalCounts {
+    /// Correct detections.
+    pub tp: usize,
+    /// Spurious detections.
+    pub fp: usize,
+    /// Missed people.
+    pub fn_: usize,
+}
+
+impl EvalCounts {
+    /// Adds another frame's counts.
+    pub fn accumulate(&mut self, other: EvalCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when nothing was detected.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when nothing was there.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// The f-score `2·P·R / (P + R)` used throughout the paper.
+    pub fn f_score(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Converts a ground-truth box to a detection-space [`BBox`].
+pub fn gt_bbox(gt: &GtBox) -> BBox {
+    BBox::new(gt.x0, gt.y0, gt.x1, gt.y1)
+}
+
+/// Greedily matches detections (score order) to ground truth at one frame.
+///
+/// Ground truth below the visibility floor is an ignore region; detections
+/// matching only ignore regions count as neither TP nor FP.
+pub fn evaluate_frame(detections: &[&Detection], gt: &[GtBox], config: &EvalConfig) -> EvalCounts {
+    let required: Vec<&GtBox> = gt
+        .iter()
+        .filter(|g| g.visibility >= config.min_visibility)
+        .collect();
+    let ignore: Vec<&GtBox> = gt
+        .iter()
+        .filter(|g| g.visibility < config.min_visibility)
+        .collect();
+
+    let mut sorted: Vec<&Detection> = detections.to_vec();
+    sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+
+    let mut claimed = vec![false; required.len()];
+    let mut tp = 0;
+    let mut fp = 0;
+    for det in sorted {
+        // Best unclaimed required GT.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, g) in required.iter().enumerate() {
+            if claimed[i] {
+                continue;
+            }
+            let iou = det.bbox.iou(&gt_bbox(g));
+            if iou >= config.iou_threshold && best.map(|(_, b)| iou > b).unwrap_or(true) {
+                best = Some((i, iou));
+            }
+        }
+        if let Some((i, _)) = best {
+            claimed[i] = true;
+            tp += 1;
+            continue;
+        }
+        // An ignore-region hit is discarded silently.
+        let hits_ignore = ignore
+            .iter()
+            .any(|g| det.bbox.iou(&gt_bbox(g)) >= config.iou_threshold);
+        if !hits_ignore {
+            fp += 1;
+        }
+    }
+    EvalCounts {
+        tp,
+        fp,
+        fn_: required.len() - tp,
+    }
+}
+
+/// Sweeps candidate thresholds over a set of frames and reports the best.
+///
+/// The paper: "we choose a threshold `d_t` which maximizes the f_score
+/// value" (Section VI-A).
+#[derive(Debug, Clone)]
+pub struct ThresholdSweep {
+    /// `(threshold, aggregated counts)` per candidate, ascending threshold.
+    pub points: Vec<(f64, EvalCounts)>,
+}
+
+impl ThresholdSweep {
+    /// Evaluates every candidate threshold (the distinct detection scores,
+    /// subsampled to at most `max_candidates`) over per-frame
+    /// `(detections, ground truth)` pairs.
+    pub fn run(
+        frames: &[(Vec<Detection>, Vec<GtBox>)],
+        config: &EvalConfig,
+        max_candidates: usize,
+    ) -> ThresholdSweep {
+        let mut scores: Vec<f64> = frames
+            .iter()
+            .flat_map(|(d, _)| d.iter().map(|x| x.score))
+            .collect();
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        scores.dedup();
+        if scores.is_empty() {
+            scores.push(0.0);
+        }
+        let stride = (scores.len() / max_candidates.max(1)).max(1);
+        let candidates: Vec<f64> = scores.iter().copied().step_by(stride).collect();
+
+        let points = candidates
+            .into_iter()
+            .map(|threshold| {
+                let mut counts = EvalCounts::default();
+                for (dets, gt) in frames {
+                    let kept: Vec<&Detection> =
+                        dets.iter().filter(|d| d.score >= threshold).collect();
+                    counts.accumulate(evaluate_frame(&kept, gt, config));
+                }
+                (threshold, counts)
+            })
+            .collect();
+        ThresholdSweep { points }
+    }
+
+    /// The threshold with the maximum f-score (ties: lowest threshold).
+    pub fn best(&self) -> (f64, EvalCounts) {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                a.1.f_score()
+                    .partial_cmp(&b.1.f_score())
+                    .unwrap()
+                    .then(b.0.partial_cmp(&a.0).unwrap())
+            })
+            .unwrap_or((0.0, EvalCounts::default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eecs_geometry::point::Point2;
+
+    fn gt(x0: f64, y0: f64, x1: f64, y1: f64, vis: f64) -> GtBox {
+        GtBox {
+            human_id: 0,
+            x0,
+            y0,
+            x1,
+            y1,
+            visibility: vis,
+            ground: Point2::new(0.0, 0.0),
+        }
+    }
+
+    fn det(x0: f64, y0: f64, x1: f64, y1: f64, score: f64) -> Detection {
+        Detection {
+            bbox: BBox::new(x0, y0, x1, y1),
+            score,
+        }
+    }
+
+    #[test]
+    fn perfect_detection_counts() {
+        let gts = vec![gt(10.0, 10.0, 30.0, 60.0, 1.0)];
+        let d = det(10.0, 10.0, 30.0, 60.0, 1.0);
+        let counts = evaluate_frame(&[&d], &gts, &EvalConfig::default());
+        assert_eq!(
+            counts,
+            EvalCounts {
+                tp: 1,
+                fp: 0,
+                fn_: 0
+            }
+        );
+        assert_eq!(counts.precision(), 1.0);
+        assert_eq!(counts.recall(), 1.0);
+        assert_eq!(counts.f_score(), 1.0);
+    }
+
+    #[test]
+    fn miss_and_false_positive() {
+        let gts = vec![gt(10.0, 10.0, 30.0, 60.0, 1.0)];
+        let d = det(200.0, 10.0, 220.0, 60.0, 1.0);
+        let counts = evaluate_frame(&[&d], &gts, &EvalConfig::default());
+        assert_eq!(
+            counts,
+            EvalCounts {
+                tp: 0,
+                fp: 1,
+                fn_: 1
+            }
+        );
+        assert_eq!(counts.f_score(), 0.0);
+    }
+
+    #[test]
+    fn double_detection_counts_one_fp() {
+        let gts = vec![gt(10.0, 10.0, 30.0, 60.0, 1.0)];
+        let d1 = det(10.0, 10.0, 30.0, 60.0, 1.0);
+        let d2 = det(11.0, 11.0, 31.0, 61.0, 0.9);
+        let counts = evaluate_frame(&[&d1, &d2], &gts, &EvalConfig::default());
+        assert_eq!(
+            counts,
+            EvalCounts {
+                tp: 1,
+                fp: 1,
+                fn_: 0
+            }
+        );
+    }
+
+    #[test]
+    fn occluded_gt_is_ignore_region() {
+        let gts = vec![gt(10.0, 10.0, 30.0, 60.0, 0.1)];
+        // Detecting it: no credit, no penalty.
+        let d = det(10.0, 10.0, 30.0, 60.0, 1.0);
+        let counts = evaluate_frame(&[&d], &gts, &EvalConfig::default());
+        assert_eq!(
+            counts,
+            EvalCounts {
+                tp: 0,
+                fp: 0,
+                fn_: 0
+            }
+        );
+        // Missing it: no penalty either.
+        let counts2 = evaluate_frame(&[], &gts, &EvalConfig::default());
+        assert_eq!(counts2.fn_, 0);
+    }
+
+    #[test]
+    fn higher_score_claims_gt_first() {
+        let gts = vec![gt(10.0, 10.0, 30.0, 60.0, 1.0)];
+        let weak = det(10.0, 10.0, 30.0, 60.0, 0.2);
+        let strong = det(12.0, 10.0, 32.0, 60.0, 0.9);
+        let counts = evaluate_frame(&[&weak, &strong], &gts, &EvalConfig::default());
+        // The strong one matches; the weak duplicate becomes FP.
+        assert_eq!(counts.tp, 1);
+        assert_eq!(counts.fp, 1);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut a = EvalCounts {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+        };
+        a.accumulate(EvalCounts {
+            tp: 4,
+            fp: 5,
+            fn_: 6,
+        });
+        assert_eq!(
+            a,
+            EvalCounts {
+                tp: 5,
+                fp: 7,
+                fn_: 9
+            }
+        );
+    }
+
+    #[test]
+    fn empty_counts_metrics_zero() {
+        let c = EvalCounts::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f_score(), 0.0);
+    }
+
+    #[test]
+    fn sweep_finds_separating_threshold() {
+        // One real person; detector emits a strong true detection and a
+        // weak false one per frame. Best threshold sits above the noise.
+        let frames: Vec<(Vec<Detection>, Vec<GtBox>)> = (0..5)
+            .map(|_| {
+                (
+                    vec![
+                        det(10.0, 10.0, 30.0, 60.0, 2.0),
+                        det(100.0, 10.0, 120.0, 60.0, 0.3),
+                    ],
+                    vec![gt(10.0, 10.0, 30.0, 60.0, 1.0)],
+                )
+            })
+            .collect();
+        let sweep = ThresholdSweep::run(&frames, &EvalConfig::default(), 64);
+        let (thr, counts) = sweep.best();
+        assert!(thr > 0.3 && thr <= 2.0, "threshold {thr}");
+        assert_eq!(counts.f_score(), 1.0);
+    }
+
+    #[test]
+    fn sweep_handles_no_detections() {
+        let frames = vec![(Vec::new(), vec![gt(0.0, 0.0, 10.0, 20.0, 1.0)])];
+        let sweep = ThresholdSweep::run(&frames, &EvalConfig::default(), 16);
+        let (_, counts) = sweep.best();
+        assert_eq!(counts.tp, 0);
+        assert_eq!(counts.fn_, 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! The HOG pedestrian detector (Dalal–Triggs, \[3\] in the paper).
+//!
+//! A linear SVM over block-normalized HOG descriptors, evaluated over a
+//! dense scale pyramid. Trained on *clean* synthetic windows — the analog
+//! of OpenCV's INRIA-trained model the paper used — which is precisely why
+//! it keeps high precision in clean scenes (Table II) and loses precision
+//! against the person-shaped furniture of dataset #2 (Table III).
+
+use crate::detection::BBox;
+use crate::detection::{AlgorithmId, Detection, DetectionOutput};
+use crate::nms::non_maximum_suppression;
+use crate::pyramid::{ScaleSchedule, WINDOW_H, WINDOW_W};
+use crate::training::{synthesize, NegativeRegime, TrainingConfig, TrainingWindows};
+use crate::{DetectError, Detector, Result};
+use eecs_learn::svm::{LinearSvm, SvmConfig};
+use eecs_learn::Example;
+use eecs_vision::hog::{HogCellGrid, HogConfig, HogDescriptor};
+use eecs_vision::image::RgbImage;
+use eecs_vision::resize::resize_gray;
+
+/// HOG detector configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HogDetectorConfig {
+    /// HOG layout (cell size divides the 16×48 window).
+    pub hog: HogConfig,
+    /// Scale schedule; upsampling (scale > 1) lets HOG catch small people.
+    pub scales: ScaleSchedule,
+    /// Window stride in cells.
+    pub stride_cells: usize,
+    /// Candidates below this raw score are dropped before NMS.
+    pub keep_floor: f64,
+    /// NMS IoU threshold.
+    pub nms_iou: f64,
+    /// SVM training hyper-parameters.
+    pub svm: SvmConfig,
+    /// Training-set synthesis parameters (clean regime).
+    pub training: TrainingConfig,
+}
+
+impl Default for HogDetectorConfig {
+    fn default() -> Self {
+        HogDetectorConfig {
+            hog: HogConfig {
+                cell_size: 4,
+                block_cells: 2,
+                bins: 9,
+            },
+            scales: ScaleSchedule {
+                min_scale: 0.08,
+                max_scale: 1.35,
+                ratio: 1.33,
+            },
+            stride_cells: 1,
+            keep_floor: -0.3,
+            nms_iou: 0.35,
+            svm: SvmConfig {
+                lambda: 1e-4,
+                epochs: 40,
+                seed: 11,
+            },
+            training: TrainingConfig {
+                positives: 250,
+                negatives: 350,
+                regime: NegativeRegime::Clean,
+                seed: 21,
+            },
+        }
+    }
+}
+
+/// A trained HOG + linear SVM detector.
+#[derive(Debug, Clone)]
+pub struct HogSvmDetector {
+    config: HogDetectorConfig,
+    svm: LinearSvm,
+}
+
+impl HogSvmDetector {
+    /// Trains the detector on synthesized windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::Training`] if descriptor extraction or SVM
+    /// training fails.
+    pub fn train(config: HogDetectorConfig) -> Result<HogSvmDetector> {
+        let windows = synthesize(&config.training);
+        let examples = descriptor_examples(&windows, config.hog)?;
+        let svm = LinearSvm::train(&examples, &config.svm)
+            .map_err(|e| DetectError::Training(format!("hog svm: {e}")))?;
+        Ok(HogSvmDetector { config, svm })
+    }
+
+    /// The trained SVM (for inspection/calibration).
+    pub fn svm(&self) -> &LinearSvm {
+        &self.svm
+    }
+
+    /// The configuration used at training time.
+    pub fn config(&self) -> &HogDetectorConfig {
+        &self.config
+    }
+}
+
+/// Extracts window descriptors and labels for training.
+pub(crate) fn descriptor_examples(
+    windows: &TrainingWindows,
+    hog: HogConfig,
+) -> Result<Vec<Example>> {
+    let mut examples = Vec::with_capacity(windows.positives.len() + windows.negatives.len());
+    for (imgs, label) in [(&windows.positives, 1.0), (&windows.negatives, -1.0)] {
+        for img in imgs.iter() {
+            let desc = HogDescriptor::compute(&img.to_gray(), hog)
+                .map_err(|e| DetectError::Training(format!("hog descriptor: {e}")))?;
+            examples.push(Example {
+                features: desc,
+                label,
+            });
+        }
+    }
+    Ok(examples)
+}
+
+impl Detector for HogSvmDetector {
+    fn algorithm(&self) -> AlgorithmId {
+        AlgorithmId::Hog
+    }
+
+    fn detect(&self, frame: &RgbImage) -> DetectionOutput {
+        let cell = self.config.hog.cell_size;
+        let cells_w = WINDOW_W / cell;
+        let cells_h = WINDOW_H / cell;
+        let gray = frame.to_gray();
+        let mut ops = (frame.width() * frame.height()) as u64; // grayscale
+        let mut candidates = Vec::new();
+
+        for scale in self
+            .config
+            .scales
+            .usable_scales(frame.width(), frame.height())
+        {
+            let sw = (frame.width() as f64 * scale).round() as usize;
+            let sh = (frame.height() as f64 * scale).round() as usize;
+            let Ok(resized) = resize_gray(&gray, sw, sh) else {
+                continue;
+            };
+            ops += (sw * sh) as u64 * 3; // resize + gradient + cell binning
+            let Ok(grid) = HogCellGrid::compute(&resized, self.config.hog) else {
+                continue;
+            };
+            if grid.cells_x() < cells_w || grid.cells_y() < cells_h {
+                continue;
+            }
+            let stride = self.config.stride_cells.max(1);
+            let mut cy0 = 0;
+            while cy0 + cells_h <= grid.cells_y() {
+                let mut cx0 = 0;
+                while cx0 + cells_w <= grid.cells_x() {
+                    if let Ok(desc) = grid.window_descriptor(cx0, cy0, cells_w, cells_h) {
+                        ops += desc.len() as u64;
+                        let score = self.svm.score(&desc);
+                        if score >= self.config.keep_floor {
+                            let x0 = (cx0 * cell) as f64 / scale;
+                            let y0 = (cy0 * cell) as f64 / scale;
+                            candidates.push(Detection {
+                                bbox: BBox::new(
+                                    x0,
+                                    y0,
+                                    x0 + WINDOW_W as f64 / scale,
+                                    y0 + WINDOW_H as f64 / scale,
+                                ),
+                                score,
+                            });
+                        }
+                    }
+                    cx0 += stride;
+                }
+                cy0 += stride;
+            }
+        }
+
+        DetectionOutput {
+            detections: non_maximum_suppression(candidates, self.config.nms_iou),
+            ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eecs_vision::draw;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_config() -> HogDetectorConfig {
+        HogDetectorConfig {
+            training: TrainingConfig {
+                positives: 80,
+                negatives: 120,
+                regime: NegativeRegime::Clean,
+                seed: 1,
+            },
+            svm: SvmConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn scene_with_person(px: f64, py: f64, h: f64) -> RgbImage {
+        let mut img = RgbImage::new(160, 120);
+        draw::vertical_gradient(&mut img, [0.6, 0.6, 0.58], [0.35, 0.35, 0.33]);
+        let w = h / 3.0;
+        draw::draw_human(
+            &mut img,
+            px - w / 2.0,
+            py - h,
+            px + w / 2.0,
+            py,
+            [0.2, 0.3, 0.8],
+            [0.85, 0.65, 0.5],
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        draw::add_noise(&mut img, 0.02, &mut rng);
+        img
+    }
+
+    #[test]
+    fn detects_a_person() {
+        let det = HogSvmDetector::train(quick_config()).unwrap();
+        let img = scene_with_person(80.0, 100.0, 60.0);
+        let out = det.detect(&img);
+        assert!(!out.detections.is_empty(), "no detections at all");
+        let best = &out.detections[0];
+        let (cx, _) = best.bbox.center();
+        assert!(
+            (cx - 80.0).abs() < 15.0,
+            "best detection at x={cx}, expected ~80: {best:?}"
+        );
+    }
+
+    #[test]
+    fn empty_scene_scores_below_person_scene() {
+        let det = HogSvmDetector::train(quick_config()).unwrap();
+        let mut empty = RgbImage::new(160, 120);
+        draw::vertical_gradient(&mut empty, [0.6, 0.6, 0.58], [0.35, 0.35, 0.33]);
+        let person = scene_with_person(80.0, 100.0, 60.0);
+        let top = |o: &DetectionOutput| o.detections.first().map(|d| d.score).unwrap_or(-10.0);
+        let e = det.detect(&empty);
+        let p = det.detect(&person);
+        assert!(top(&p) > top(&e), "person {} vs empty {}", top(&p), top(&e));
+    }
+
+    #[test]
+    fn ops_scale_with_resolution() {
+        let det = HogSvmDetector::train(quick_config()).unwrap();
+        let small = RgbImage::new(80, 60);
+        let large = RgbImage::new(320, 240);
+        let o_small = det.detect(&small).ops;
+        let o_large = det.detect(&large).ops;
+        assert!(
+            o_large > o_small * 8,
+            "ops should grow ~quadratically: {o_small} vs {o_large}"
+        );
+    }
+
+    #[test]
+    fn detection_is_deterministic() {
+        let det = HogSvmDetector::train(quick_config()).unwrap();
+        let img = scene_with_person(60.0, 90.0, 50.0);
+        assert_eq!(det.detect(&img), det.detect(&img));
+    }
+
+    #[test]
+    fn algorithm_id() {
+        let det = HogSvmDetector::train(quick_config()).unwrap();
+        assert_eq!(det.algorithm(), AlgorithmId::Hog);
+    }
+}

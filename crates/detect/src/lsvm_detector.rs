@@ -1,0 +1,386 @@
+//! The LSVM deformable-part-model detector (Felzenszwalb et al., \[5\]).
+//!
+//! A root HOG filter plus four part filters (head, shoulders, hips, legs)
+//! with quadratic deformation costs and displacement search — the
+//! "discriminatively trained part based models" the paper installs on each
+//! phone. The part search is why LSVM is both the most accurate algorithm
+//! in Tables II–IV **and** the most expensive (6.2 s/frame on the phones):
+//! every window that passes the root gate pays `parts × displacements`
+//! extra filter evaluations.
+
+use crate::detection::{AlgorithmId, BBox, Detection, DetectionOutput};
+use crate::hog_detector::descriptor_examples;
+use crate::nms::non_maximum_suppression;
+use crate::pyramid::{ScaleSchedule, WINDOW_H, WINDOW_W};
+use crate::training::{synthesize, NegativeRegime, TrainingConfig, TrainingWindows};
+use crate::{DetectError, Detector, Result};
+use eecs_learn::svm::{LinearSvm, SvmConfig};
+use eecs_learn::Example;
+use eecs_vision::hog::{HogCellGrid, HogConfig};
+use eecs_vision::image::RgbImage;
+use eecs_vision::resize::resize_gray;
+
+/// A part filter: an anchor (in cells, relative to the window origin) and a
+/// linear filter over a 2×2-cell HOG sub-descriptor.
+#[derive(Debug, Clone)]
+struct Part {
+    anchor_cx: usize,
+    anchor_cy: usize,
+    svm: LinearSvm,
+}
+
+/// Part size in cells (2×2 cells = one HOG block).
+const PART_CELLS: usize = 2;
+/// Displacement search radius in cells.
+const DISP: isize = 1;
+
+/// LSVM detector configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsvmDetectorConfig {
+    /// HOG layout shared by root and parts.
+    pub hog: HogConfig,
+    /// Scale schedule — finer than HOG's for higher recall.
+    pub scales: ScaleSchedule,
+    /// Window stride in cells.
+    pub stride_cells: usize,
+    /// Root score gate below which parts are not evaluated.
+    pub part_gate: f64,
+    /// Quadratic deformation cost weight.
+    pub deformation: f64,
+    /// Relative weight of the summed part scores.
+    pub part_weight: f64,
+    /// Candidates below this combined score are dropped before NMS.
+    pub keep_floor: f64,
+    /// NMS IoU threshold.
+    pub nms_iou: f64,
+    /// SVM hyper-parameters (root and parts).
+    pub svm: SvmConfig,
+    /// Training-set synthesis — the robust regime (clean *and* clutter),
+    /// which is what makes LSVM accurate across environments.
+    pub training: TrainingConfig,
+}
+
+impl Default for LsvmDetectorConfig {
+    fn default() -> Self {
+        LsvmDetectorConfig {
+            hog: HogConfig {
+                cell_size: 4,
+                block_cells: 2,
+                bins: 9,
+            },
+            scales: ScaleSchedule {
+                min_scale: 0.08,
+                max_scale: 1.45,
+                ratio: 1.22,
+            },
+            stride_cells: 1,
+            part_gate: -0.6,
+            deformation: 0.25,
+            part_weight: 0.35,
+            keep_floor: -0.3,
+            nms_iou: 0.35,
+            svm: SvmConfig {
+                lambda: 1e-4,
+                epochs: 60,
+                seed: 61,
+            },
+            training: TrainingConfig {
+                positives: 400,
+                negatives: 600,
+                regime: NegativeRegime::WithClutter,
+                seed: 71,
+            },
+        }
+    }
+}
+
+/// A trained deformable-part-model detector.
+#[derive(Debug, Clone)]
+pub struct LsvmDetector {
+    config: LsvmDetectorConfig,
+    root: LinearSvm,
+    parts: Vec<Part>,
+}
+
+impl LsvmDetector {
+    /// Trains root and part filters on synthesized windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::Training`] if any filter fails to train.
+    pub fn train(config: LsvmDetectorConfig) -> Result<LsvmDetector> {
+        let windows = synthesize(&config.training);
+        let root_examples = descriptor_examples(&windows, config.hog)?;
+        let root = LinearSvm::train(&root_examples, &config.svm)
+            .map_err(|e| DetectError::Training(format!("lsvm root: {e}")))?;
+
+        // Anatomical anchors on the 4×12-cell window: head, shoulders,
+        // hips, legs.
+        let cells_w = WINDOW_W / config.hog.cell_size;
+        let cells_h = WINDOW_H / config.hog.cell_size;
+        let anchors = [
+            (cells_w / 2 - 1, 0),                // head
+            (0, cells_h / 4),                    // left shoulder/arm
+            (cells_w - PART_CELLS, cells_h / 4), // right shoulder/arm
+            (cells_w / 2 - 1, cells_h * 2 / 3),  // legs
+        ];
+        let mut parts = Vec::with_capacity(anchors.len());
+        for &(ax, ay) in &anchors {
+            let examples = part_examples(&windows, config.hog, ax, ay)?;
+            let svm = LinearSvm::train(&examples, &config.svm)
+                .map_err(|e| DetectError::Training(format!("lsvm part ({ax},{ay}): {e}")))?;
+            parts.push(Part {
+                anchor_cx: ax,
+                anchor_cy: ay,
+                svm,
+            });
+        }
+        Ok(LsvmDetector {
+            config,
+            root,
+            parts,
+        })
+    }
+
+    /// Number of part filters.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The configuration used at training time.
+    pub fn config(&self) -> &LsvmDetectorConfig {
+        &self.config
+    }
+
+    /// Part contribution at a window position: for each part, the best
+    /// displaced response minus deformation cost. Returns `(score, ops)`.
+    fn part_score(&self, grid: &HogCellGrid, cx0: usize, cy0: usize) -> (f64, u64) {
+        let mut total = 0.0;
+        let mut ops = 0u64;
+        for part in &self.parts {
+            let mut best = f64::NEG_INFINITY;
+            for dy in -DISP..=DISP {
+                for dx in -DISP..=DISP {
+                    let px = cx0 as isize + part.anchor_cx as isize + dx;
+                    let py = cy0 as isize + part.anchor_cy as isize + dy;
+                    if px < 0 || py < 0 {
+                        continue;
+                    }
+                    let (px, py) = (px as usize, py as usize);
+                    let Ok(desc) = grid.window_descriptor(px, py, PART_CELLS, PART_CELLS) else {
+                        continue;
+                    };
+                    ops += desc.len() as u64;
+                    let deform = self.config.deformation * (dx * dx + dy * dy) as f64;
+                    let s = part.svm.score(&desc) - deform;
+                    if s > best {
+                        best = s;
+                    }
+                }
+            }
+            if best.is_finite() {
+                total += best;
+            }
+        }
+        (total / self.parts.len() as f64, ops)
+    }
+}
+
+/// Builds ±1 examples for a part anchored at `(ax, ay)` cells: positives are
+/// sub-patches of person windows, negatives sub-patches of negatives.
+fn part_examples(
+    windows: &TrainingWindows,
+    hog: HogConfig,
+    ax: usize,
+    ay: usize,
+) -> Result<Vec<Example>> {
+    let mut out = Vec::new();
+    for (imgs, label) in [(&windows.positives, 1.0), (&windows.negatives, -1.0)] {
+        for img in imgs.iter() {
+            let grid = HogCellGrid::compute(&img.to_gray(), hog)
+                .map_err(|e| DetectError::Training(format!("part grid: {e}")))?;
+            let desc = grid
+                .window_descriptor(
+                    ax.min(grid.cells_x().saturating_sub(PART_CELLS)),
+                    ay.min(grid.cells_y().saturating_sub(PART_CELLS)),
+                    PART_CELLS,
+                    PART_CELLS,
+                )
+                .map_err(|e| DetectError::Training(format!("part descriptor: {e}")))?;
+            out.push(Example {
+                features: desc,
+                label,
+            });
+        }
+    }
+    Ok(out)
+}
+
+impl Detector for LsvmDetector {
+    fn algorithm(&self) -> AlgorithmId {
+        AlgorithmId::Lsvm
+    }
+
+    fn detect(&self, frame: &RgbImage) -> DetectionOutput {
+        let cell = self.config.hog.cell_size;
+        let cells_w = WINDOW_W / cell;
+        let cells_h = WINDOW_H / cell;
+        let gray = frame.to_gray();
+        let mut ops = (frame.width() * frame.height()) as u64;
+        let mut candidates = Vec::new();
+
+        for scale in self
+            .config
+            .scales
+            .usable_scales(frame.width(), frame.height())
+        {
+            let sw = (frame.width() as f64 * scale).round() as usize;
+            let sh = (frame.height() as f64 * scale).round() as usize;
+            let Ok(resized) = resize_gray(&gray, sw, sh) else {
+                continue;
+            };
+            ops += (sw * sh) as u64 * 3;
+            let Ok(grid) = HogCellGrid::compute(&resized, self.config.hog) else {
+                continue;
+            };
+            if grid.cells_x() < cells_w || grid.cells_y() < cells_h {
+                continue;
+            }
+            let stride = self.config.stride_cells.max(1);
+            let mut cy0 = 0;
+            while cy0 + cells_h <= grid.cells_y() {
+                let mut cx0 = 0;
+                while cx0 + cells_w <= grid.cells_x() {
+                    if let Ok(desc) = grid.window_descriptor(cx0, cy0, cells_w, cells_h) {
+                        ops += desc.len() as u64;
+                        let root_score = self.root.score(&desc);
+                        // Part cascade: only promising roots pay for parts.
+                        if root_score >= self.config.part_gate {
+                            let (parts, part_ops) = self.part_score(&grid, cx0, cy0);
+                            ops += part_ops;
+                            let score = root_score + self.config.part_weight * parts;
+                            if score >= self.config.keep_floor {
+                                let x0 = (cx0 * cell) as f64 / scale;
+                                let y0 = (cy0 * cell) as f64 / scale;
+                                candidates.push(Detection {
+                                    bbox: BBox::new(
+                                        x0,
+                                        y0,
+                                        x0 + WINDOW_W as f64 / scale,
+                                        y0 + WINDOW_H as f64 / scale,
+                                    ),
+                                    score,
+                                });
+                            }
+                        }
+                    }
+                    cx0 += stride;
+                }
+                cy0 += stride;
+            }
+        }
+        DetectionOutput {
+            detections: non_maximum_suppression(candidates, self.config.nms_iou),
+            ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eecs_vision::draw;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_config() -> LsvmDetectorConfig {
+        LsvmDetectorConfig {
+            training: TrainingConfig {
+                positives: 80,
+                negatives: 140,
+                regime: NegativeRegime::WithClutter,
+                seed: 5,
+            },
+            svm: SvmConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn scene_with_person(px: f64, py: f64, h: f64) -> RgbImage {
+        let mut img = RgbImage::new(160, 120);
+        draw::vertical_gradient(&mut img, [0.6, 0.6, 0.58], [0.35, 0.35, 0.33]);
+        let w = h / 3.0;
+        draw::draw_human(
+            &mut img,
+            px - w / 2.0,
+            py - h,
+            px + w / 2.0,
+            py,
+            [0.7, 0.6, 0.1],
+            [0.85, 0.65, 0.5],
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        draw::add_noise(&mut img, 0.02, &mut rng);
+        img
+    }
+
+    #[test]
+    fn detects_a_person() {
+        let det = LsvmDetector::train(quick_config()).unwrap();
+        let img = scene_with_person(80.0, 100.0, 60.0);
+        let out = det.detect(&img);
+        assert!(!out.detections.is_empty());
+        let (cx, _) = out.detections[0].bbox.center();
+        assert!((cx - 80.0).abs() < 15.0, "best at x={cx}");
+    }
+
+    #[test]
+    fn has_four_parts() {
+        let det = LsvmDetector::train(quick_config()).unwrap();
+        assert_eq!(det.num_parts(), 4);
+    }
+
+    #[test]
+    fn more_expensive_than_root_only_hog() {
+        let lsvm = LsvmDetector::train(quick_config()).unwrap();
+        let hog =
+            crate::hog_detector::HogSvmDetector::train(crate::hog_detector::HogDetectorConfig {
+                training: TrainingConfig {
+                    positives: 60,
+                    negatives: 90,
+                    regime: NegativeRegime::Clean,
+                    seed: 6,
+                },
+                ..Default::default()
+            })
+            .unwrap();
+        let img = scene_with_person(80.0, 100.0, 60.0);
+        assert!(
+            lsvm.detect(&img).ops > hog.detect(&img).ops,
+            "LSVM should out-cost HOG"
+        );
+    }
+
+    #[test]
+    fn part_gate_reduces_cost() {
+        let open = LsvmDetector::train(LsvmDetectorConfig {
+            part_gate: f64::NEG_INFINITY,
+            ..quick_config()
+        })
+        .unwrap();
+        let gated = LsvmDetector::train(quick_config()).unwrap();
+        let img = scene_with_person(80.0, 100.0, 60.0);
+        assert!(gated.detect(&img).ops < open.detect(&img).ops);
+    }
+
+    #[test]
+    fn algorithm_id_and_determinism() {
+        let det = LsvmDetector::train(quick_config()).unwrap();
+        assert_eq!(det.algorithm(), AlgorithmId::Lsvm);
+        let img = scene_with_person(60.0, 90.0, 50.0);
+        assert_eq!(det.detect(&img), det.detect(&img));
+    }
+}

@@ -1,0 +1,73 @@
+//! Greedy non-maximum suppression.
+
+use crate::detection::Detection;
+
+/// Suppresses detections that overlap a higher-scoring detection by more
+/// than `iou_threshold`. Returns survivors sorted by descending score.
+pub fn non_maximum_suppression(
+    mut detections: Vec<Detection>,
+    iou_threshold: f64,
+) -> Vec<Detection> {
+    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    let mut keep: Vec<Detection> = Vec::with_capacity(detections.len());
+    for d in detections {
+        if keep.iter().all(|k| k.bbox.iou(&d.bbox) <= iou_threshold) {
+            keep.push(d);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::BBox;
+
+    fn det(x: f64, score: f64) -> Detection {
+        Detection {
+            bbox: BBox::new(x, 0.0, x + 10.0, 20.0),
+            score,
+        }
+    }
+
+    #[test]
+    fn overlapping_lower_scores_suppressed() {
+        let dets = vec![det(0.0, 1.0), det(1.0, 0.9), det(2.0, 0.8)];
+        let kept = non_maximum_suppression(dets, 0.5);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 1.0);
+    }
+
+    #[test]
+    fn distant_detections_kept() {
+        let dets = vec![det(0.0, 1.0), det(50.0, 0.9)];
+        let kept = non_maximum_suppression(dets, 0.5);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn result_sorted_by_score() {
+        let dets = vec![det(50.0, 0.5), det(0.0, 1.0), det(100.0, 0.8)];
+        let kept = non_maximum_suppression(dets, 0.5);
+        let scores: Vec<f64> = kept.iter().map(|d| d.score).collect();
+        assert_eq!(scores, vec![1.0, 0.8, 0.5]);
+    }
+
+    #[test]
+    fn threshold_one_keeps_everything() {
+        let dets = vec![det(0.0, 1.0), det(0.0, 0.9)];
+        assert_eq!(non_maximum_suppression(dets, 1.0).len(), 2);
+    }
+
+    #[test]
+    fn threshold_zero_keeps_only_disjoint() {
+        let dets = vec![det(0.0, 1.0), det(9.0, 0.9), det(30.0, 0.8)];
+        let kept = non_maximum_suppression(dets, 0.0);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(non_maximum_suppression(vec![], 0.5).is_empty());
+    }
+}

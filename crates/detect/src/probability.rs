@@ -1,0 +1,148 @@
+//! Score → detection-probability calibration.
+//!
+//! Footnote 5 of the paper: "Object detection scores can be converted into
+//! detection probabilities via an offline training process." On the
+//! training segment we match detections against ground truth, label each
+//! detection true/false, and fit a Platt sigmoid. At run time, `P_ij` — the
+//! probability that detected area `R_ij` really is a person — feeds the
+//! multi-camera fusion of Eq. 6.
+
+use crate::detection::Detection;
+use crate::eval::{gt_bbox, EvalConfig};
+use crate::{DetectError, Result};
+use eecs_learn::calibrate::PlattScaler;
+use eecs_scene::ground_truth::GtBox;
+
+/// A fitted score-to-probability map for one (algorithm, environment) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreCalibration {
+    scaler: PlattScaler,
+}
+
+impl ScoreCalibration {
+    /// Fits calibration from per-frame `(detections, ground truth)` pairs of
+    /// the training segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::Training`] when there are no detections or
+    /// they are all of one class (all true or all false).
+    pub fn fit(
+        frames: &[(Vec<Detection>, Vec<GtBox>)],
+        config: &EvalConfig,
+    ) -> Result<ScoreCalibration> {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for (dets, gt) in frames {
+            let mut sorted: Vec<&Detection> = dets.iter().collect();
+            sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+            let required: Vec<&GtBox> = gt
+                .iter()
+                .filter(|g| g.visibility >= config.min_visibility)
+                .collect();
+            let mut claimed = vec![false; required.len()];
+            for det in sorted {
+                let mut matched = false;
+                for (i, g) in required.iter().enumerate() {
+                    if !claimed[i] && det.bbox.iou(&gt_bbox(g)) >= config.iou_threshold {
+                        claimed[i] = true;
+                        matched = true;
+                        break;
+                    }
+                }
+                scores.push(det.score);
+                labels.push(matched);
+            }
+        }
+        let scaler = PlattScaler::fit(&scores, &labels)
+            .map_err(|e| DetectError::Training(format!("calibration: {e}")))?;
+        Ok(ScoreCalibration { scaler })
+    }
+
+    /// Builds a calibration from explicit sigmoid parameters (used when a
+    /// controller ships calibration constants to a camera).
+    pub fn from_parts(a: f64, b: f64) -> ScoreCalibration {
+        ScoreCalibration {
+            scaler: PlattScaler::from_parts(a, b),
+        }
+    }
+
+    /// The detection probability `P_ij ∈ (0, 1)` for a raw score.
+    pub fn probability(&self, score: f64) -> f64 {
+        self.scaler.probability(score)
+    }
+
+    /// Sigmoid parameters `(a, b)`.
+    pub fn parts(&self) -> (f64, f64) {
+        (self.scaler.a(), self.scaler.b())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::BBox;
+    use eecs_geometry::point::Point2;
+
+    fn gt(x0: f64) -> GtBox {
+        GtBox {
+            human_id: 0,
+            x0,
+            y0: 10.0,
+            x1: x0 + 20.0,
+            y1: 60.0,
+            visibility: 1.0,
+            ground: Point2::new(0.0, 0.0),
+        }
+    }
+
+    fn det(x0: f64, score: f64) -> Detection {
+        Detection {
+            bbox: BBox::new(x0, 10.0, x0 + 20.0, 60.0),
+            score,
+        }
+    }
+
+    fn training_frames() -> Vec<(Vec<Detection>, Vec<GtBox>)> {
+        // True detections score ~2, false ones ~0.2.
+        (0..10)
+            .map(|i| {
+                let jitter = i as f64 * 0.01;
+                (
+                    vec![det(10.0, 2.0 + jitter), det(200.0, 0.2 + jitter)],
+                    vec![gt(10.0)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibration_orders_probabilities() {
+        let cal = ScoreCalibration::fit(&training_frames(), &EvalConfig::default()).unwrap();
+        assert!(cal.probability(2.0) > cal.probability(0.2));
+        assert!(cal.probability(2.0) > 0.5);
+        assert!(cal.probability(0.2) < 0.5);
+    }
+
+    #[test]
+    fn probabilities_in_open_unit_interval() {
+        let cal = ScoreCalibration::fit(&training_frames(), &EvalConfig::default()).unwrap();
+        for s in [-10.0, 0.0, 10.0] {
+            let p = cal.probability(s);
+            assert!(p > 0.0 && p < 1.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_labels_rejected() {
+        // All detections true → Platt cannot fit.
+        let frames = vec![(vec![det(10.0, 1.0)], vec![gt(10.0)])];
+        assert!(ScoreCalibration::fit(&frames, &EvalConfig::default()).is_err());
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let cal = ScoreCalibration::from_parts(1.5, -0.5);
+        assert_eq!(cal.parts(), (1.5, -0.5));
+    }
+}

@@ -1,0 +1,153 @@
+//! Communication cost modeling.
+//!
+//! Wire sizes follow Section V of the paper exactly: 172 bytes of metadata
+//! per detected object (8-byte bounding box + 4-byte probability + 160-byte
+//! color feature), ~16 KB of features per uploaded key frame, and
+//! JPEG-compressed frames for the image transfers used to estimate the
+//! per-camera communication cost `C_j`.
+
+use crate::model::DeviceEnergyModel;
+use crate::{EnergyError, Result};
+
+/// Metadata bytes per detected object (Section V-A): 8 (bbox) +
+/// 4 (probability) + 160 (40-d color feature).
+pub const METADATA_BYTES_PER_OBJECT: u64 = 172;
+
+/// Effective JPEG compression: bytes per pixel for the surveillance-style
+/// content of the datasets.
+pub const JPEG_BYTES_PER_PIXEL: f64 = 0.15;
+
+/// Fixed JPEG header/container overhead.
+pub const JPEG_HEADER_BYTES: u64 = 600;
+
+/// Estimated size of a JPEG-compressed `w × h` frame.
+pub fn jpeg_frame_bytes(w: usize, h: usize) -> u64 {
+    JPEG_HEADER_BYTES + ((w * h) as f64 * JPEG_BYTES_PER_PIXEL) as u64
+}
+
+/// Metadata bytes for `objects` detected objects.
+pub fn metadata_bytes(objects: usize) -> u64 {
+    objects as u64 * METADATA_BYTES_PER_OBJECT
+}
+
+/// Bytes to upload one key frame's feature vector (`dim` f32 values — the
+/// paper's 4180-d feature is "about 16KB").
+pub fn feature_upload_bytes(dim: usize) -> u64 {
+    (dim * 4) as u64
+}
+
+/// A wireless link between a camera and the controller.
+///
+/// `C_j` in the paper "depends on the resolution of the captured video, and
+/// the available bandwidth between the camera sensor and the central
+/// controller" — both appear here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Delivery quality in `(0, 1]`: the fraction of transmissions that
+    /// succeed; retransmissions inflate energy by `1 / quality`.
+    pub quality: f64,
+}
+
+impl Default for LinkModel {
+    /// "WiFi in good conditions" (Section VI).
+    fn default() -> Self {
+        LinkModel {
+            bandwidth_bps: 20e6,
+            quality: 0.95,
+        }
+    }
+}
+
+impl LinkModel {
+    /// Creates a link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidArgument`] for non-positive bandwidth
+    /// or quality outside `(0, 1]`.
+    pub fn new(bandwidth_bps: f64, quality: f64) -> Result<LinkModel> {
+        if bandwidth_bps <= 0.0 {
+            return Err(EnergyError::InvalidArgument(
+                "bandwidth must be positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&quality) || quality == 0.0 {
+            return Err(EnergyError::InvalidArgument(
+                "quality must be in (0, 1]".into(),
+            ));
+        }
+        Ok(LinkModel {
+            bandwidth_bps,
+            quality,
+        })
+    }
+
+    /// Seconds to deliver `bytes` including retransmissions.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        (bytes as f64 * 8.0 / self.bandwidth_bps) / self.quality
+    }
+
+    /// Radio energy to deliver `bytes` over this link: the device's
+    /// transmit energy inflated by the retransmission factor.
+    pub fn transmit_energy(&self, bytes: u64, device: &DeviceEnergyModel) -> f64 {
+        device.transmit_energy(bytes) / self.quality
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_metadata_size() {
+        assert_eq!(METADATA_BYTES_PER_OBJECT, 172);
+        assert_eq!(metadata_bytes(3), 516);
+        assert_eq!(metadata_bytes(0), 0);
+    }
+
+    #[test]
+    fn feature_upload_is_about_16kb_at_4180_dims() {
+        let bytes = feature_upload_bytes(4180);
+        assert!((16_000..17_500).contains(&(bytes as usize)), "{bytes}");
+    }
+
+    #[test]
+    fn jpeg_scales_with_resolution() {
+        let small = jpeg_frame_bytes(360, 288);
+        let large = jpeg_frame_bytes(1024, 768);
+        assert!(large > small * 7, "{small} vs {large}");
+        assert!(small > JPEG_HEADER_BYTES);
+    }
+
+    #[test]
+    fn transfer_time_positive_and_scaled() {
+        let link = LinkModel::default();
+        let t1 = link.transfer_time(10_000);
+        let t2 = link.transfer_time(20_000);
+        assert!(t1 > 0.0);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_quality_costs_more_energy() {
+        let device = DeviceEnergyModel::default();
+        let good = LinkModel::new(20e6, 1.0).unwrap();
+        let bad = LinkModel::new(20e6, 0.5).unwrap();
+        let bytes = 50_000;
+        assert!(bad.transmit_energy(bytes, &device) > good.transmit_energy(bytes, &device));
+        assert!(
+            (bad.transmit_energy(bytes, &device) - 2.0 * good.transmit_energy(bytes, &device))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn rejects_bad_links() {
+        assert!(LinkModel::new(0.0, 0.9).is_err());
+        assert!(LinkModel::new(1e6, 0.0).is_err());
+        assert!(LinkModel::new(1e6, 1.5).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Energy modeling for camera sensor nodes.
+//!
+//! The paper measures per-frame Joule costs on Asus Zen II phones with
+//! PowerTutor \[23\] and estimates communication costs with iPerf-style
+//! transfers (Section VI, "Computing energy costs and budget"). This crate
+//! replaces the hardware with a calibrated model:
+//!
+//! * [`model`] — converts a detector's deterministic operation count into
+//!   processing Joules, and transmitted bytes into radio Joules,
+//! * [`comm`] — wire sizes (JPEG frames, 172-byte detection metadata,
+//!   feature uploads) and link quality effects,
+//! * [`budget`] — the paper's budget computation: operation time + frame
+//!   rate + residual battery → Joules per frame,
+//! * [`meter`] — a PowerTutor-like accumulating meter with per-category
+//!   breakdown.
+//!
+//! Calibration: the default device constant is chosen so the ACF detector
+//! on a 360×288 frame costs ≈ 0.07 J, the paper's Table II anchor; all
+//! other algorithm costs then fall out of their *measured* op counts.
+
+pub mod budget;
+pub mod comm;
+pub mod meter;
+pub mod model;
+
+pub use budget::{BatteryState, EnergyBudget};
+pub use comm::{feature_upload_bytes, jpeg_frame_bytes, metadata_bytes, LinkModel};
+pub use meter::{EnergyCategory, PowerMeter};
+pub use model::DeviceEnergyModel;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by energy accounting.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EnergyError {
+    /// An argument was out of the valid domain.
+    InvalidArgument(String),
+    /// A battery drain request exceeded the remaining capacity.
+    BatteryExhausted {
+        /// Energy requested (J).
+        requested: f64,
+        /// Energy remaining (J).
+        remaining: f64,
+    },
+}
+
+impl fmt::Display for EnergyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnergyError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            EnergyError::BatteryExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "battery exhausted: requested {requested:.3} J, remaining {remaining:.3} J"
+            ),
+        }
+    }
+}
+
+impl Error for EnergyError {}
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, EnergyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = EnergyError::BatteryExhausted {
+            requested: 2.0,
+            remaining: 1.0,
+        };
+        assert!(e.to_string().contains("2.000"));
+    }
+}

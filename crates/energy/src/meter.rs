@@ -1,0 +1,115 @@
+//! A PowerTutor-like accumulating energy meter.
+
+use std::collections::BTreeMap;
+
+/// What consumed the energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EnergyCategory {
+    /// Detection-algorithm computation.
+    Processing,
+    /// Radio transmission (features, metadata, images).
+    Communication,
+    /// Everything else (feature extraction for uploads, bookkeeping).
+    Overhead,
+}
+
+/// Accumulates Joules by category — the reproduction's PowerTutor.
+#[derive(Debug, Clone, Default)]
+pub struct PowerMeter {
+    totals: BTreeMap<EnergyCategory, f64>,
+    events: u64,
+}
+
+impl PowerMeter {
+    /// A fresh meter.
+    pub fn new() -> PowerMeter {
+        PowerMeter::default()
+    }
+
+    /// Records `joules` against a category.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite energy — meters only accumulate.
+    pub fn record(&mut self, category: EnergyCategory, joules: f64) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "energy must be finite and non-negative, got {joules}"
+        );
+        *self.totals.entry(category).or_insert(0.0) += joules;
+        self.events += 1;
+    }
+
+    /// Total Joules across categories.
+    pub fn total(&self) -> f64 {
+        self.totals.values().sum()
+    }
+
+    /// Joules recorded for one category.
+    pub fn by_category(&self, category: EnergyCategory) -> f64 {
+        self.totals.get(&category).copied().unwrap_or(0.0)
+    }
+
+    /// Number of record events.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Merges another meter into this one.
+    pub fn merge(&mut self, other: &PowerMeter) {
+        for (&cat, &j) in &other.totals {
+            *self.totals.entry(cat).or_insert(0.0) += j;
+        }
+        self.events += other.events;
+    }
+
+    /// Resets all accumulators.
+    pub fn reset(&mut self) {
+        self.totals.clear();
+        self.events = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_category() {
+        let mut m = PowerMeter::new();
+        m.record(EnergyCategory::Processing, 1.5);
+        m.record(EnergyCategory::Processing, 0.5);
+        m.record(EnergyCategory::Communication, 0.25);
+        assert!((m.total() - 2.25).abs() < 1e-12);
+        assert!((m.by_category(EnergyCategory::Processing) - 2.0).abs() < 1e-12);
+        assert_eq!(m.by_category(EnergyCategory::Overhead), 0.0);
+        assert_eq!(m.events(), 3);
+    }
+
+    #[test]
+    fn merge_combines_meters() {
+        let mut a = PowerMeter::new();
+        a.record(EnergyCategory::Processing, 1.0);
+        let mut b = PowerMeter::new();
+        b.record(EnergyCategory::Processing, 2.0);
+        b.record(EnergyCategory::Overhead, 0.5);
+        a.merge(&b);
+        assert!((a.total() - 3.5).abs() < 1e-12);
+        assert_eq!(a.events(), 3);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = PowerMeter::new();
+        m.record(EnergyCategory::Communication, 1.0);
+        m.reset();
+        assert_eq!(m.total(), 0.0);
+        assert_eq!(m.events(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_panics() {
+        PowerMeter::new().record(EnergyCategory::Processing, -1.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The device energy model.
+
+use crate::{EnergyError, Result};
+
+/// Converts deterministic work counts into Joules for one device class.
+///
+/// The paper's Tables II–IV report absolute Joules measured on phones; the
+/// model reproduces the *structure* of those numbers: processing energy
+/// proportional to algorithm work, transmission energy proportional to
+/// bytes, plus a fixed radio wake-up overhead per burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceEnergyModel {
+    /// Joules per feature/classifier operation.
+    pub joules_per_op: f64,
+    /// Joules per transmitted byte (WiFi in good conditions).
+    pub joules_per_byte_tx: f64,
+    /// Fixed radio wake-up cost per transmission burst.
+    pub radio_overhead_j: f64,
+    /// Device throughput in operations per second — converts op counts to
+    /// the processing-time column of Tables II–IV.
+    pub ops_per_second: f64,
+}
+
+impl Default for DeviceEnergyModel {
+    /// The "Asus Zen II" calibration (DESIGN.md): `joules_per_op` anchored
+    /// so ACF on a 360×288 frame lands at ≈ 0.07 J (Table II); the radio
+    /// constants follow WiFi measurements of roughly 5 µJ/byte effective
+    /// energy plus ~10 mJ per burst.
+    fn default() -> Self {
+        DeviceEnergyModel {
+            joules_per_op: 5.0e-8,
+            joules_per_byte_tx: 5.0e-6,
+            radio_overhead_j: 0.01,
+            ops_per_second: 1.2e7,
+        }
+    }
+}
+
+impl DeviceEnergyModel {
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidArgument`] for negative constants.
+    pub fn new(
+        joules_per_op: f64,
+        joules_per_byte_tx: f64,
+        radio_overhead_j: f64,
+    ) -> Result<DeviceEnergyModel> {
+        if joules_per_op < 0.0 || joules_per_byte_tx < 0.0 || radio_overhead_j < 0.0 {
+            return Err(EnergyError::InvalidArgument(
+                "energy constants must be non-negative".into(),
+            ));
+        }
+        Ok(DeviceEnergyModel {
+            joules_per_op,
+            joules_per_byte_tx,
+            radio_overhead_j,
+            ops_per_second: 1.2e7,
+        })
+    }
+
+    /// Processing energy for `ops` operations.
+    pub fn processing_energy(&self, ops: u64) -> f64 {
+        ops as f64 * self.joules_per_op
+    }
+
+    /// Processing time for `ops` operations (seconds).
+    pub fn processing_time(&self, ops: u64) -> f64 {
+        ops as f64 / self.ops_per_second
+    }
+
+    /// Radio energy for one burst of `bytes` (zero bytes costs nothing —
+    /// the radio never wakes).
+    pub fn transmit_energy(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            self.radio_overhead_j + bytes as f64 * self.joules_per_byte_tx
+        }
+    }
+
+    /// Re-anchors `joules_per_op` so that `reference_ops` maps to
+    /// `reference_joules` — the calibration step the paper performed with
+    /// PowerTutor on sampled frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidArgument`] for zero ops or
+    /// non-positive target energy.
+    pub fn calibrated_to(&self, reference_ops: u64, reference_joules: f64) -> Result<Self> {
+        if reference_ops == 0 || reference_joules <= 0.0 {
+            return Err(EnergyError::InvalidArgument(
+                "calibration needs positive ops and energy".into(),
+            ));
+        }
+        Ok(DeviceEnergyModel {
+            joules_per_op: reference_joules / reference_ops as f64,
+            ..*self
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processing_is_linear_in_ops() {
+        let m = DeviceEnergyModel::default();
+        let e1 = m.processing_energy(1_000_000);
+        let e2 = m.processing_energy(2_000_000);
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bytes_costs_nothing() {
+        let m = DeviceEnergyModel::default();
+        assert_eq!(m.transmit_energy(0), 0.0);
+        assert!(m.transmit_energy(1) >= m.radio_overhead_j);
+    }
+
+    #[test]
+    fn transmit_includes_overhead_once() {
+        let m = DeviceEnergyModel::default();
+        let one = m.transmit_energy(1000);
+        let expected = m.radio_overhead_j + 1000.0 * m.joules_per_byte_tx;
+        assert!((one - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_hits_reference_point() {
+        let m = DeviceEnergyModel::default()
+            .calibrated_to(1_400_000, 0.07)
+            .unwrap();
+        assert!((m.processing_energy(1_400_000) - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn processing_time_is_linear() {
+        let m = DeviceEnergyModel::default();
+        assert!((m.processing_time(12_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(DeviceEnergyModel::new(-1.0, 0.0, 0.0).is_err());
+        assert!(DeviceEnergyModel::default().calibrated_to(0, 1.0).is_err());
+        assert!(DeviceEnergyModel::default().calibrated_to(10, 0.0).is_err());
+    }
+}

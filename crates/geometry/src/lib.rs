@@ -1,0 +1,87 @@
+//! Multi-view geometry for the EECS reproduction.
+//!
+//! Section IV-C of the paper re-identifies people across overlapping cameras
+//! by projecting the bottom-center of each detection through a ground-plane
+//! homography into the other cameras' views. This crate supplies everything
+//! that pipeline needs:
+//!
+//! * [`point`] — 2-D/3-D points,
+//! * [`camera`] — a pinhole camera model (the synthetic stand-in for the
+//!   testbed's phone cameras),
+//! * [`homography`] — 3×3 projective transforms with DLT estimation from
+//!   point correspondences (the paper's landmark calibration),
+//! * [`ransac`] — robust homography fitting (the paper cites RANSAC \[25\]),
+//! * [`calibration`] — building the camera↔ground and camera↔camera
+//!   homographies from landmark points, as described in Section IV-C.
+
+pub mod calibration;
+pub mod camera;
+pub mod homography;
+pub mod point;
+pub mod ransac;
+
+pub use camera::Camera;
+pub use homography::Homography;
+pub use point::{Point2, Point3};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by geometric estimation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// Not enough point correspondences for the requested fit.
+    NotEnoughPoints {
+        /// Points required.
+        needed: usize,
+        /// Points provided.
+        got: usize,
+    },
+    /// The configuration of points is degenerate (e.g. collinear).
+    Degenerate(String),
+    /// RANSAC failed to find a model with enough inliers.
+    NoConsensus {
+        /// Best inlier count reached.
+        best_inliers: usize,
+        /// Inliers required.
+        needed: usize,
+    },
+    /// A point could not be projected (behind the camera / at infinity).
+    Unprojectable,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NotEnoughPoints { needed, got } => {
+                write!(f, "need at least {needed} correspondences, got {got}")
+            }
+            GeometryError::Degenerate(msg) => write!(f, "degenerate configuration: {msg}"),
+            GeometryError::NoConsensus {
+                best_inliers,
+                needed,
+            } => write!(
+                f,
+                "ransac found only {best_inliers} inliers, needed {needed}"
+            ),
+            GeometryError::Unprojectable => write!(f, "point cannot be projected"),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, GeometryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = GeometryError::NotEnoughPoints { needed: 4, got: 2 };
+        assert!(e.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,217 @@
+//! RANSAC homography estimation.
+//!
+//! The paper cites Vincent & Laganière \[25\] for detecting planar
+//! homographies robustly; we implement the classic RANSAC loop: sample four
+//! correspondences, fit a DLT homography, count inliers by reprojection
+//! error, and refit on the best consensus set.
+
+use crate::homography::Homography;
+use crate::point::Point2;
+use crate::{GeometryError, Result};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// RANSAC parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RansacConfig {
+    /// Number of sampling iterations.
+    pub iterations: usize,
+    /// Inlier reprojection-error threshold (pixels).
+    pub inlier_threshold: f64,
+    /// Minimum inliers for a model to be accepted.
+    pub min_inliers: usize,
+    /// RNG seed (deterministic).
+    pub seed: u64,
+}
+
+impl Default for RansacConfig {
+    fn default() -> Self {
+        RansacConfig {
+            iterations: 500,
+            inlier_threshold: 2.0,
+            min_inliers: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// The result of a successful RANSAC fit.
+#[derive(Debug, Clone)]
+pub struct RansacResult {
+    /// The homography refit on all inliers.
+    pub homography: Homography,
+    /// Indices of the inlier correspondences.
+    pub inliers: Vec<usize>,
+}
+
+/// Robustly fits a homography mapping `src[i] → dst[i]`.
+///
+/// # Errors
+///
+/// * [`GeometryError::NotEnoughPoints`] with fewer than 4 pairs or
+///   `min_inliers > len`,
+/// * [`GeometryError::NoConsensus`] when no sampled model reaches
+///   `min_inliers`.
+pub fn ransac_homography(
+    src: &[Point2],
+    dst: &[Point2],
+    config: &RansacConfig,
+) -> Result<RansacResult> {
+    let n = src.len().min(dst.len());
+    if n < 4 {
+        return Err(GeometryError::NotEnoughPoints { needed: 4, got: n });
+    }
+    let needed = config.min_inliers.max(4);
+    if needed > n {
+        return Err(GeometryError::NotEnoughPoints { needed, got: n });
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best_inliers: Vec<usize> = Vec::new();
+
+    for _ in 0..config.iterations {
+        // Sample 4 distinct indices.
+        let mut idx = [0usize; 4];
+        let mut filled = 0;
+        while filled < 4 {
+            let cand = rng.random_range(0..n);
+            if !idx[..filled].contains(&cand) {
+                idx[filled] = cand;
+                filled += 1;
+            }
+        }
+        let s: Vec<Point2> = idx.iter().map(|&i| src[i]).collect();
+        let d: Vec<Point2> = idx.iter().map(|&i| dst[i]).collect();
+        let Ok(h) = Homography::estimate(&s, &d) else {
+            continue; // degenerate sample
+        };
+        let inliers: Vec<usize> = (0..n)
+            .filter(|&i| match h.apply(&src[i]) {
+                Ok(p) => p.distance(&dst[i]) <= config.inlier_threshold,
+                Err(_) => false,
+            })
+            .collect();
+        if inliers.len() > best_inliers.len() {
+            best_inliers = inliers;
+            if best_inliers.len() == n {
+                break; // cannot do better
+            }
+        }
+    }
+
+    if best_inliers.len() < needed {
+        return Err(GeometryError::NoConsensus {
+            best_inliers: best_inliers.len(),
+            needed,
+        });
+    }
+    // Refit on the full consensus set.
+    let s: Vec<Point2> = best_inliers.iter().map(|&i| src[i]).collect();
+    let d: Vec<Point2> = best_inliers.iter().map(|&i| dst[i]).collect();
+    let homography = Homography::estimate(&s, &d)?;
+    Ok(RansacResult {
+        homography,
+        inliers: best_inliers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<Point2> {
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            for j in 0..5 {
+                pts.push(Point2::new(i as f64 * 20.0, j as f64 * 20.0 + i as f64));
+            }
+        }
+        pts
+    }
+
+    fn warp(p: &Point2) -> Point2 {
+        Point2::new(0.9 * p.x - 0.2 * p.y + 12.0, 0.3 * p.x + 1.1 * p.y - 7.0)
+    }
+
+    #[test]
+    fn clean_data_recovers_model() {
+        let src = grid_points();
+        let dst: Vec<Point2> = src.iter().map(warp).collect();
+        let result = ransac_homography(&src, &dst, &RansacConfig::default()).unwrap();
+        assert_eq!(result.inliers.len(), src.len());
+        assert!(result.homography.reprojection_error(&src, &dst) < 1e-6);
+    }
+
+    #[test]
+    fn outliers_are_rejected() {
+        let src = grid_points();
+        let mut dst: Vec<Point2> = src.iter().map(warp).collect();
+        // Corrupt 20% of the correspondences badly.
+        for i in (0..dst.len()).step_by(5) {
+            dst[i] = Point2::new(dst[i].x + 500.0, dst[i].y - 300.0);
+        }
+        let result = ransac_homography(&src, &dst, &RansacConfig::default()).unwrap();
+        // All corrupted indices must be excluded.
+        for i in (0..dst.len()).step_by(5) {
+            assert!(!result.inliers.contains(&i), "outlier {i} kept");
+        }
+        // And the model still matches the clean points.
+        let clean: Vec<usize> = (0..src.len()).filter(|i| i % 5 != 0).collect();
+        for &i in &clean {
+            let p = result.homography.apply(&src[i]).unwrap();
+            assert!(p.distance(&dst[i]) < 0.5);
+        }
+    }
+
+    #[test]
+    fn too_few_points_error() {
+        let pts = vec![Point2::new(0.0, 0.0); 3];
+        assert!(matches!(
+            ransac_homography(&pts, &pts, &RansacConfig::default()),
+            Err(GeometryError::NotEnoughPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn min_inliers_larger_than_set_rejected() {
+        let src = grid_points();
+        let dst: Vec<Point2> = src.iter().map(warp).collect();
+        let cfg = RansacConfig {
+            min_inliers: src.len() + 1,
+            ..Default::default()
+        };
+        assert!(ransac_homography(&src, &dst, &cfg).is_err());
+    }
+
+    #[test]
+    fn pure_noise_yields_no_consensus() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let src: Vec<Point2> = (0..30)
+            .map(|_| Point2::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)))
+            .collect();
+        let dst: Vec<Point2> = (0..30)
+            .map(|_| Point2::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)))
+            .collect();
+        let cfg = RansacConfig {
+            iterations: 100,
+            inlier_threshold: 0.5,
+            min_inliers: 20,
+            seed: 1,
+        };
+        assert!(matches!(
+            ransac_homography(&src, &dst, &cfg),
+            Err(GeometryError::NoConsensus { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let src = grid_points();
+        let mut dst: Vec<Point2> = src.iter().map(warp).collect();
+        dst[3] = Point2::new(999.0, 999.0);
+        let a = ransac_homography(&src, &dst, &RansacConfig::default()).unwrap();
+        let b = ransac_homography(&src, &dst, &RansacConfig::default()).unwrap();
+        assert_eq!(a.inliers, b.inliers);
+    }
+}

@@ -1,0 +1,356 @@
+//! AdaBoost over decision stumps.
+//!
+//! The ACF detector (Dollár et al., "Fast feature pyramids for object
+//! detection") classifies candidate windows with a boosted ensemble over
+//! aggregated-channel lookups; this module provides that ensemble.
+
+use crate::{Example, LearnError, Result};
+
+/// A decision stump: threshold test on a single feature.
+///
+/// Predicts `polarity` when `x[feature] > threshold`, `-polarity` otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stump {
+    /// Index of the feature tested.
+    pub feature: usize,
+    /// Decision threshold.
+    pub threshold: f64,
+    /// `+1.0` or `-1.0`.
+    pub polarity: f64,
+}
+
+impl Stump {
+    /// Evaluates the stump on a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of bounds for `x`.
+    #[inline]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if x[self.feature] > self.threshold {
+            self.polarity
+        } else {
+            -self.polarity
+        }
+    }
+}
+
+/// A boosted ensemble of weighted stumps: `score(x) = Σ αᵢ hᵢ(x)`.
+///
+/// # Example
+///
+/// ```
+/// use eecs_learn::{Example, boost::AdaBoost};
+///
+/// let data = vec![
+///     Example::positive(vec![1.0]),
+///     Example::positive(vec![0.9]),
+///     Example::negative(vec![-1.0]),
+///     Example::negative(vec![-0.8]),
+/// ];
+/// let model = AdaBoost::train(&data, 5)?;
+/// assert!(model.score(&[0.95]) > 0.0);
+/// # Ok::<(), eecs_learn::LearnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaBoost {
+    stumps: Vec<(f64, Stump)>,
+    dim: usize,
+}
+
+impl AdaBoost {
+    /// Trains `rounds` boosting rounds on ±1-labelled examples.
+    ///
+    /// Each round fits the stump minimizing weighted error by scanning all
+    /// features and all candidate thresholds (midpoints of sorted values).
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::DegenerateTrainingSet`] if the set is empty or
+    ///   single-class,
+    /// * [`LearnError::InvalidArgument`] for zero rounds or inconsistent
+    ///   dimensions.
+    pub fn train(examples: &[Example], rounds: usize) -> Result<AdaBoost> {
+        if examples.is_empty() {
+            return Err(LearnError::DegenerateTrainingSet("no examples".into()));
+        }
+        if rounds == 0 {
+            return Err(LearnError::InvalidArgument(
+                "rounds must be positive".into(),
+            ));
+        }
+        let dim = examples[0].features.len();
+        if examples.iter().any(|e| e.features.len() != dim) {
+            return Err(LearnError::InvalidArgument(
+                "inconsistent feature dimensions".into(),
+            ));
+        }
+        let has_pos = examples.iter().any(|e| e.label > 0.0);
+        let has_neg = examples.iter().any(|e| e.label < 0.0);
+        if !has_pos || !has_neg {
+            return Err(LearnError::DegenerateTrainingSet(
+                "need both classes".into(),
+            ));
+        }
+
+        let n = examples.len();
+        let mut weights = vec![1.0 / n as f64; n];
+        let mut stumps = Vec::with_capacity(rounds);
+
+        // Pre-sort example indices per feature once.
+        let sorted_by_feature: Vec<Vec<usize>> = (0..dim)
+            .map(|f| {
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.sort_by(|&a, &b| {
+                    examples[a].features[f]
+                        .partial_cmp(&examples[b].features[f])
+                        .unwrap()
+                });
+                idx
+            })
+            .collect();
+
+        for _ in 0..rounds {
+            let (stump, err) = best_stump(examples, &weights, &sorted_by_feature);
+            let err = err.clamp(1e-10, 1.0 - 1e-10);
+            let alpha = 0.5 * ((1.0 - err) / err).ln();
+            if alpha <= 0.0 {
+                break; // no stump better than chance remains
+            }
+            // Re-weight.
+            let mut z = 0.0;
+            for (w, e) in weights.iter_mut().zip(examples) {
+                *w *= (-alpha * e.label * stump.predict(&e.features)).exp();
+                z += *w;
+            }
+            for w in &mut weights {
+                *w /= z;
+            }
+            stumps.push((alpha, stump));
+            if err < 1e-9 {
+                break; // perfect stump: done
+            }
+        }
+        Ok(AdaBoost { stumps, dim })
+    }
+
+    /// Raw ensemble score `Σ αᵢ hᵢ(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimension.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        self.stumps
+            .iter()
+            .map(|(alpha, s)| alpha * s.predict(x))
+            .sum()
+    }
+
+    /// Predicted class (±1).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.score(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// The weighted weak learners `(αᵢ, hᵢ)` in boosting order — exposed so
+    /// detectors can re-index stumps into their own feature spaces (e.g.
+    /// ACF's channel lookups) and build soft cascades.
+    pub fn stumps(&self) -> &[(f64, Stump)] {
+        &self.stumps
+    }
+
+    /// Number of weak learners kept.
+    pub fn len(&self) -> usize {
+        self.stumps.len()
+    }
+
+    /// Whether the ensemble is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stumps.is_empty()
+    }
+
+    /// Accuracy on a labelled set.
+    pub fn accuracy(&self, examples: &[Example]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let correct = examples
+            .iter()
+            .filter(|e| self.predict(&e.features) == e.label)
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+}
+
+/// Exhaustively finds the minimum-weighted-error stump.
+fn best_stump(
+    examples: &[Example],
+    weights: &[f64],
+    sorted_by_feature: &[Vec<usize>],
+) -> (Stump, f64) {
+    let mut best = (
+        Stump {
+            feature: 0,
+            threshold: 0.0,
+            polarity: 1.0,
+        },
+        f64::INFINITY,
+    );
+    for (f, order) in sorted_by_feature.iter().enumerate() {
+        // Error of the stump "predict +1 when x > θ" as θ sweeps from -∞:
+        // start with θ below every sample (everything predicted +1).
+        let mut err_plus: f64 = examples
+            .iter()
+            .zip(weights)
+            .filter(|(e, _)| e.label < 0.0)
+            .map(|(_, w)| *w)
+            .sum();
+        // Consider θ = -∞ first.
+        consider(&mut best, f, f64::NEG_INFINITY, err_plus);
+        for (rank, &i) in order.iter().enumerate() {
+            // Move sample i to the "≤ θ" side (predicted -1 by +polarity).
+            let e = &examples[i];
+            if e.label > 0.0 {
+                err_plus += weights[i];
+            } else {
+                err_plus -= weights[i];
+            }
+            // Only valid thresholds are between distinct consecutive values.
+            let x_i = e.features[f];
+            let next = order.get(rank + 1).map(|&j| examples[j].features[f]);
+            if next == Some(x_i) {
+                continue;
+            }
+            let threshold = match next {
+                Some(x_next) => 0.5 * (x_i + x_next),
+                None => x_i + 1.0,
+            };
+            consider(&mut best, f, threshold, err_plus);
+        }
+    }
+    best
+}
+
+fn consider(best: &mut (Stump, f64), feature: usize, threshold: f64, err_plus: f64) {
+    // err_plus is the error of polarity +1; polarity -1 has 1 - err_plus.
+    if err_plus < best.1 {
+        *best = (
+            Stump {
+                feature,
+                threshold,
+                polarity: 1.0,
+            },
+            err_plus,
+        );
+    }
+    let err_minus = 1.0 - err_plus;
+    if err_minus < best.1 {
+        *best = (
+            Stump {
+                feature,
+                threshold,
+                polarity: -1.0,
+            },
+            err_minus,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn single_feature_threshold_is_found() {
+        let data = vec![
+            Example::positive(vec![2.0]),
+            Example::positive(vec![3.0]),
+            Example::negative(vec![-2.0]),
+            Example::negative(vec![-3.0]),
+        ];
+        let model = AdaBoost::train(&data, 3).unwrap();
+        assert_eq!(model.accuracy(&data), 1.0);
+    }
+
+    #[test]
+    fn interval_needs_multiple_stumps() {
+        // Positive iff |x| < 1: a single threshold cannot represent an
+        // interval, but a small boosted ensemble can.
+        let mut data = Vec::new();
+        for i in 0..20 {
+            let d = i as f64 * 0.02;
+            data.push(Example::positive(vec![-0.5 + d]));
+            data.push(Example::negative(vec![1.2 + d]));
+            data.push(Example::negative(vec![-1.2 - d]));
+        }
+        let one = AdaBoost::train(&data, 1).unwrap();
+        let many = AdaBoost::train(&data, 50).unwrap();
+        assert!(many.accuracy(&data) > one.accuracy(&data));
+        assert!(many.accuracy(&data) >= 0.95, "acc={}", many.accuracy(&data));
+    }
+
+    #[test]
+    fn noisy_gaussians() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            data.push(Example::positive(vec![
+                1.5 + rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            ]));
+            data.push(Example::negative(vec![
+                -1.5 + rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            ]));
+        }
+        let model = AdaBoost::train(&data, 30).unwrap();
+        assert!(model.accuracy(&data) > 0.95);
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(AdaBoost::train(&[], 5).is_err());
+        let one_class = vec![Example::positive(vec![1.0])];
+        assert!(AdaBoost::train(&one_class, 5).is_err());
+        let ok = vec![Example::positive(vec![1.0]), Example::negative(vec![0.0])];
+        assert!(AdaBoost::train(&ok, 0).is_err());
+    }
+
+    #[test]
+    fn stump_predicts_by_polarity() {
+        let s = Stump {
+            feature: 1,
+            threshold: 0.5,
+            polarity: -1.0,
+        };
+        assert_eq!(s.predict(&[0.0, 1.0]), -1.0);
+        assert_eq!(s.predict(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn score_magnitude_reflects_confidence() {
+        let data = vec![
+            Example::positive(vec![5.0]),
+            Example::positive(vec![4.0]),
+            Example::negative(vec![-4.0]),
+            Example::negative(vec![-5.0]),
+        ];
+        let model = AdaBoost::train(&data, 10).unwrap();
+        assert!(model.score(&[5.0]) > 0.0);
+        assert!(model.score(&[-5.0]) < 0.0);
+    }
+
+    #[test]
+    fn len_bounded_by_rounds() {
+        let data = vec![Example::positive(vec![1.0]), Example::negative(vec![0.0])];
+        let model = AdaBoost::train(&data, 20).unwrap();
+        assert!(model.len() <= 20);
+        assert!(!model.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Platt scaling: mapping raw detection scores to probabilities.
+//!
+//! Footnote 5 of the paper: "Object detection scores can be converted into
+//! detection probabilities via an offline training process." This module is
+//! that process — a one-dimensional logistic regression
+//! `P(object | score) = 1 / (1 + exp(A·score + B))` fitted by gradient
+//! descent on labelled (score, is-true-positive) pairs gathered on the
+//! training segment.
+
+use crate::{LearnError, Result};
+
+/// A fitted Platt scaler.
+///
+/// # Example
+///
+/// ```
+/// use eecs_learn::calibrate::PlattScaler;
+///
+/// let scores = vec![-2.0, -1.5, -1.0, 1.0, 1.5, 2.0];
+/// let labels = vec![false, false, false, true, true, true];
+/// let scaler = PlattScaler::fit(&scores, &labels)?;
+/// assert!(scaler.probability(2.0) > 0.7);
+/// assert!(scaler.probability(-2.0) < 0.3);
+/// # Ok::<(), eecs_learn::LearnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlattScaler {
+    a: f64,
+    b: f64,
+}
+
+impl PlattScaler {
+    /// Fits the sigmoid to `(score, label)` pairs by batch gradient descent
+    /// on the cross-entropy loss, with the Platt prior smoothing of targets.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InvalidArgument`] if the slices differ in length or
+    ///   are empty,
+    /// * [`LearnError::DegenerateTrainingSet`] if only one class is present.
+    pub fn fit(scores: &[f64], labels: &[bool]) -> Result<PlattScaler> {
+        if scores.len() != labels.len() {
+            return Err(LearnError::InvalidArgument(
+                "scores and labels must have equal length".into(),
+            ));
+        }
+        if scores.is_empty() {
+            return Err(LearnError::InvalidArgument("empty calibration set".into()));
+        }
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        let n_neg = labels.len() - n_pos;
+        if n_pos == 0 || n_neg == 0 {
+            return Err(LearnError::DegenerateTrainingSet(
+                "calibration needs both true and false detections".into(),
+            ));
+        }
+
+        // Platt's smoothed targets avoid saturating the sigmoid.
+        let t_pos = (n_pos as f64 + 1.0) / (n_pos as f64 + 2.0);
+        let t_neg = 1.0 / (n_neg as f64 + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l { t_pos } else { t_neg })
+            .collect();
+
+        // Gradient descent on A, B. The problem is 2-D and convex; plain GD
+        // with a modest step count is ample for calibration purposes.
+        let mut a = -1.0; // negative slope: higher score → higher probability
+        let mut b = 0.0;
+        let n = scores.len() as f64;
+        let lr = 0.5;
+        for _ in 0..2000 {
+            let mut ga = 0.0;
+            let mut gb = 0.0;
+            for (&s, &t) in scores.iter().zip(&targets) {
+                let p = sigmoid(a * s + b);
+                let diff = p - t; // derivative of CE w.r.t. the logit
+                ga += diff * s;
+                gb += diff;
+            }
+            a -= lr * ga / n;
+            b -= lr * gb / n;
+        }
+        Ok(PlattScaler { a, b })
+    }
+
+    /// Builds a scaler from explicit parameters.
+    pub fn from_parts(a: f64, b: f64) -> PlattScaler {
+        PlattScaler { a, b }
+    }
+
+    /// Sigmoid slope parameter `A`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Sigmoid offset parameter `B`.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// The detection probability for a raw `score`, in `(0, 1)`.
+    pub fn probability(&self, score: f64) -> f64 {
+        sigmoid(self.a * score + self.b)
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    // 1/(1+e^{A s + B}) in Platt's formulation equals σ(-(A s + B));
+    // we fold the sign into the fitted parameters and use plain σ here.
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_in_score_when_fitted_on_increasing_data() {
+        let scores: Vec<f64> = (0..20).map(|i| i as f64 / 2.0 - 5.0).collect();
+        let labels: Vec<bool> = scores.iter().map(|&s| s > 0.0).collect();
+        let scaler = PlattScaler::fit(&scores, &labels).unwrap();
+        for w in scores.windows(2) {
+            assert!(scaler.probability(w[1]) >= scaler.probability(w[0]));
+        }
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let scaler = PlattScaler::from_parts(2.0, -1.0);
+        for s in [-100.0, -1.0, 0.0, 1.0, 100.0] {
+            let p = scaler.probability(s);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn separable_scores_calibrate_sharply() {
+        let scores = vec![-3.0, -2.5, -2.0, 2.0, 2.5, 3.0];
+        let labels = vec![false, false, false, true, true, true];
+        let scaler = PlattScaler::fit(&scores, &labels).unwrap();
+        assert!(scaler.probability(3.0) > 0.8);
+        assert!(scaler.probability(-3.0) < 0.2);
+    }
+
+    #[test]
+    fn mixed_scores_stay_moderate() {
+        // Labels independent of score → probability near the base rate.
+        let scores = vec![1.0, 1.0, 1.0, 1.0];
+        let labels = vec![true, false, true, false];
+        let scaler = PlattScaler::fit(&scores, &labels).unwrap();
+        let p = scaler.probability(1.0);
+        assert!((0.3..0.7).contains(&p), "p={p}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(PlattScaler::fit(&[1.0], &[true, false]).is_err());
+        assert!(PlattScaler::fit(&[], &[]).is_err());
+        assert!(PlattScaler::fit(&[1.0, 2.0], &[true, true]).is_err());
+    }
+}

@@ -1,0 +1,389 @@
+//! K-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! Used to quantize 64-d keypoint descriptors into the bag-of-words
+//! vocabulary described in Section V-A of the paper.
+
+use crate::{LearnError, Result};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`KMeans::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters (visual words).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tol: f64,
+    /// RNG seed for k-means++ initialization (deterministic training).
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iters: 100,
+            tol: 1e-6,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted k-means model: the cluster centroids.
+///
+/// # Example
+///
+/// ```
+/// use eecs_learn::kmeans::{KMeans, KMeansConfig};
+///
+/// let points = vec![
+///     vec![0.0, 0.0], vec![0.1, 0.0], vec![10.0, 10.0], vec![10.1, 9.9],
+/// ];
+/// let model = KMeans::fit(&points, &KMeansConfig { k: 2, ..Default::default() })?;
+/// assert_ne!(model.assign(&[0.05, 0.0]), model.assign(&[10.0, 10.0]));
+/// # Ok::<(), eecs_learn::LearnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Fits `k` clusters to `points`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InvalidArgument`] when `k == 0`, `points` is empty,
+    ///   `k > points.len()`, or points have inconsistent dimensions.
+    pub fn fit(points: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeans> {
+        if config.k == 0 {
+            return Err(LearnError::InvalidArgument("k must be positive".into()));
+        }
+        if points.is_empty() {
+            return Err(LearnError::InvalidArgument("no points".into()));
+        }
+        if config.k > points.len() {
+            return Err(LearnError::InvalidArgument(format!(
+                "k={} exceeds number of points {}",
+                config.k,
+                points.len()
+            )));
+        }
+        let dim = points[0].len();
+        if points.iter().any(|p| p.len() != dim) {
+            return Err(LearnError::InvalidArgument(
+                "points have inconsistent dimensions".into(),
+            ));
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut centroids = kmeanspp_init(points, config.k, &mut rng);
+        let mut assignment = vec![0usize; points.len()];
+        let mut iterations = 0;
+
+        for it in 0..config.max_iters {
+            iterations = it + 1;
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignment[i] = nearest(p, &centroids).0;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; dim]; config.k];
+            let mut counts = vec![0usize; config.k];
+            for (p, &a) in points.iter().zip(&assignment) {
+                counts[a] += 1;
+                for (s, &x) in sums[a].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            let mut movement = 0.0;
+            for c in 0..config.k {
+                if counts[c] == 0 {
+                    // Empty cluster: re-seed at the point farthest from its
+                    // centroid to avoid dead centroids.
+                    let far = points
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            let da = nearest(a, &centroids).1;
+                            let db = nearest(b, &centroids).1;
+                            da.partial_cmp(&db).unwrap()
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    centroids[c] = points[far].clone();
+                    continue;
+                }
+                let mut new_c = sums[c].clone();
+                for x in &mut new_c {
+                    *x /= counts[c] as f64;
+                }
+                movement += sq_dist(&new_c, &centroids[c]);
+                centroids[c] = new_c;
+            }
+            if movement.sqrt() <= config.tol {
+                break;
+            }
+        }
+
+        let inertia = points.iter().map(|p| nearest(p, &centroids).1).sum::<f64>();
+        Ok(KMeans {
+            centroids,
+            inertia,
+            iterations,
+        })
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Final within-cluster sum of squared distances.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Iterations run before convergence.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Index of the nearest centroid to `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` has a different dimension than the centroids.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        assert_eq!(
+            point.len(),
+            self.centroids[0].len(),
+            "dimension mismatch in assign"
+        );
+        nearest(point, &self.centroids).0
+    }
+
+    /// Histogram of assignments: counts of `points` per cluster, the
+    /// bag-of-words representation of Section V-A.
+    pub fn histogram(&self, points: &[Vec<f64>]) -> Vec<f64> {
+        let mut hist = vec![0.0; self.k()];
+        for p in points {
+            hist[self.assign(p)] += 1.0;
+        }
+        hist
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: pick centroids proportional to squared distance from
+/// those already chosen.
+fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let first = rng.random_range(0..points.len());
+    let mut centroids = vec![points[first].clone()];
+    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with existing centroids; pick any remaining.
+            rng.random_range(0..points.len())
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut idx = 0;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+                idx = i;
+            }
+            idx
+        };
+        centroids.push(points[chosen].clone());
+        for (d, p) in dists.iter_mut().zip(points) {
+            let nd = sq_dist(p, centroids.last().unwrap());
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.01;
+            pts.push(vec![0.0 + jitter, 0.0]);
+            pts.push(vec![10.0 + jitter, 10.0]);
+            pts.push(vec![-10.0 + jitter, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_three_blobs() {
+        let pts = blobs();
+        let model = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                seed: 42,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = model.assign(&[0.0, 0.0]);
+        let b = model.assign(&[10.0, 10.0]);
+        let c = model.assign(&[-10.0, 10.0]);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let pts = blobs();
+        let i1 = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 1,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .inertia();
+        let i3 = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .inertia();
+        assert!(i3 < i1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 7,
+            ..Default::default()
+        };
+        let m1 = KMeans::fit(&pts, &cfg).unwrap();
+        let m2 = KMeans::fit(&pts, &cfg).unwrap();
+        assert_eq!(m1.centroids(), m2.centroids());
+    }
+
+    #[test]
+    fn histogram_counts_all_points() {
+        let pts = blobs();
+        let model = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let hist = model.histogram(&pts);
+        let total: f64 = hist.iter().sum();
+        assert_eq!(total as usize, pts.len());
+        assert_eq!(hist.len(), 3);
+    }
+
+    #[test]
+    fn rejects_invalid_arguments() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert!(KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(KMeans::fit(&[], &KMeansConfig::default()).is_err());
+        let bad = vec![vec![0.0], vec![1.0, 2.0]];
+        assert!(KMeans::fit(
+            &bad,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 0.0]];
+        let model = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(model.inertia() < 1e-9);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let model = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(model.k(), 3);
+        assert!(model.inertia() < 1e-12);
+    }
+}

@@ -1,0 +1,296 @@
+//! Linear support vector machine trained with Pegasos.
+//!
+//! The HOG detector (Dalal–Triggs) and the root/part filters of the LSVM
+//! detector are linear classifiers over gradient features; we train them with
+//! the Pegasos primal stochastic sub-gradient solver, which converges quickly
+//! and needs no quadratic programming machinery.
+
+use crate::{Example, LearnError, Result};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`LinearSvm::train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmConfig {
+    /// Regularization strength λ of the Pegasos objective.
+    pub lambda: f64,
+    /// Number of stochastic epochs over the training set.
+    pub epochs: usize,
+    /// RNG seed (deterministic training).
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            lambda: 1e-4,
+            epochs: 30,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained linear SVM: `score(x) = w·x + b`.
+///
+/// # Example
+///
+/// ```
+/// use eecs_learn::{Example, svm::{LinearSvm, SvmConfig}};
+///
+/// let data = vec![
+///     Example::positive(vec![2.0, 2.0]),
+///     Example::positive(vec![3.0, 2.5]),
+///     Example::negative(vec![-2.0, -2.0]),
+///     Example::negative(vec![-3.0, -1.5]),
+/// ];
+/// let svm = LinearSvm::train(&data, &SvmConfig::default())?;
+/// assert!(svm.score(&[2.5, 2.0]) > 0.0);
+/// assert!(svm.score(&[-2.5, -2.0]) < 0.0);
+/// # Ok::<(), eecs_learn::LearnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvm {
+    /// Trains on ±1-labelled examples.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::DegenerateTrainingSet`] if `examples` is empty or
+    ///   contains only one class,
+    /// * [`LearnError::InvalidArgument`] for inconsistent feature dimensions
+    ///   or non-positive `lambda`/`epochs`.
+    pub fn train(examples: &[Example], config: &SvmConfig) -> Result<LinearSvm> {
+        if examples.is_empty() {
+            return Err(LearnError::DegenerateTrainingSet("no examples".into()));
+        }
+        let dim = examples[0].features.len();
+        if examples.iter().any(|e| e.features.len() != dim) {
+            return Err(LearnError::InvalidArgument(
+                "inconsistent feature dimensions".into(),
+            ));
+        }
+        let has_pos = examples.iter().any(|e| e.label > 0.0);
+        let has_neg = examples.iter().any(|e| e.label < 0.0);
+        if !has_pos || !has_neg {
+            return Err(LearnError::DegenerateTrainingSet(
+                "need both positive and negative examples".into(),
+            ));
+        }
+        if config.lambda <= 0.0 || config.epochs == 0 {
+            return Err(LearnError::InvalidArgument(
+                "lambda and epochs must be positive".into(),
+            ));
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut w = vec![0.0; dim];
+        let mut b = 0.0;
+        let n = examples.len();
+        let mut t = 0usize;
+
+        for _ in 0..config.epochs {
+            for _ in 0..n {
+                t += 1;
+                let i = rng.random_range(0..n);
+                let e = &examples[i];
+                let eta = 1.0 / (config.lambda * t as f64);
+                let margin = e.label * (dot(&w, &e.features) + b);
+                // Pegasos update: shrink, then (on margin violation) step
+                // toward the violating example.
+                let shrink = 1.0 - eta * config.lambda;
+                for x in &mut w {
+                    *x *= shrink;
+                }
+                if margin < 1.0 {
+                    for (wi, &xi) in w.iter_mut().zip(&e.features) {
+                        *wi += eta * e.label * xi;
+                    }
+                    b += eta * e.label;
+                }
+                // Pegasos optional projection onto the ball of radius
+                // 1/√λ, which tightens the convergence guarantee.
+                let norm_sq: f64 = w.iter().map(|x| x * x).sum();
+                let radius_sq = 1.0 / config.lambda;
+                if norm_sq > radius_sq {
+                    let scale = (radius_sq / norm_sq).sqrt();
+                    for x in &mut w {
+                        *x *= scale;
+                    }
+                }
+            }
+        }
+        Ok(LinearSvm {
+            weights: w,
+            bias: b,
+        })
+    }
+
+    /// Builds an SVM directly from weights and bias (used by hand-tuned
+    /// detector templates and tests).
+    pub fn from_parts(weights: Vec<f64>, bias: f64) -> LinearSvm {
+        LinearSvm { weights, bias }
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Raw decision score `w·x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimension.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
+        dot(&self.weights, x) + self.bias
+    }
+
+    /// Predicted class label (±1) for `x`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.score(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Accuracy on a labelled set.
+    pub fn accuracy(&self, examples: &[Example]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let correct = examples
+            .iter()
+            .filter(|e| self.predict(&e.features) == e.label)
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn gaussian_blobs(n: usize, sep: f64, seed: u64) -> Vec<Example> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(Example::positive(vec![
+                sep + rng.random_range(-1.0..1.0),
+                sep + rng.random_range(-1.0..1.0),
+            ]));
+            out.push(Example::negative(vec![
+                -sep + rng.random_range(-1.0..1.0),
+                -sep + rng.random_range(-1.0..1.0),
+            ]));
+        }
+        out
+    }
+
+    #[test]
+    fn separable_data_is_learned() {
+        let data = gaussian_blobs(100, 3.0, 1);
+        let svm = LinearSvm::train(&data, &SvmConfig::default()).unwrap();
+        assert!(
+            svm.accuracy(&data) > 0.99,
+            "accuracy {}",
+            svm.accuracy(&data)
+        );
+    }
+
+    #[test]
+    fn noisy_data_still_mostly_correct() {
+        let data = gaussian_blobs(200, 1.0, 2);
+        let svm = LinearSvm::train(&data, &SvmConfig::default()).unwrap();
+        assert!(
+            svm.accuracy(&data) > 0.8,
+            "accuracy {}",
+            svm.accuracy(&data)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = gaussian_blobs(50, 2.0, 3);
+        let cfg = SvmConfig {
+            seed: 9,
+            ..Default::default()
+        };
+        let a = LinearSvm::train(&data, &cfg).unwrap();
+        let b = LinearSvm::train(&data, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        let data = vec![Example::positive(vec![1.0]), Example::positive(vec![2.0])];
+        assert!(matches!(
+            LinearSvm::train(&data, &SvmConfig::default()),
+            Err(LearnError::DegenerateTrainingSet(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_and_inconsistent() {
+        assert!(LinearSvm::train(&[], &SvmConfig::default()).is_err());
+        let bad = vec![
+            Example::positive(vec![1.0]),
+            Example::negative(vec![1.0, 2.0]),
+        ];
+        assert!(LinearSvm::train(&bad, &SvmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_hyperparameters() {
+        let data = gaussian_blobs(10, 2.0, 4);
+        assert!(LinearSvm::train(
+            &data,
+            &SvmConfig {
+                lambda: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(LinearSvm::train(
+            &data,
+            &SvmConfig {
+                epochs: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn score_sign_matches_predict() {
+        let svm = LinearSvm::from_parts(vec![1.0, -1.0], 0.5);
+        assert_eq!(svm.predict(&[2.0, 0.0]), 1.0);
+        assert_eq!(svm.predict(&[0.0, 2.0]), -1.0);
+        assert!((svm.score(&[2.0, 0.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_orders_confidence() {
+        let data = gaussian_blobs(100, 3.0, 5);
+        let svm = LinearSvm::train(&data, &SvmConfig::default()).unwrap();
+        // A point deep in the positive region scores higher than one near
+        // the boundary.
+        assert!(svm.score(&[5.0, 5.0]) > svm.score(&[0.5, 0.5]));
+    }
+}

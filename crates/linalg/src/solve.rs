@@ -1,0 +1,324 @@
+//! Linear solvers: LU with partial pivoting, matrix inversion, Cholesky.
+//!
+//! Used for inverting the color-feature covariance in the Mahalanobis
+//! distance (Section IV-C of the paper) and for the normal equations of DLT
+//! homography estimation.
+
+use crate::mat::Mat;
+use crate::{LinalgError, Result};
+
+/// LU decomposition with partial pivoting: `P A = L U`.
+///
+/// # Example
+///
+/// ```
+/// use eecs_linalg::{Mat, solve::Lu};
+///
+/// let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let lu = Lu::decompose(&a).unwrap();
+/// let x = lu.solve(&[5.0, 10.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Mat,
+    /// Row permutation applied to the input.
+    perm: Vec<usize>,
+    /// Parity of the permutation, used by [`Lu::determinant`].
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot is (numerically) zero.
+    pub fn decompose(a: &Mat) -> Result<Lu> {
+        let (m, n) = a.shape();
+        if m != n {
+            return Err(LinalgError::NotSquare { shape: (m, n) });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = a.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                if lu[(i, k)].abs() > pivot_val {
+                    pivot_val = lu[(i, k)].abs();
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= 1e-13 * scale {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len()` differs from the
+    /// matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution with permuted b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.lu.rows() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (cannot occur once decomposition succeeded).
+    pub fn inverse(&self) -> Result<Mat> {
+        let n = self.lu.rows();
+        let mut inv = Mat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            inv.set_col(j, &col);
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor.
+    pub l: Mat,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is
+    ///   non-positive.
+    pub fn decompose(a: &Mat) -> Result<Cholesky> {
+        let (m, n) = a.shape();
+        if m != n {
+            return Err(LinalgError::NotSquare { shape: (m, n) });
+        }
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solves `A x = b` via the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on a length mismatch.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+/// Convenience: inverts a square matrix.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] (or [`LinalgError::NotSquare`]) when the
+/// matrix cannot be inverted.
+pub fn invert(a: &Mat) -> Result<Mat> {
+    Lu::decompose(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_solves_linear_system() {
+        let a = Mat::from_rows(&[&[3.0, 1.0, 0.0], &[1.0, 2.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let lu = Lu::decompose(&a).unwrap();
+        let b = [5.0, 7.0, 13.0];
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x);
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::decompose(&a), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn determinant_known() {
+        let a = Mat::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+        let lu = Lu::decompose(&a).unwrap();
+        assert!((lu.determinant() + 6.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Mat::from_rows(&[&[2.0, 1.0, 1.0], &[1.0, 3.0, 2.0], &[1.0, 0.0, 0.0]]);
+        let inv = invert(&a).unwrap();
+        assert!(a.matmul(&inv).approx_eq(&Mat::identity(3), 1e-10));
+        assert!(inv.matmul(&a).approx_eq(&Mat::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Mat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let ch = Cholesky::decompose(&a).unwrap();
+        let recon = ch.l.matmul(&ch.l.transpose());
+        assert!(recon.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu() {
+        let a = Mat::from_rows(&[&[5.0, 1.0, 0.5], &[1.0, 4.0, 1.0], &[0.5, 1.0, 3.0]]);
+        let b = [1.0, 2.0, 3.0];
+        let x1 = Cholesky::decompose(&a).unwrap().solve(&b).unwrap();
+        let x2 = Lu::decompose(&a).unwrap().solve(&b).unwrap();
+        for i in 0..3 {
+            assert!((x1[i] - x2[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_nonsquare() {
+        assert!(Lu::decompose(&Mat::zeros(2, 3)).is_err());
+        assert!(Cholesky::decompose(&Mat::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let lu = Lu::decompose(&Mat::identity(2)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn random_inverse_roundtrip() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n = rng.random_range(1..7usize);
+            // Diagonally dominant ⇒ invertible.
+            let mut a = Mat::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+            for i in 0..n {
+                a[(i, i)] += n as f64;
+            }
+            let inv = invert(&a).unwrap();
+            assert!(a.matmul(&inv).approx_eq(&Mat::identity(n), 1e-8));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The geodesic flow kernel (Eq. 2 of the paper) requires the SVD of the
+//! small `β × β` matrix `xᵢᵀ zⱼ`, including **both** singular-vector
+//! factors. The one-sided Jacobi method is compact, numerically robust for
+//! the modest sizes used here, and delivers `U`, `Σ`, and `V` directly.
+
+use crate::mat::{dot, Mat};
+use crate::{LinalgError, Result};
+
+/// The thin SVD `A = U Σ Vᵀ` of an `m × n` matrix with `m ≥ n`.
+///
+/// `u` is `m × n` with orthonormal columns, `singular_values` holds the `n`
+/// non-negative singular values in non-increasing order, and `v` is `n × n`
+/// orthogonal.
+///
+/// # Example
+///
+/// ```
+/// use eecs_linalg::{Mat, svd::thin_svd};
+///
+/// let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+/// let svd = thin_svd(&a);
+/// assert!((svd.singular_values[0] - 4.0).abs() < 1e-12);
+/// assert!((svd.singular_values[1] - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThinSvd {
+    /// Left singular vectors, `m × n`.
+    pub u: Mat,
+    /// Singular values, length `n`, non-increasing.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `n × n` (columns are the vectors).
+    pub v: Mat,
+}
+
+impl ThinSvd {
+    /// Reconstructs `U Σ Vᵀ`; useful in tests.
+    pub fn reconstruct(&self) -> Mat {
+        let sigma = Mat::from_diag(&self.singular_values);
+        self.u.matmul(&sigma).matmul(&self.v.transpose())
+    }
+
+    /// Numerical rank: the number of singular values above `tol`.
+    pub fn rank(&self, tol: f64) -> usize {
+        self.singular_values.iter().filter(|&&s| s > tol).count()
+    }
+}
+
+/// Computes the thin SVD of `a`.
+///
+/// Transposes internally when `m < n`, so any shape is accepted; the result
+/// always satisfies `a ≈ u · diag(σ) · vᵀ` with `u: m × k`, `v: n × k`,
+/// `k = min(m, n)`.
+///
+/// # Panics
+///
+/// Panics if `a` is empty.
+pub fn thin_svd(a: &Mat) -> ThinSvd {
+    assert!(!a.is_empty(), "cannot take the SVD of an empty matrix");
+    if a.rows() >= a.cols() {
+        jacobi_svd_tall(a).expect("jacobi SVD did not converge")
+    } else {
+        // A = U Σ Vᵀ  ⇔  Aᵀ = V Σ Uᵀ.
+        let t = jacobi_svd_tall(&a.transpose()).expect("jacobi SVD did not converge");
+        ThinSvd {
+            u: t.v,
+            singular_values: t.singular_values,
+            v: t.u,
+        }
+    }
+}
+
+/// One-sided Jacobi SVD for `m ≥ n`.
+///
+/// Repeatedly rotates pairs of columns of a working copy of `A` until all
+/// pairs are mutually orthogonal; the column norms then equal the singular
+/// values, the normalized columns give `U`, and the accumulated rotations
+/// give `V`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NoConvergence`] after 60 sweeps (never observed in
+/// practice for the sizes this crate handles).
+fn jacobi_svd_tall(a: &Mat) -> Result<ThinSvd> {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+    let mut w = a.clone(); // working copy whose columns we orthogonalize
+    let mut v = Mat::identity(n);
+
+    let eps = 1e-14;
+    let max_sweeps = 60;
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let col_p = w.col(p);
+                let col_q = w.col(q);
+                let alpha = dot(&col_p, &col_p);
+                let beta = dot(&col_q, &col_q);
+                let gamma = dot(&col_p, &col_q);
+                if alpha == 0.0 || beta == 0.0 {
+                    continue;
+                }
+                off = off.max(gamma.abs() / (alpha.sqrt() * beta.sqrt()));
+                if gamma.abs() <= eps * alpha.sqrt() * beta.sqrt() {
+                    continue;
+                }
+                // Jacobi rotation that zeroes the (p,q) inner product.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    w[(i, p)] = c * wp - s * wq;
+                    w[(i, q)] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if off <= eps {
+            return Ok(finalize(w, v));
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        algorithm: "one-sided Jacobi SVD",
+    })
+}
+
+/// Extracts `U`, `σ`, `V` from the orthogonalized working matrix and sorts
+/// singular values in non-increasing order.
+fn finalize(w: Mat, v: Mat) -> ThinSvd {
+    let (m, n) = w.shape();
+    let mut sigma: Vec<f64> = (0..n).map(|j| crate::mat::norm(&w.col(j))).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+
+    let mut u = Mat::zeros(m, n);
+    let mut v_sorted = Mat::zeros(n, n);
+    let mut sigma_sorted = vec![0.0; n];
+    for (dst, &src) in order.iter().enumerate() {
+        sigma_sorted[dst] = sigma[src];
+        let mut ucol = w.col(src);
+        if sigma[src] > 0.0 {
+            for x in &mut ucol {
+                *x /= sigma[src];
+            }
+        }
+        u.set_col(dst, &ucol);
+        v_sorted.set_col(dst, &v.col(src));
+    }
+    sigma.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    ThinSvd {
+        u,
+        singular_values: sigma_sorted,
+        v: v_sorted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal_cols(q: &Mat, tol: f64) {
+        let gram = q.transpose_matmul(q).unwrap();
+        assert!(gram.approx_eq(&Mat::identity(q.cols()), tol), "{gram:?}");
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Mat::from_diag(&[3.0, 1.0, 2.0]);
+        let svd = thin_svd(&a);
+        assert_eq!(svd.singular_values.len(), 3);
+        assert!((svd.singular_values[0] - 3.0).abs() < 1e-12);
+        assert!((svd.singular_values[1] - 2.0).abs() < 1e-12);
+        assert!((svd.singular_values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_tall() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let svd = thin_svd(&a);
+        assert!(svd.reconstruct().approx_eq(&a, 1e-10));
+        assert_orthonormal_cols(&svd.u, 1e-10);
+        assert_orthonormal_cols(&svd.v, 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_wide() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let svd = thin_svd(&a);
+        assert_eq!(svd.u.shape(), (2, 2));
+        assert_eq!(svd.v.shape(), (3, 2));
+        let sigma = Mat::from_diag(&svd.singular_values);
+        let recon = svd.u.matmul(&sigma).matmul(&svd.v.transpose());
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn singular_values_nonincreasing_and_nonnegative() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let m = rng.random_range(2..9usize);
+            let n = rng.random_range(1..9usize);
+            let a = Mat::from_fn(m, n, |_, _| rng.random_range(-5.0..5.0));
+            let svd = thin_svd(&a);
+            for w in svd.singular_values.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12);
+            }
+            assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+            assert!(svd.reconstruct().approx_eq(&a, 1e-9));
+        }
+    }
+
+    #[test]
+    fn rank_of_rank_one_matrix() {
+        // Outer product → rank 1.
+        let a = Mat::from_fn(4, 3, |i, j| ((i + 1) * (j + 1)) as f64);
+        let svd = thin_svd(&a);
+        assert_eq!(svd.rank(1e-9), 1);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Mat::zeros(3, 2);
+        let svd = thin_svd(&a);
+        assert!(svd.singular_values.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn largest_singular_value_bounds_frobenius() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let svd = thin_svd(&a);
+        let fro = a.frobenius_norm();
+        assert!(svd.singular_values[0] <= fro + 1e-12);
+        let sumsq: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+        assert!((sumsq.sqrt() - fro).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use eecs_linalg::eig::symmetric_eigen;
+use eecs_linalg::qr::householder_qr;
+use eecs_linalg::solve::{invert, Lu};
+use eecs_linalg::svd::thin_svd;
+use eecs_linalg::Mat;
+use proptest::prelude::*;
+
+/// Random small matrix strategy.
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-3.0..3.0f64, rows * cols).prop_map(move |v| Mat::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_is_associative(a in mat_strategy(3, 4), b in mat_strategy(4, 2), c in mat_strategy(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn transpose_of_product(a in mat_strategy(3, 4), b in mat_strategy(4, 3)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn qr_reconstruction_and_orthogonality(a in mat_strategy(6, 4)) {
+        let qr = householder_qr(&a).unwrap();
+        prop_assert!(qr.q.matmul(&qr.r).approx_eq(&a, 1e-9));
+        let gram = qr.q.transpose_matmul(&qr.q).unwrap();
+        prop_assert!(gram.approx_eq(&Mat::identity(4), 1e-9));
+    }
+
+    #[test]
+    fn svd_singular_values_bound_operator_norm(a in mat_strategy(4, 5)) {
+        let svd = thin_svd(&a);
+        // ‖A v‖ ≤ σ₁ ‖v‖ for a few probe vectors.
+        for probe in 0..3 {
+            let v: Vec<f64> = (0..5).map(|i| ((i + probe) as f64 * 0.7).sin()).collect();
+            let av = a.matvec(&v);
+            let av_norm: f64 = av.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let v_norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            prop_assert!(av_norm <= svd.singular_values[0] * v_norm + 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigen_of_gram_is_psd(a in mat_strategy(5, 3)) {
+        let gram = a.transpose_matmul(&a).unwrap();
+        let e = symmetric_eigen(&gram).unwrap();
+        prop_assert!(e.eigenvalues.iter().all(|&l| l >= -1e-9));
+        prop_assert!(e.reconstruct().approx_eq(&gram, 1e-8));
+    }
+
+    #[test]
+    fn lu_solve_consistent_with_inverse(mut a in mat_strategy(4, 4), b in prop::collection::vec(-2.0..2.0f64, 4)) {
+        // Make the matrix comfortably invertible.
+        for i in 0..4 {
+            let v = a[(i, i)] + 5.0;
+            a[(i, i)] = v;
+        }
+        let lu = Lu::decompose(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let inv = invert(&a).unwrap();
+        let x2 = inv.matvec(&b);
+        for (p, q) in x.iter().zip(&x2) {
+            prop_assert!((p - q).abs() < 1e-7);
+        }
+        // And the solution actually solves the system.
+        let ax = a.matvec(&x);
+        for (p, q) in ax.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn determinant_of_product(a in mat_strategy(3, 3), b in mat_strategy(3, 3)) {
+        let shift = |mut m: Mat| { for i in 0..3 { let v = m[(i, i)] + 4.0; m[(i, i)] = v; } m };
+        let (a, b) = (shift(a), shift(b));
+        let da = Lu::decompose(&a).unwrap().determinant();
+        let db = Lu::decompose(&b).unwrap().determinant();
+        let dab = Lu::decompose(&a.matmul(&b)).unwrap().determinant();
+        prop_assert!((dab - da * db).abs() < 1e-6 * dab.abs().max(1.0));
+    }
+}

@@ -1,0 +1,393 @@
+//! The geodesic flow kernel (Eq. 1–2 of the paper).
+//!
+//! Given two points `x, z ∈ Gr(β, ℝ^α)`, the geodesic flow
+//! `Φ(y), y ∈ [0, 1]` connects them; the kernel
+//! `G = 2·∫₀¹ Φ(y) Φ(y)ᵀ dy` has the closed form (Gong et al., CVPR'12):
+//!
+//! ```text
+//! G = [xU  x̃V] [Λ₁ Λ₂; Λ₂ Λ₃] [Uᵀxᵀ; Vᵀx̃ᵀ]
+//! λ₁ᵢ = 1 + sin(2θᵢ)/(2θᵢ),  λ₂ᵢ = (cos(2θᵢ) − 1)/(2θᵢ),
+//! λ₃ᵢ = 1 − sin(2θᵢ)/(2θᵢ)
+//! ```
+//!
+//! where `θᵢ` are the principal angles and `U, V` come from the coupled
+//! SVDs `xᵀz = U Γ Rᵀ`, `x̃ᵀz = −V Σ Rᵀ`.
+//!
+//! **Implementation note.** We never form the `α × (α−β)` orthogonal
+//! complement `x̃`. Because `x̃x̃ᵀ = I − xxᵀ`,
+//!
+//! ```text
+//! x̃V = −(I − xxᵀ) z R Σ⁻¹,
+//! ```
+//!
+//! so both factor blocks `A = xU` and `B = x̃V` are `α × β` and the whole
+//! construction is `O(αβ²)` — the difference between seconds and hours at
+//! the paper's `α = 4180`.
+
+use crate::subspace::Subspace;
+use crate::{ManifoldError, Result};
+use eecs_linalg::svd::thin_svd;
+use eecs_linalg::Mat;
+
+/// The geodesic flow kernel between two subspaces, stored in factored form.
+#[derive(Debug, Clone)]
+pub struct GeodesicFlowKernel {
+    /// `A = xU`, `α × β`.
+    a: Mat,
+    /// `B = x̃V`, `α × β` (columns are zero where `θᵢ = 0`).
+    b: Mat,
+    /// Principal angles `θᵢ`.
+    thetas: Vec<f64>,
+    /// Λ₁ diagonal.
+    l1: Vec<f64>,
+    /// Λ₂ diagonal.
+    l2: Vec<f64>,
+    /// Λ₃ diagonal.
+    l3: Vec<f64>,
+}
+
+impl GeodesicFlowKernel {
+    /// Computes the kernel between the source subspace `x` and target
+    /// subspace `z` (the paper's `x_i`, `z_j`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifoldError::SubspaceMismatch`] when ambient dimensions
+    /// differ, or [`ManifoldError::Numeric`] on SVD failure.
+    pub fn between(x: &Subspace, z: &Subspace) -> Result<GeodesicFlowKernel> {
+        if x.ambient_dim() != z.ambient_dim() {
+            return Err(ManifoldError::SubspaceMismatch {
+                lhs: x.basis().shape(),
+                rhs: z.basis().shape(),
+            });
+        }
+        // Work with the smaller common dimension: principal angles are
+        // defined for min(dim_x, dim_z) directions.
+        let beta = x.dim().min(z.dim());
+        let xb = x.basis().submatrix(0, 0, x.ambient_dim(), beta);
+        let zb = z.basis().submatrix(0, 0, z.ambient_dim(), beta);
+
+        // Coupled SVD: xᵀz = U Γ Rᵀ.
+        let xtz = xb.transpose_matmul(&zb)?;
+        let svd = thin_svd(&xtz);
+        let u = svd.u.clone(); // β × β
+        let r = svd.v.clone(); // β × β
+        let gammas: Vec<f64> = svd
+            .singular_values
+            .iter()
+            .map(|&g| g.clamp(0.0, 1.0))
+            .collect();
+        let thetas: Vec<f64> = gammas.iter().map(|&g| g.acos()).collect();
+
+        // A = x U.
+        let a = xb.matmul(&u);
+
+        // B = x̃V = −(z − x(xᵀz)) R Σ⁻¹ with Σᵢ = sin θᵢ.
+        let x_xtz = xb.matmul(&xtz); // α × β
+        let resid = &zb - &x_xtz; // (I − xxᵀ) z
+        let resid_r = resid.matmul(&r); // α × β
+        let mut b = Mat::zeros(x.ambient_dim(), beta);
+        for (i, &theta) in thetas.iter().enumerate() {
+            let s = theta.sin();
+            if s > 1e-9 {
+                let col: Vec<f64> = resid_r.col(i).iter().map(|v| -v / s).collect();
+                b.set_col(i, &col);
+            }
+            // θ ≈ 0 ⇒ λ₂ = λ₃ = 0 and the B column never contributes.
+        }
+
+        let mut l1 = Vec::with_capacity(beta);
+        let mut l2 = Vec::with_capacity(beta);
+        let mut l3 = Vec::with_capacity(beta);
+        for &theta in &thetas {
+            if theta < 1e-7 {
+                l1.push(2.0);
+                l2.push(0.0);
+                l3.push(0.0);
+            } else {
+                let s2t = (2.0 * theta).sin();
+                let c2t = (2.0 * theta).cos();
+                l1.push(1.0 + s2t / (2.0 * theta));
+                l2.push((c2t - 1.0) / (2.0 * theta));
+                l3.push(1.0 - s2t / (2.0 * theta));
+            }
+        }
+
+        Ok(GeodesicFlowKernel {
+            a,
+            b,
+            thetas,
+            l1,
+            l2,
+            l3,
+        })
+    }
+
+    /// Ambient dimension `α`.
+    pub fn ambient_dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of principal directions `β`.
+    pub fn dim(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// The principal angles between the two subspaces.
+    pub fn principal_angles(&self) -> &[f64] {
+        &self.thetas
+    }
+
+    /// Projects a feature vector onto the `A` and `B` factor blocks,
+    /// returning `(Aᵀu, Bᵀu)` — the O(αβ) step from which all kernel
+    /// quantities follow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != ambient_dim()`.
+    pub fn project(&self, u: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(u.len(), self.ambient_dim(), "feature dimension mismatch");
+        let beta = self.dim();
+        let mut pa = vec![0.0; beta];
+        let mut pb = vec![0.0; beta];
+        for (row, &uv) in u.iter().enumerate() {
+            if uv == 0.0 {
+                continue;
+            }
+            for c in 0..beta {
+                pa[c] += self.a[(row, c)] * uv;
+                pb[c] += self.b[(row, c)] * uv;
+            }
+        }
+        (pa, pb)
+    }
+
+    /// The kernel inner product `uᵀ G v` (right-hand side of Eq. 1 for a
+    /// pair of frame features).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn inner_product(&self, u: &[f64], v: &[f64]) -> f64 {
+        let (ua, ub) = self.project(u);
+        let (va, vb) = self.project(v);
+        self.inner_product_projected(&ua, &ub, &va, &vb)
+    }
+
+    /// Inner product from pre-computed projections (use with
+    /// [`GeodesicFlowKernel::project`] to amortize over many pairs).
+    pub fn inner_product_projected(&self, ua: &[f64], ub: &[f64], va: &[f64], vb: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.dim() {
+            total += ua[i] * self.l1[i] * va[i]
+                + ua[i] * self.l2[i] * vb[i]
+                + ub[i] * self.l2[i] * va[i]
+                + ub[i] * self.l3[i] * vb[i];
+        }
+        total
+    }
+
+    /// The squared kernel distance `(u − v)ᵀ G (u − v)` between two frame
+    /// features (one entry of the Eq. 3 matrix).
+    pub fn sq_distance(&self, u: &[f64], v: &[f64]) -> f64 {
+        let diff: Vec<f64> = u.iter().zip(v).map(|(a, b)| a - b).collect();
+        self.inner_product(&diff, &diff).max(0.0)
+    }
+
+    /// Materializes the full `α × α` kernel matrix. **Test/diagnostic use
+    /// only** — O(α²β) time and O(α²) memory.
+    pub fn materialize(&self) -> Mat {
+        let alpha = self.ambient_dim();
+        let beta = self.dim();
+        let mut g = Mat::zeros(alpha, alpha);
+        for i in 0..beta {
+            rank_one_update(&mut g, &self.a.col(i), &self.a.col(i), self.l1[i]);
+            rank_one_update(&mut g, &self.a.col(i), &self.b.col(i), self.l2[i]);
+            rank_one_update(&mut g, &self.b.col(i), &self.a.col(i), self.l2[i]);
+            rank_one_update(&mut g, &self.b.col(i), &self.b.col(i), self.l3[i]);
+        }
+        g
+    }
+
+    /// Evaluates a point `Φ(y)` on the geodesic flow (Eq. 1's parameterized
+    /// path): `Φ(y) = A cos(Θy) − B sin(Θy)` — exposed for quadrature
+    /// cross-checks.
+    pub fn flow_point(&self, y: f64) -> Mat {
+        let alpha = self.ambient_dim();
+        let beta = self.dim();
+        let mut phi = Mat::zeros(alpha, beta);
+        for c in 0..beta {
+            let cy = (self.thetas[c] * y).cos();
+            let sy = (self.thetas[c] * y).sin();
+            for r in 0..alpha {
+                phi[(r, c)] = self.a[(r, c)] * cy - self.b[(r, c)] * sy;
+            }
+        }
+        phi
+    }
+}
+
+fn rank_one_update(g: &mut Mat, u: &[f64], v: &[f64], scale: f64) {
+    if scale == 0.0 {
+        return;
+    }
+    for (i, &ui) in u.iter().enumerate() {
+        if ui == 0.0 {
+            continue;
+        }
+        for (j, &vj) in v.iter().enumerate() {
+            g[(i, j)] += scale * ui * vj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subspace::Subspace;
+    use crate::video::VideoItem;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_subspace(alpha: usize, beta: usize, seed: u64) -> Subspace {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let frames: Vec<Vec<f64>> = (0..alpha + 2)
+            .map(|_| (0..alpha).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+        let item = VideoItem::from_frames("r", &frames).unwrap();
+        Subspace::from_video(&item, beta).unwrap()
+    }
+
+    #[test]
+    fn identical_subspaces_give_projection_kernel() {
+        // θ = 0 everywhere ⇒ G = 2·x xᵀ.
+        let s = random_subspace(6, 2, 1);
+        let gfk = GeodesicFlowKernel::between(&s, &s).unwrap();
+        assert!(gfk.principal_angles().iter().all(|&t| t < 1e-6));
+        let g = gfk.materialize();
+        let xxt = s.basis().matmul(&s.basis().transpose()).scale(2.0);
+        assert!(g.approx_eq(&xxt, 1e-8), "G != 2xxᵀ");
+    }
+
+    #[test]
+    fn kernel_is_symmetric_psd() {
+        let x = random_subspace(8, 3, 2);
+        let z = random_subspace(8, 3, 3);
+        let g = GeodesicFlowKernel::between(&x, &z).unwrap().materialize();
+        assert!(g.approx_eq(&g.transpose(), 1e-9), "not symmetric");
+        // PSD: vᵀGv ≥ 0 for random v.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let v: Vec<f64> = (0..8).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let gv = g.matvec(&v);
+            let q: f64 = v.iter().zip(&gv).map(|(a, b)| a * b).sum();
+            assert!(q >= -1e-9, "negative quadratic form {q}");
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_quadrature() {
+        // G must equal 2·∫₀¹ Φ(y)Φ(y)ᵀ dy.
+        let x = random_subspace(7, 2, 5);
+        let z = random_subspace(7, 2, 6);
+        let gfk = GeodesicFlowKernel::between(&x, &z).unwrap();
+        let g = gfk.materialize();
+        // Simpson quadrature over [0,1].
+        let n = 200;
+        let mut quad = Mat::zeros(7, 7);
+        for i in 0..=n {
+            let y = i as f64 / n as f64;
+            let w = if i == 0 || i == n {
+                1.0
+            } else if i % 2 == 1 {
+                4.0
+            } else {
+                2.0
+            };
+            let phi = gfk.flow_point(y);
+            let outer = phi.matmul(&phi.transpose());
+            quad += &outer.scale(w);
+        }
+        quad = quad.scale(2.0 / (3.0 * n as f64));
+        assert!(
+            g.approx_eq(&quad, 1e-6),
+            "closed form and quadrature disagree: max diff {}",
+            (&g - &quad).max_abs()
+        );
+    }
+
+    #[test]
+    fn flow_endpoints_span_source_and_target() {
+        let x = random_subspace(6, 2, 7);
+        let z = random_subspace(6, 2, 8);
+        let gfk = GeodesicFlowKernel::between(&x, &z).unwrap();
+        // Φ(0) = A = xU spans the same subspace as x.
+        let phi0 = gfk.flow_point(0.0);
+        let proj = x.basis().matmul(&x.basis().transpose());
+        let recon = proj.matmul(&phi0);
+        assert!(recon.approx_eq(&phi0, 1e-8), "Φ(0) not in span(x)");
+        // Φ(1) spans the same subspace as z.
+        let phi1 = gfk.flow_point(1.0);
+        let projz = z.basis().matmul(&z.basis().transpose());
+        let reconz = projz.matmul(&phi1);
+        assert!(reconz.approx_eq(&phi1, 1e-8), "Φ(1) not in span(z)");
+    }
+
+    #[test]
+    fn inner_product_matches_materialized() {
+        let x = random_subspace(9, 3, 9);
+        let z = random_subspace(9, 3, 10);
+        let gfk = GeodesicFlowKernel::between(&x, &z).unwrap();
+        let g = gfk.materialize();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let u: Vec<f64> = (0..9).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let v: Vec<f64> = (0..9).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let fast = gfk.inner_product(&u, &v);
+            let gv = g.matvec(&v);
+            let slow: f64 = u.iter().zip(&gv).map(|(a, b)| a * b).sum();
+            assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn sq_distance_zero_for_equal_vectors() {
+        let x = random_subspace(5, 2, 12);
+        let z = random_subspace(5, 2, 13);
+        let gfk = GeodesicFlowKernel::between(&x, &z).unwrap();
+        let u = vec![0.3, -0.2, 0.9, 0.0, 0.4];
+        assert!(gfk.sq_distance(&u, &u) < 1e-12);
+    }
+
+    #[test]
+    fn distance_grows_with_angle() {
+        // The kernel distance between a fixed pair of vectors should be
+        // larger for subspaces that are further apart on the manifold...
+        // verified indirectly: mean principal angle correlates with
+        // distance between disjoint spans.
+        let x = random_subspace(10, 3, 14);
+        let near = x.clone();
+        let far = random_subspace(10, 3, 15);
+        let g_near = GeodesicFlowKernel::between(&x, &near).unwrap();
+        let g_far = GeodesicFlowKernel::between(&x, &far).unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(g_far.principal_angles()) > mean(g_near.principal_angles()));
+    }
+
+    #[test]
+    fn ambient_mismatch_rejected() {
+        let x = random_subspace(6, 2, 16);
+        let z = random_subspace(7, 2, 17);
+        assert!(matches!(
+            GeodesicFlowKernel::between(&x, &z),
+            Err(ManifoldError::SubspaceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn different_beta_uses_common_dim() {
+        let x = random_subspace(8, 2, 18);
+        let z = random_subspace(8, 4, 19);
+        let gfk = GeodesicFlowKernel::between(&x, &z).unwrap();
+        assert_eq!(gfk.dim(), 2);
+    }
+}

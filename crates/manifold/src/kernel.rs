@@ -1,0 +1,176 @@
+//! Kernel distances between video items (Eq. 3–4 of the paper).
+
+use crate::gfk::GeodesicFlowKernel;
+use crate::video::VideoItem;
+use crate::{ManifoldError, Result};
+use eecs_linalg::Mat;
+
+/// The `k₁ × k₂` kernel distance matrix `K(T_i, V_j)` of Eq. 3: entry
+/// `(m₁, m₂)` is the squared kernel distance between frame `m₁` of `t` and
+/// frame `m₂` of `v` under the geodesic flow metric.
+///
+/// # Errors
+///
+/// Returns [`ManifoldError::BadVideoItem`] when the items' feature
+/// dimensions differ from the kernel's ambient dimension.
+pub fn kernel_distance_matrix(
+    t: &VideoItem,
+    v: &VideoItem,
+    gfk: &GeodesicFlowKernel,
+) -> Result<Mat> {
+    if t.feature_dim() != gfk.ambient_dim() || v.feature_dim() != gfk.ambient_dim() {
+        return Err(ManifoldError::BadVideoItem(format!(
+            "feature dims {} / {} do not match kernel ambient dim {}",
+            t.feature_dim(),
+            v.feature_dim(),
+            gfk.ambient_dim()
+        )));
+    }
+    // Project all frames once: O((k₁+k₂)·αβ), then each pair is O(β).
+    let t_proj: Vec<(Vec<f64>, Vec<f64>)> =
+        t.features().iter_rows().map(|r| gfk.project(r)).collect();
+    let v_proj: Vec<(Vec<f64>, Vec<f64>)> =
+        v.features().iter_rows().map(|r| gfk.project(r)).collect();
+
+    let mut k = Mat::zeros(t.num_frames(), v.num_frames());
+    for (i, (ta, tb)) in t_proj.iter().enumerate() {
+        // ‖t‖²_G
+        let tt = gfk.inner_product_projected(ta, tb, ta, tb);
+        for (j, (va, vb)) in v_proj.iter().enumerate() {
+            let vv = gfk.inner_product_projected(va, vb, va, vb);
+            let tv = gfk.inner_product_projected(ta, tb, va, vb);
+            // Eq. 3: tᵀWt + vᵀWv − 2tᵀWv, clamped against numerical noise.
+            k[(i, j)] = (tt + vv - 2.0 * tv).max(0.0);
+        }
+    }
+    Ok(k)
+}
+
+/// The total manifold distance `M_d(T_i, V_j)` of Eq. 4: the mean of all
+/// entries of the kernel distance matrix.
+///
+/// # Errors
+///
+/// Propagates [`kernel_distance_matrix`] errors.
+pub fn mean_manifold_distance(
+    t: &VideoItem,
+    v: &VideoItem,
+    gfk: &GeodesicFlowKernel,
+) -> Result<f64> {
+    let k = kernel_distance_matrix(t, v, gfk)?;
+    let (k1, k2) = k.shape();
+    Ok(k.as_slice().iter().sum::<f64>() / (k1 * k2) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subspace::Subspace;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_item(k: usize, alpha: usize, seed: u64) -> VideoItem {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let frames: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..alpha).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+        VideoItem::from_frames("r", &frames).unwrap()
+    }
+
+    fn gfk_of(t: &VideoItem, v: &VideoItem, beta: usize) -> GeodesicFlowKernel {
+        let x = Subspace::from_video(t, beta).unwrap();
+        let z = Subspace::from_video(v, beta).unwrap();
+        GeodesicFlowKernel::between(&x, &z).unwrap()
+    }
+
+    #[test]
+    fn matrix_shape_is_k1_by_k2() {
+        let t = random_item(5, 8, 1);
+        let v = random_item(7, 8, 2);
+        let gfk = gfk_of(&t, &v, 3);
+        let k = kernel_distance_matrix(&t, &v, &gfk).unwrap();
+        assert_eq!(k.shape(), (5, 7));
+    }
+
+    #[test]
+    fn entries_nonnegative() {
+        let t = random_item(6, 10, 3);
+        let v = random_item(6, 10, 4);
+        let gfk = gfk_of(&t, &v, 3);
+        let k = kernel_distance_matrix(&t, &v, &gfk).unwrap();
+        assert!(k.as_slice().iter().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn distance_of_item_with_itself_has_zero_diagonal() {
+        let t = random_item(6, 8, 5);
+        let gfk = gfk_of(&t, &t, 3);
+        let k = kernel_distance_matrix(&t, &t, &gfk).unwrap();
+        for i in 0..6 {
+            assert!(k[(i, i)] < 1e-10, "diag {} = {}", i, k[(i, i)]);
+        }
+    }
+
+    #[test]
+    fn matrix_entry_matches_direct_sq_distance() {
+        let t = random_item(4, 6, 6);
+        let v = random_item(3, 6, 7);
+        let gfk = gfk_of(&t, &v, 2);
+        let k = kernel_distance_matrix(&t, &v, &gfk).unwrap();
+        for i in 0..4 {
+            for j in 0..3 {
+                let direct = gfk.sq_distance(t.features().row(i), v.features().row(j));
+                assert!((k[(i, j)] - direct).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_distance_is_mean_of_matrix() {
+        let t = random_item(4, 6, 8);
+        let v = random_item(5, 6, 9);
+        let gfk = gfk_of(&t, &v, 2);
+        let k = kernel_distance_matrix(&t, &v, &gfk).unwrap();
+        let manual = k.as_slice().iter().sum::<f64>() / 20.0;
+        let md = mean_manifold_distance(&t, &v, &gfk).unwrap();
+        assert!((md - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let t = random_item(4, 6, 10);
+        let v = random_item(4, 7, 11);
+        let gfk = gfk_of(&t, &t, 2);
+        assert!(kernel_distance_matrix(&t, &v, &gfk).is_err());
+    }
+
+    #[test]
+    fn similar_items_closer_than_dissimilar() {
+        // Items drawn from the same low-dimensional generative subspace
+        // should be closer than items from a different subspace.
+        // Like real HOG/BoW histograms, the two scene types have distinct
+        // non-negative feature *means*, with small within-scene variation.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let gen_a = |rng: &mut rand::rngs::StdRng| -> Vec<f64> {
+            let a = rng.random_range(-0.2..0.2);
+            let b = rng.random_range(-0.2..0.2);
+            vec![1.0 + a, 0.8 + b, 0.1, 0.1 + a, 0.0, 0.05]
+        };
+        let gen_b = |rng: &mut rand::rngs::StdRng| -> Vec<f64> {
+            let a = rng.random_range(-0.2..0.2);
+            let b = rng.random_range(-0.2..0.2);
+            vec![0.05, 0.1, 0.9 + a, 0.0, 1.1 + b, 0.7 + a]
+        };
+        let make = |frames: Vec<Vec<f64>>| VideoItem::from_frames("g", &frames).unwrap();
+        let t = make((0..12).map(|_| gen_a(&mut rng)).collect());
+        let same = make((0..12).map(|_| gen_a(&mut rng)).collect());
+        let diff = make((0..12).map(|_| gen_b(&mut rng)).collect());
+        let g_same = gfk_of(&t, &same, 2);
+        let g_diff = gfk_of(&t, &diff, 2);
+        let d_same = mean_manifold_distance(&t, &same, &g_same).unwrap();
+        let d_diff = mean_manifold_distance(&t, &diff, &g_diff).unwrap();
+        assert!(
+            d_same < d_diff,
+            "same-domain distance {d_same} should be below cross-domain {d_diff}"
+        );
+    }
+}

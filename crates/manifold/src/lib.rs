@@ -1,0 +1,91 @@
+//! Video comparison by domain adaptation on the Grassmann manifold.
+//!
+//! This crate implements Section III of the paper end-to-end:
+//!
+//! 1. A video item is `k` key-frame feature vectors in `ℝ^α` ([`VideoItem`]).
+//! 2. PCA projects each item onto a `β`-dimensional subspace whose
+//!    orthonormal basis is a point on the Grassmann manifold
+//!    `Gr(β, ℝ^α)` ([`Subspace`]).
+//! 3. The geodesic flow between two such points induces a kernel `W`
+//!    (Eq. 1–2) — [`GeodesicFlowKernel`]. We never materialize the `α × α`
+//!    kernel: the orthogonal complement's contribution is computed through
+//!    `(I − xxᵀ)z`, so the cost is `O(αβ²)` instead of `O(α²(α−β))`, which
+//!    is what makes the paper's `α = 4180` tractable.
+//! 4. The kernel distance between the items' frames (Eq. 3), its mean
+//!    (Eq. 4), and the similarity `e^{−M_d}` (Eq. 5) are in [`kernel`] and
+//!    [`similarity`].
+//! 5. [`matcher`] ranks a training library against an incoming feed and
+//!    returns the closest training item — the controller uses this to pick
+//!    the detection algorithm (Section IV-B.2).
+
+pub mod gfk;
+pub mod kernel;
+pub mod matcher;
+pub mod similarity;
+pub mod subspace;
+pub mod video;
+
+pub use gfk::GeodesicFlowKernel;
+pub use kernel::{kernel_distance_matrix, mean_manifold_distance};
+pub use matcher::{MatchResult, TrainingLibrary};
+pub use similarity::video_similarity;
+pub use subspace::Subspace;
+pub use video::VideoItem;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the manifold pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ManifoldError {
+    /// A video item had too few frames or a zero feature dimension.
+    BadVideoItem(String),
+    /// The two subspaces have mismatched shapes.
+    SubspaceMismatch {
+        /// Shape of the first basis.
+        lhs: (usize, usize),
+        /// Shape of the second basis.
+        rhs: (usize, usize),
+    },
+    /// An inner linear-algebra step failed.
+    Numeric(String),
+    /// The training library is empty.
+    EmptyLibrary,
+}
+
+impl fmt::Display for ManifoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifoldError::BadVideoItem(msg) => write!(f, "bad video item: {msg}"),
+            ManifoldError::SubspaceMismatch { lhs, rhs } => write!(
+                f,
+                "subspace shapes differ: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            ManifoldError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+            ManifoldError::EmptyLibrary => write!(f, "training library is empty"),
+        }
+    }
+}
+
+impl Error for ManifoldError {}
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, ManifoldError>;
+
+impl From<eecs_linalg::LinalgError> for ManifoldError {
+    fn from(e: eecs_linalg::LinalgError) -> Self {
+        ManifoldError::Numeric(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(ManifoldError::EmptyLibrary.to_string().contains("empty"));
+    }
+}

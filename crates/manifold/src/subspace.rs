@@ -1,0 +1,217 @@
+//! Points on the Grassmann manifold.
+//!
+//! A video item's PCA basis — `β` orthonormal `α`-vectors — is a point on
+//! `Gr(β, ℝ^α)` (Section III of the paper: `x_i`, `z_j`).
+
+use crate::video::VideoItem;
+use crate::{ManifoldError, Result};
+use eecs_linalg::qr::orthonormal_columns;
+use eecs_linalg::Mat;
+
+/// An orthonormal `α × β` basis — a point on the Grassmann manifold.
+#[derive(Debug, Clone)]
+pub struct Subspace {
+    basis: Mat,
+}
+
+impl Subspace {
+    /// Computes the **uncentered** PCA subspace of a video item (the
+    /// paper's projection of `t_i` onto `ℝ^β`).
+    ///
+    /// Uncentered PCA — the top right singular vectors of the raw `k × α`
+    /// feature matrix — matches the reference GFK implementation (Gong et
+    /// al.'s code does not center the data). This matters: the first
+    /// principal direction then tracks the feature *mean*, so two feeds
+    /// with different static appearance (different rooms, different
+    /// cameras) occupy measurably different points on the manifold even
+    /// when their frame-to-frame variation is similar.
+    ///
+    /// `beta` is clamped to the matrix rank; the basis is re-orthonormalized
+    /// via QR to guard against numerical drift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifoldError::BadVideoItem`] when `beta` is zero or the
+    /// item is all-zero.
+    pub fn from_video(item: &VideoItem, beta: usize) -> Result<Subspace> {
+        if beta == 0 {
+            return Err(ManifoldError::BadVideoItem("beta must be positive".into()));
+        }
+        let svd = eecs_linalg::svd::thin_svd(item.features());
+        let scale = svd.singular_values.first().copied().unwrap_or(0.0);
+        if scale <= 1e-12 {
+            return Err(ManifoldError::BadVideoItem(
+                "video item has no energy: all features zero".into(),
+            ));
+        }
+        let informative = svd
+            .singular_values
+            .iter()
+            .take_while(|&&s| s > 1e-9 * scale)
+            .count()
+            .min(beta);
+        let trimmed = svd.v.submatrix(0, 0, item.feature_dim(), informative);
+        let basis = orthonormal_columns(&trimmed, 1e-9)?;
+        if basis.cols() == 0 {
+            return Err(ManifoldError::BadVideoItem(
+                "video item has no usable principal directions".into(),
+            ));
+        }
+        Ok(Subspace { basis })
+    }
+
+    /// Wraps an existing basis, re-orthonormalizing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifoldError::Numeric`] when orthonormalization fails or
+    /// the basis has no usable columns.
+    pub fn from_basis(basis: Mat) -> Result<Subspace> {
+        let ortho = orthonormal_columns(&basis, 1e-12)?;
+        if ortho.cols() == 0 {
+            return Err(ManifoldError::Numeric("basis has rank zero".into()));
+        }
+        Ok(Subspace { basis: ortho })
+    }
+
+    /// Ambient dimension `α`.
+    pub fn ambient_dim(&self) -> usize {
+        self.basis.rows()
+    }
+
+    /// Subspace dimension `β`.
+    pub fn dim(&self) -> usize {
+        self.basis.cols()
+    }
+
+    /// The orthonormal `α × β` basis matrix.
+    pub fn basis(&self) -> &Mat {
+        &self.basis
+    }
+
+    /// Principal angles between two subspaces (radians, non-decreasing) —
+    /// `arccos` of the singular values of `x₁ᵀ x₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifoldError::SubspaceMismatch`] for different ambient
+    /// dimensions.
+    pub fn principal_angles(&self, other: &Subspace) -> Result<Vec<f64>> {
+        if self.ambient_dim() != other.ambient_dim() {
+            return Err(ManifoldError::SubspaceMismatch {
+                lhs: self.basis.shape(),
+                rhs: other.basis.shape(),
+            });
+        }
+        let xtz = self.basis.transpose_matmul(&other.basis)?;
+        let svd = eecs_linalg::svd::thin_svd(&xtz);
+        let mut angles: Vec<f64> = svd
+            .singular_values
+            .iter()
+            .map(|&s| s.clamp(-1.0, 1.0).acos())
+            .collect();
+        angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ok(angles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::VideoItem;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_item(k: usize, alpha: usize, seed: u64) -> VideoItem {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let frames: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..alpha).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+        VideoItem::from_frames("r", &frames).unwrap()
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let item = random_item(10, 8, 1);
+        let s = Subspace::from_video(&item, 4).unwrap();
+        let gram = s.basis().transpose_matmul(s.basis()).unwrap();
+        assert!(gram.approx_eq(&Mat::identity(4), 1e-9));
+        assert_eq!(s.ambient_dim(), 8);
+        assert_eq!(s.dim(), 4);
+    }
+
+    #[test]
+    fn beta_clamped_to_rank() {
+        let item = random_item(4, 20, 2); // rank ≤ 4 (uncentered)
+        let s = Subspace::from_video(&item, 10).unwrap();
+        assert!(s.dim() <= 4);
+    }
+
+    #[test]
+    fn identical_items_have_zero_angles() {
+        let item = random_item(10, 12, 3);
+        let a = Subspace::from_video(&item, 3).unwrap();
+        let b = Subspace::from_video(&item, 3).unwrap();
+        let angles = a.principal_angles(&b).unwrap();
+        assert!(angles.iter().all(|&t| t < 1e-6), "{angles:?}");
+    }
+
+    #[test]
+    fn orthogonal_subspaces_have_right_angles() {
+        // Span{e0,e1} vs span{e2,e3} in R^4.
+        let a = Subspace::from_basis(Mat::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+        ]))
+        .unwrap();
+        let b = Subspace::from_basis(Mat::from_rows(&[
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+        ]))
+        .unwrap();
+        let angles = a.principal_angles(&b).unwrap();
+        for t in angles {
+            assert!((t - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn angle_mismatch_error() {
+        let a = Subspace::from_video(&random_item(6, 5, 4), 2).unwrap();
+        let b = Subspace::from_video(&random_item(6, 7, 5), 2).unwrap();
+        assert!(matches!(
+            a.principal_angles(&b),
+            Err(ManifoldError::SubspaceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_video_keeps_only_the_mean_direction() {
+        // Uncentered PCA: identical frames still define a rank-1 subspace
+        // spanned by the (normalized) mean feature vector.
+        let frames = vec![vec![1.0, 2.0, 3.0]; 5];
+        let item = VideoItem::from_frames("const", &frames).unwrap();
+        let s = Subspace::from_video(&item, 3).unwrap();
+        assert_eq!(s.dim(), 1);
+        let b = s.basis().col(0);
+        let expected = [1.0, 2.0, 3.0].map(|v: f64| v / 14.0f64.sqrt());
+        let aligned: f64 = b.iter().zip(&expected).map(|(x, y)| x * y).sum();
+        assert!(aligned.abs() > 0.999, "basis {b:?}");
+    }
+
+    #[test]
+    fn zero_video_rejected() {
+        let frames = vec![vec![0.0, 0.0, 0.0]; 5];
+        let item = VideoItem::from_frames("zero", &frames).unwrap();
+        assert!(Subspace::from_video(&item, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_beta() {
+        let item = random_item(5, 4, 6);
+        assert!(Subspace::from_video(&item, 0).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Video items: key-frame feature matrices.
+
+use crate::{ManifoldError, Result};
+use eecs_linalg::Mat;
+
+/// A video item `T_i` or `V_j`: `k` key frames, each an `α`-dimensional
+/// feature vector (Table I of the paper: `t_i ∈ ℝ^{k₁×α}`).
+#[derive(Debug, Clone)]
+pub struct VideoItem {
+    name: String,
+    features: Mat,
+}
+
+impl VideoItem {
+    /// Wraps a `k × α` feature matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifoldError::BadVideoItem`] for fewer than 2 frames or a
+    /// zero feature dimension.
+    pub fn new(name: impl Into<String>, features: Mat) -> Result<VideoItem> {
+        if features.rows() < 2 {
+            return Err(ManifoldError::BadVideoItem(
+                "need at least 2 key frames".into(),
+            ));
+        }
+        if features.cols() == 0 {
+            return Err(ManifoldError::BadVideoItem("zero feature dimension".into()));
+        }
+        Ok(VideoItem {
+            name: name.into(),
+            features,
+        })
+    }
+
+    /// Builds an item from per-frame feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VideoItem::new`], plus inconsistent lengths.
+    pub fn from_frames(name: impl Into<String>, frames: &[Vec<f64>]) -> Result<VideoItem> {
+        if frames.len() < 2 {
+            return Err(ManifoldError::BadVideoItem(
+                "need at least 2 key frames".into(),
+            ));
+        }
+        let alpha = frames[0].len();
+        if frames.iter().any(|f| f.len() != alpha) {
+            return Err(ManifoldError::BadVideoItem(
+                "inconsistent frame feature lengths".into(),
+            ));
+        }
+        VideoItem::new(name, Mat::from_row_vecs(frames))
+    }
+
+    /// The item's label (e.g. `T_1.2` for dataset 1, camera 2).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of key frames `k`.
+    pub fn num_frames(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Feature dimension `α`.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The `k × α` feature matrix.
+    pub fn features(&self) -> &Mat {
+        &self.features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let item = VideoItem::from_frames(
+            "T_1.1",
+            &[
+                vec![1.0, 0.0, 0.0],
+                vec![0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0],
+            ],
+        )
+        .unwrap();
+        assert_eq!(item.name(), "T_1.1");
+        assert_eq!(item.num_frames(), 3);
+        assert_eq!(item.feature_dim(), 3);
+    }
+
+    #[test]
+    fn rejects_single_frame() {
+        assert!(VideoItem::from_frames("x", &[vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_frames() {
+        assert!(VideoItem::from_frames("x", &[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_dim() {
+        assert!(VideoItem::new("x", Mat::zeros(3, 0)).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! The simulated wireless network between camera sensors and the
+//! controller.
+//!
+//! The paper's testbed used WiFi between Android phones and a Linux server
+//! (Fig. 2 shows the message flows). EECS touches the network only through
+//! message *sizes* and the energy/time they cost, so this crate provides:
+//!
+//! * [`message`] — the protocol messages of Fig. 2 (feature uploads, energy
+//!   reports, detection metadata, algorithm assignments) with exact wire
+//!   sizes (172 B per detected object, 4 B per feature value, …),
+//! * [`transport`] — an in-memory star network that delivers messages to
+//!   the controller, charges the sender's battery through the device/link
+//!   models, and keeps delivery statistics.
+
+pub mod message;
+pub mod transport;
+
+pub use message::{Message, WireSize};
+pub use transport::{Network, TransportStats};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The addressed node does not exist.
+    UnknownNode(usize),
+    /// The sender's battery could not cover the transmission.
+    SendFailed(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            NetError::SendFailed(msg) => write!(f, "send failed: {msg}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(NetError::UnknownNode(3).to_string().contains('3'));
+    }
+}

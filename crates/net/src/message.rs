@@ -1,0 +1,102 @@
+//! Protocol messages and their wire sizes.
+//!
+//! Mirrors Fig. 2 of the paper. We never serialize actual payloads — the
+//! energy model only needs byte counts — but every variant's size follows
+//! the paper's stated formats.
+
+use eecs_energy::comm::{feature_upload_bytes, metadata_bytes};
+
+/// Fixed per-message header: sender id, type tag, sequence number,
+/// timestamp.
+pub const HEADER_BYTES: u64 = 16;
+
+/// A message on the camera ↔ controller network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Camera → controller: features of captured key frames
+    /// (Section IV-B.1). `frames × feature_dim` f32 values.
+    FeatureUpload {
+        /// Number of key frames uploaded.
+        frames: usize,
+        /// Feature dimension per frame.
+        feature_dim: usize,
+    },
+    /// Camera → controller: residual energy / budget report.
+    EnergyReport,
+    /// Camera → controller: detection metadata for one frame — 172 bytes
+    /// per detected object (Section V-A).
+    DetectionMetadata {
+        /// Number of detected objects in the frame.
+        objects: usize,
+    },
+    /// Camera → controller: a cropped JPEG of the detected region (used for
+    /// the final delivery of objects of interest).
+    CroppedImage {
+        /// Compressed byte count.
+        bytes: u64,
+    },
+    /// Controller → camera: which algorithm to run until recalibration.
+    AlgorithmAssignment,
+    /// Controller → camera: activate or deactivate the camera.
+    ActivationCommand,
+}
+
+/// Wire-size accounting for anything sendable.
+pub trait WireSize {
+    /// Total bytes on the wire, headers included.
+    fn wire_bytes(&self) -> u64;
+}
+
+impl WireSize for Message {
+    fn wire_bytes(&self) -> u64 {
+        HEADER_BYTES
+            + match self {
+                Message::FeatureUpload {
+                    frames,
+                    feature_dim,
+                } => *frames as u64 * feature_upload_bytes(*feature_dim),
+                Message::EnergyReport => 8,
+                Message::DetectionMetadata { objects } => metadata_bytes(*objects),
+                Message::CroppedImage { bytes } => *bytes,
+                Message::AlgorithmAssignment => 4,
+                Message::ActivationCommand => 1,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_matches_paper_sizes() {
+        let m = Message::DetectionMetadata { objects: 2 };
+        assert_eq!(m.wire_bytes(), HEADER_BYTES + 344);
+        let none = Message::DetectionMetadata { objects: 0 };
+        assert_eq!(none.wire_bytes(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn feature_upload_scales_with_frames_and_dim() {
+        let m = Message::FeatureUpload {
+            frames: 100,
+            feature_dim: 4180,
+        };
+        // ~16 KB per frame → ~1.6 MB for 100 frames.
+        let bytes = m.wire_bytes();
+        assert!(bytes > 1_600_000 && bytes < 1_700_000, "{bytes}");
+    }
+
+    #[test]
+    fn control_messages_are_tiny() {
+        assert!(Message::AlgorithmAssignment.wire_bytes() < 32);
+        assert!(Message::ActivationCommand.wire_bytes() < 32);
+        assert!(Message::EnergyReport.wire_bytes() < 32);
+    }
+
+    #[test]
+    fn cropped_image_passthrough() {
+        let m = Message::CroppedImage { bytes: 5000 };
+        assert_eq!(m.wire_bytes(), HEADER_BYTES + 5000);
+    }
+}

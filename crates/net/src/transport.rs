@@ -1,0 +1,245 @@
+//! The in-memory star network.
+//!
+//! Cameras are leaves, the controller is the hub. Sending charges the
+//! sender's battery through its link and device models and records
+//! delivery statistics; delivered messages land in the controller's inbox
+//! in send order.
+
+use crate::message::{Message, WireSize};
+use crate::{NetError, Result};
+use eecs_energy::budget::BatteryState;
+use eecs_energy::comm::LinkModel;
+use eecs_energy::meter::{EnergyCategory, PowerMeter};
+use eecs_energy::model::DeviceEnergyModel;
+
+/// Per-node delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransportStats {
+    /// Messages sent.
+    pub messages: u64,
+    /// Bytes on the wire.
+    pub bytes: u64,
+    /// Radio energy spent (J).
+    pub energy_j: f64,
+    /// Cumulative air time (s).
+    pub airtime_s: f64,
+}
+
+/// One camera's attachment point.
+#[derive(Debug, Clone)]
+struct Node {
+    link: LinkModel,
+    device: DeviceEnergyModel,
+    stats: TransportStats,
+}
+
+/// The star network: `n` camera nodes and a controller inbox.
+#[derive(Debug, Clone)]
+pub struct Network {
+    nodes: Vec<Node>,
+    inbox: Vec<(usize, Message)>,
+}
+
+impl Network {
+    /// Creates a network of `cameras` identical nodes.
+    pub fn new(cameras: usize, link: LinkModel, device: DeviceEnergyModel) -> Network {
+        Network {
+            nodes: vec![
+                Node {
+                    link,
+                    device,
+                    stats: TransportStats::default(),
+                };
+                cameras
+            ],
+            inbox: Vec::new(),
+        }
+    }
+
+    /// Number of camera nodes.
+    pub fn cameras(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sends `message` from camera `from`, draining `battery` for the radio
+    /// energy.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::UnknownNode`] for a bad index,
+    /// * [`NetError::SendFailed`] when the battery cannot cover the
+    ///   transmission (nothing is sent or charged).
+    pub fn send(
+        &mut self,
+        from: usize,
+        message: Message,
+        battery: &mut BatteryState,
+        meter: &mut PowerMeter,
+    ) -> Result<()> {
+        let node = self
+            .nodes
+            .get_mut(from)
+            .ok_or(NetError::UnknownNode(from))?;
+        let bytes = message.wire_bytes();
+        let energy = node.link.transmit_energy(bytes, &node.device);
+        battery
+            .drain(energy)
+            .map_err(|e| NetError::SendFailed(e.to_string()))?;
+        meter.record(EnergyCategory::Communication, energy);
+        node.stats.messages += 1;
+        node.stats.bytes += bytes;
+        node.stats.energy_j += energy;
+        node.stats.airtime_s += node.link.transfer_time(bytes);
+        self.inbox.push((from, message));
+        Ok(())
+    }
+
+    /// Drains the controller's inbox, returning `(sender, message)` pairs
+    /// in delivery order.
+    pub fn drain_inbox(&mut self) -> Vec<(usize, Message)> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    /// Delivery statistics for camera `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for a bad index.
+    pub fn stats(&self, id: usize) -> Result<TransportStats> {
+        self.nodes
+            .get(id)
+            .map(|n| n.stats)
+            .ok_or(NetError::UnknownNode(id))
+    }
+
+    /// Aggregate statistics across all nodes.
+    pub fn total_stats(&self) -> TransportStats {
+        let mut total = TransportStats::default();
+        for n in &self.nodes {
+            total.messages += n.stats.messages;
+            total.bytes += n.stats.bytes;
+            total.energy_j += n.stats.energy_j;
+            total.airtime_s += n.stats.airtime_s;
+        }
+        total
+    }
+
+    /// Replaces camera `id`'s link (e.g. degraded signal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for a bad index.
+    pub fn set_link(&mut self, id: usize, link: LinkModel) -> Result<()> {
+        self.nodes
+            .get_mut(id)
+            .map(|n| n.link = link)
+            .ok_or(NetError::UnknownNode(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Network, BatteryState, PowerMeter) {
+        (
+            Network::new(4, LinkModel::default(), DeviceEnergyModel::default()),
+            BatteryState::new(100.0).unwrap(),
+            PowerMeter::new(),
+        )
+    }
+
+    #[test]
+    fn send_charges_battery_and_delivers() {
+        let (mut net, mut bat, mut meter) = setup();
+        net.send(0, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(bat.used() > 0.0);
+        assert!((meter.by_category(EnergyCategory::Communication) - bat.used()).abs() < 1e-12);
+        let inbox = net.drain_inbox();
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].0, 0);
+        assert!(net.drain_inbox().is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate_per_node() {
+        let (mut net, mut bat, mut meter) = setup();
+        net.send(
+            1,
+            Message::DetectionMetadata { objects: 2 },
+            &mut bat,
+            &mut meter,
+        )
+        .unwrap();
+        net.send(1, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        let s = net.stats(1).unwrap();
+        assert_eq!(s.messages, 2);
+        assert!(s.bytes > 172);
+        assert!(s.energy_j > 0.0);
+        assert!(s.airtime_s > 0.0);
+        assert_eq!(net.stats(0).unwrap().messages, 0);
+    }
+
+    #[test]
+    fn total_stats_sum_nodes() {
+        let (mut net, mut bat, mut meter) = setup();
+        for cam in 0..4 {
+            net.send(cam, Message::EnergyReport, &mut bat, &mut meter)
+                .unwrap();
+        }
+        assert_eq!(net.total_stats().messages, 4);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let (mut net, mut bat, mut meter) = setup();
+        assert!(matches!(
+            net.send(9, Message::EnergyReport, &mut bat, &mut meter),
+            Err(NetError::UnknownNode(9))
+        ));
+        assert!(net.stats(9).is_err());
+    }
+
+    #[test]
+    fn dead_battery_blocks_send_atomically() {
+        let mut net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default());
+        let mut bat = BatteryState::new(1e-9).unwrap();
+        let mut meter = PowerMeter::new();
+        let big = Message::FeatureUpload {
+            frames: 100,
+            feature_dim: 4180,
+        };
+        assert!(matches!(
+            net.send(0, big, &mut bat, &mut meter),
+            Err(NetError::SendFailed(_))
+        ));
+        assert!(net.drain_inbox().is_empty());
+        assert_eq!(net.stats(0).unwrap().messages, 0);
+        assert_eq!(meter.total(), 0.0);
+    }
+
+    #[test]
+    fn degraded_link_costs_more() {
+        let (mut net, mut bat, mut meter) = setup();
+        net.send(
+            0,
+            Message::DetectionMetadata { objects: 5 },
+            &mut bat,
+            &mut meter,
+        )
+        .unwrap();
+        let good = net.stats(0).unwrap().energy_j;
+        net.set_link(0, LinkModel::new(20e6, 0.4).unwrap()).unwrap();
+        net.send(
+            0,
+            Message::DetectionMetadata { objects: 5 },
+            &mut bat,
+            &mut meter,
+        )
+        .unwrap();
+        let total = net.stats(0).unwrap().energy_j;
+        assert!(total - good > good, "retransmissions should dominate");
+    }
+}

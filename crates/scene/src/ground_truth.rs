@@ -1,0 +1,240 @@
+//! Exact ground truth.
+//!
+//! The real datasets annotate 3-D person positions every `gt_interval`
+//! frames and provide ground-plane homographies to map them into each view
+//! (Section VI of the paper). The simulator knows the truth exactly: this
+//! module produces per-camera bounding boxes, visibility (occlusion)
+//! fractions, and the underlying ground positions.
+
+use crate::world::World;
+use eecs_geometry::camera::Camera;
+use eecs_geometry::point::Point2;
+
+/// A ground-truth annotation for one person in one camera view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GtBox {
+    /// Stable person id (consistent across cameras — the re-identification
+    /// oracle used for scoring).
+    pub human_id: usize,
+    /// Left edge in pixels (clipped to the image).
+    pub x0: f64,
+    /// Top edge in pixels.
+    pub y0: f64,
+    /// Right edge in pixels.
+    pub x1: f64,
+    /// Bottom edge in pixels.
+    pub y1: f64,
+    /// Fraction of the box NOT covered by nearer people/furniture, in
+    /// `[0, 1]`.
+    pub visibility: f64,
+    /// True ground position in world meters.
+    pub ground: Point2,
+}
+
+impl GtBox {
+    /// Box width in pixels.
+    pub fn width(&self) -> f64 {
+        (self.x1 - self.x0).max(0.0)
+    }
+
+    /// Box height in pixels.
+    pub fn height(&self) -> f64 {
+        (self.y1 - self.y0).max(0.0)
+    }
+
+    /// Box area in pixels².
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Bottom-center point — the paper projects this through the ground
+    /// homography for re-identification.
+    pub fn bottom_center(&self) -> Point2 {
+        Point2::new((self.x0 + self.x1) / 2.0, self.y1)
+    }
+}
+
+/// Computes the ground truth for `camera` at the world's current frame.
+///
+/// People whose projected box misses the image entirely, or whose visible
+/// on-screen area is negligible, are omitted (they are not "in the scene"
+/// for this view). Occlusion is estimated from bounding-box overlap with
+/// strictly nearer entities.
+pub fn ground_truth(world: &World, camera: &Camera) -> Vec<GtBox> {
+    let w = camera.width as f64;
+    let h = camera.height as f64;
+
+    // Collect raw (unclipped) boxes of everything that occludes.
+    struct Raw {
+        dist: f64,
+        bbox: (f64, f64, f64, f64),
+    }
+    let mut occluders: Vec<Raw> = Vec::new();
+    for hum in world.humans() {
+        if let Ok(b) = camera.person_bbox(&hum.position, hum.height, hum.width) {
+            occluders.push(Raw {
+                dist: cam_dist(camera, &hum.position),
+                bbox: b,
+            });
+        }
+    }
+    for cl in world.clutter() {
+        if let Ok(b) = camera.person_bbox(&cl.position, cl.height, cl.width) {
+            occluders.push(Raw {
+                dist: cam_dist(camera, &cl.position),
+                bbox: b,
+            });
+        }
+    }
+
+    let mut out = Vec::new();
+    for hum in world.humans() {
+        let Ok((bx0, by0, bx1, by1)) = camera.person_bbox(&hum.position, hum.height, hum.width)
+        else {
+            continue;
+        };
+        // Clip to the image.
+        let x0 = bx0.max(0.0);
+        let y0 = by0.max(0.0);
+        let x1 = bx1.min(w);
+        let y1 = by1.min(h);
+        if x1 - x0 < 2.0 || y1 - y0 < 4.0 {
+            continue; // essentially off screen
+        }
+        let my_dist = cam_dist(camera, &hum.position);
+        let my_area = (bx1 - bx0) * (by1 - by0);
+        // Occlusion: union of overlaps approximated by capped sum.
+        let mut covered = 0.0;
+        for occ in &occluders {
+            if occ.dist >= my_dist - 1e-9 {
+                continue; // not strictly nearer (includes self)
+            }
+            covered += overlap_area((bx0, by0, bx1, by1), occ.bbox);
+        }
+        let visibility = (1.0 - covered / my_area).clamp(0.0, 1.0);
+        // Off-screen part also reduces effective visibility.
+        let on_screen = ((x1 - x0) * (y1 - y0)) / my_area;
+        out.push(GtBox {
+            human_id: hum.id,
+            x0,
+            y0,
+            x1,
+            y1,
+            visibility: visibility * on_screen.clamp(0.0, 1.0),
+            ground: hum.position,
+        });
+    }
+    out
+}
+
+fn cam_dist(camera: &Camera, ground: &Point2) -> f64 {
+    ((camera.position.x - ground.x).powi(2) + (camera.position.y - ground.y).powi(2)).sqrt()
+}
+
+fn overlap_area(a: (f64, f64, f64, f64), b: (f64, f64, f64, f64)) -> f64 {
+    let ix = (a.2.min(b.2) - a.0.max(b.0)).max(0.0);
+    let iy = (a.3.min(b.3) - a.1.max(b.1)).max(0.0);
+    ix * iy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetId, DatasetProfile};
+    use crate::rig::camera_rig;
+
+    #[test]
+    fn gt_is_nonempty_and_in_bounds() {
+        let p = DatasetProfile::miniature(DatasetId::Lab);
+        let rig = camera_rig(&p);
+        let world = World::new(p.clone());
+        let gt = ground_truth(&world, &rig[0]);
+        assert!(!gt.is_empty(), "camera 0 should see someone");
+        for g in &gt {
+            assert!(g.x0 >= 0.0 && g.y0 >= 0.0);
+            assert!(g.x1 <= p.width as f64 && g.y1 <= p.height as f64);
+            assert!(g.x1 > g.x0 && g.y1 > g.y0);
+            assert!((0.0..=1.0).contains(&g.visibility));
+        }
+    }
+
+    #[test]
+    fn ids_unique_within_view() {
+        let p = DatasetProfile::miniature(DatasetId::Lab);
+        let rig = camera_rig(&p);
+        let gt = ground_truth(&World::new(p), &rig[1]);
+        let mut ids: Vec<usize> = gt.iter().map(|g| g.human_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), gt.len());
+    }
+
+    #[test]
+    fn same_person_shares_ground_position_across_cameras() {
+        let p = DatasetProfile::miniature(DatasetId::Lab);
+        let rig = camera_rig(&p);
+        let world = World::new(p);
+        let gt0 = ground_truth(&world, &rig[0]);
+        let gt1 = ground_truth(&world, &rig[1]);
+        for a in &gt0 {
+            if let Some(b) = gt1.iter().find(|g| g.human_id == a.human_id) {
+                assert_eq!(a.ground, b.ground);
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_center_is_inside_box() {
+        let p = DatasetProfile::miniature(DatasetId::Terrace);
+        let rig = camera_rig(&p);
+        let gt = ground_truth(&World::new(p), &rig[0]);
+        for g in &gt {
+            let bc = g.bottom_center();
+            assert!(bc.x >= g.x0 && bc.x <= g.x1);
+            assert_eq!(bc.y, g.y1);
+        }
+    }
+
+    #[test]
+    fn occlusion_reduces_visibility() {
+        // Two people on the same ray from camera 0: the farther one is
+        // occluded. Construct the scenario by scanning frames for any
+        // overlap in camera 0.
+        let p = DatasetProfile::miniature(DatasetId::Lab);
+        let rig = camera_rig(&p);
+        let mut world = World::new(p);
+        let mut found_occlusion = false;
+        for _ in 0..300 {
+            world.step();
+            let gt = ground_truth(&world, &rig[0]);
+            if gt.iter().any(|g| g.visibility < 0.8) {
+                found_occlusion = true;
+                break;
+            }
+        }
+        assert!(
+            found_occlusion,
+            "300 frames with 6 people and no occlusion is implausible"
+        );
+    }
+
+    #[test]
+    fn gt_boxes_grow_when_closer() {
+        let p = DatasetProfile::miniature(DatasetId::Lab);
+        let rig = camera_rig(&p);
+        let world = World::new(p);
+        let gt = ground_truth(&world, &rig[0]);
+        // Heights should correlate inversely with distance to the camera.
+        let mut pairs: Vec<(f64, f64)> = gt
+            .iter()
+            .map(|g| (cam_dist(&rig[0], &g.ground), g.height()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        if pairs.len() >= 2 {
+            assert!(
+                pairs.first().unwrap().1 >= pairs.last().unwrap().1 * 0.8,
+                "nearest person unexpectedly small: {pairs:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Color features of detected regions.
+//!
+//! Section IV-C / V-A of the paper: each detected bounding box is summarized
+//! by a "Mean Color" feature (40-dimensional after PCA in the paper's
+//! metadata format) used, together with homography projection, to re-identify
+//! the same person across cameras. We compute a horizontal-stripe mean-color
+//! descriptor (the standard person re-id layout: people differ mostly by
+//! clothing color bands), plus a coarse color histogram used in the video
+//! comparison feature.
+
+use crate::image::RgbImage;
+use crate::{Result, VisionError};
+
+/// Dimension of [`mean_color_feature`]: [`STRIPES`] stripes × 3 channels +
+/// 4 global moments = 40, matching the paper's 40-d color feature.
+pub const MEAN_COLOR_DIM: usize = STRIPES * 3 + 4;
+
+/// Number of horizontal stripes in the mean-color descriptor.
+pub const STRIPES: usize = 12;
+
+/// Computes the 40-d mean-color feature of the region
+/// `[x0, x0+w) × [y0, y0+h)` of `img`.
+///
+/// Layout: 12 horizontal stripes, each contributing its mean (R, G, B),
+/// followed by 4 global statistics (overall luminance mean/std and the two
+/// chromaticity means).
+///
+/// # Errors
+///
+/// Returns [`VisionError::InvalidArgument`] if the region is empty or
+/// exceeds the image bounds.
+pub fn mean_color_feature(
+    img: &RgbImage,
+    x0: usize,
+    y0: usize,
+    w: usize,
+    h: usize,
+) -> Result<Vec<f64>> {
+    if w == 0 || h == 0 {
+        return Err(VisionError::InvalidArgument("empty region".into()));
+    }
+    if x0 + w > img.width() || y0 + h > img.height() {
+        return Err(VisionError::InvalidArgument(format!(
+            "region {x0},{y0} {w}x{h} exceeds image {}x{}",
+            img.width(),
+            img.height()
+        )));
+    }
+    let mut out = vec![0.0f64; MEAN_COLOR_DIM];
+    let mut counts = [0usize; STRIPES];
+    let mut lum_sum = 0.0f64;
+    let mut lum_sq = 0.0f64;
+    let mut chroma_r = 0.0f64;
+    let mut chroma_b = 0.0f64;
+    for y in y0..y0 + h {
+        let stripe = ((y - y0) * STRIPES / h).min(STRIPES - 1);
+        for x in x0..x0 + w {
+            let [r, g, b] = img.get(x, y);
+            let (r, g, b) = (r as f64, g as f64, b as f64);
+            out[stripe * 3] += r;
+            out[stripe * 3 + 1] += g;
+            out[stripe * 3 + 2] += b;
+            counts[stripe] += 1;
+            let lum = 0.299 * r + 0.587 * g + 0.114 * b;
+            lum_sum += lum;
+            lum_sq += lum * lum;
+            let total = (r + g + b).max(1e-9);
+            chroma_r += r / total;
+            chroma_b += b / total;
+        }
+    }
+    for s in 0..STRIPES {
+        if counts[s] > 0 {
+            for c in 0..3 {
+                out[s * 3 + c] /= counts[s] as f64;
+            }
+        }
+    }
+    let n = (w * h) as f64;
+    let lum_mean = lum_sum / n;
+    let lum_var = (lum_sq / n - lum_mean * lum_mean).max(0.0);
+    out[STRIPES * 3] = lum_mean;
+    out[STRIPES * 3 + 1] = lum_var.sqrt();
+    out[STRIPES * 3 + 2] = chroma_r / n;
+    out[STRIPES * 3 + 3] = chroma_b / n;
+    Ok(out)
+}
+
+/// A coarse `bins³`-bin RGB joint histogram of the whole image,
+/// L1-normalized — the color component of the compact video-comparison
+/// feature.
+///
+/// # Errors
+///
+/// Returns [`VisionError::InvalidArgument`] for `bins == 0` or an empty
+/// image.
+pub fn color_histogram(img: &RgbImage, bins: usize) -> Result<Vec<f64>> {
+    if bins == 0 {
+        return Err(VisionError::InvalidArgument("bins must be positive".into()));
+    }
+    if img.width() == 0 || img.height() == 0 {
+        return Err(VisionError::InvalidArgument("empty image".into()));
+    }
+    let mut hist = vec![0.0f64; bins * bins * bins];
+    let quant = |v: f32| (((v.clamp(0.0, 1.0)) * bins as f32) as usize).min(bins - 1);
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let [r, g, b] = img.get(x, y);
+            hist[(quant(r) * bins + quant(g)) * bins + quant(b)] += 1.0;
+        }
+    }
+    let total = (img.width() * img.height()) as f64;
+    for h in &mut hist {
+        *h /= total;
+    }
+    Ok(hist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_is_40() {
+        assert_eq!(MEAN_COLOR_DIM, 40);
+    }
+
+    #[test]
+    fn uniform_region_feature() {
+        let img = RgbImage::filled(20, 36, [0.2, 0.4, 0.6]);
+        let f = mean_color_feature(&img, 0, 0, 20, 36).unwrap();
+        assert_eq!(f.len(), MEAN_COLOR_DIM);
+        for s in 0..STRIPES {
+            assert!((f[s * 3] - 0.2).abs() < 1e-6);
+            assert!((f[s * 3 + 1] - 0.4).abs() < 1e-6);
+            assert!((f[s * 3 + 2] - 0.6).abs() < 1e-6);
+        }
+        // Uniform color → zero luminance std.
+        assert!(f[STRIPES * 3 + 1] < 1e-6);
+    }
+
+    #[test]
+    fn stripes_capture_vertical_structure() {
+        // Top half red, bottom half blue.
+        let mut img = RgbImage::new(10, 24);
+        for y in 0..24 {
+            for x in 0..10 {
+                img.set(
+                    x,
+                    y,
+                    if y < 12 {
+                        [1.0, 0.0, 0.0]
+                    } else {
+                        [0.0, 0.0, 1.0]
+                    },
+                );
+            }
+        }
+        let f = mean_color_feature(&img, 0, 0, 10, 24).unwrap();
+        assert!((f[0] - 1.0).abs() < 1e-6); // first stripe red
+        assert!((f[(STRIPES - 1) * 3 + 2] - 1.0).abs() < 1e-6); // last stripe blue
+    }
+
+    #[test]
+    fn same_person_different_region_matches() {
+        // Same color pattern at two positions → near-identical features.
+        let mut img = RgbImage::filled(40, 40, [0.1, 0.1, 0.1]);
+        for (x0, y0) in [(2usize, 4usize), (24, 4)] {
+            for y in 0..24 {
+                for x in 0..8 {
+                    let c = if y < 12 {
+                        [0.9, 0.1, 0.1]
+                    } else {
+                        [0.1, 0.1, 0.9]
+                    };
+                    img.set(x0 + x, y0 + y, c);
+                }
+            }
+        }
+        let f1 = mean_color_feature(&img, 2, 4, 8, 24).unwrap();
+        let f2 = mean_color_feature(&img, 24, 4, 8, 24).unwrap();
+        let d: f64 = f1.iter().zip(&f2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(d < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_regions() {
+        let img = RgbImage::new(8, 8);
+        assert!(mean_color_feature(&img, 0, 0, 0, 4).is_err());
+        assert!(mean_color_feature(&img, 4, 4, 8, 8).is_err());
+    }
+
+    #[test]
+    fn histogram_normalized_and_peaked() {
+        let img = RgbImage::filled(10, 10, [0.9, 0.1, 0.1]);
+        let h = color_histogram(&img, 4).unwrap();
+        assert_eq!(h.len(), 64);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // All mass in one bin.
+        assert!((h.iter().cloned().fold(0.0, f64::max) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_args() {
+        assert!(color_histogram(&RgbImage::new(4, 4), 0).is_err());
+        assert!(color_histogram(&RgbImage::new(0, 0), 4).is_err());
+    }
+
+    #[test]
+    fn distinct_colors_land_in_distinct_bins() {
+        let red = RgbImage::filled(4, 4, [1.0, 0.0, 0.0]);
+        let blue = RgbImage::filled(4, 4, [0.0, 0.0, 1.0]);
+        let hr = color_histogram(&red, 2).unwrap();
+        let hb = color_histogram(&blue, 2).unwrap();
+        let overlap: f64 = hr.iter().zip(&hb).map(|(a, b)| a.min(*b)).sum();
+        assert_eq!(overlap, 0.0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Histograms of oriented gradients (Dalal–Triggs).
+//!
+//! Section V-A of the paper uses a 3780-dimension HOG descriptor per
+//! detection window (64×128 window, 8×8 cells, 2×2-cell blocks, 9 bins).
+//! This module reproduces that layout and additionally exposes a pooled
+//! variant used as part of the per-frame video-comparison feature.
+
+use crate::gradient::GradientField;
+use crate::image::GrayImage;
+use crate::{Result, VisionError};
+
+/// HOG layout parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HogConfig {
+    /// Cell side in pixels.
+    pub cell_size: usize,
+    /// Block side in cells (blocks overlap with stride of one cell).
+    pub block_cells: usize,
+    /// Number of unsigned orientation bins.
+    pub bins: usize,
+}
+
+impl Default for HogConfig {
+    /// The Dalal–Triggs parameters used in the paper.
+    fn default() -> Self {
+        HogConfig {
+            cell_size: 8,
+            block_cells: 2,
+            bins: 9,
+        }
+    }
+}
+
+impl HogConfig {
+    /// Descriptor length for a `w × h` pixel window.
+    ///
+    /// Returns `None` when the window does not contain at least one block.
+    pub fn descriptor_len(&self, w: usize, h: usize) -> Option<usize> {
+        let cx = w / self.cell_size;
+        let cy = h / self.cell_size;
+        if cx < self.block_cells || cy < self.block_cells {
+            return None;
+        }
+        let bx = cx - self.block_cells + 1;
+        let by = cy - self.block_cells + 1;
+        Some(bx * by * self.block_cells * self.block_cells * self.bins)
+    }
+}
+
+/// Per-cell orientation histograms over a full image, from which window
+/// descriptors are assembled in O(window size in cells).
+///
+/// Computing the grid once per frame and slicing it per window is what makes
+/// sliding-window HOG detection tractable; the paper's OpenCV detector does
+/// the same internally.
+#[derive(Debug, Clone)]
+pub struct HogCellGrid {
+    cells_x: usize,
+    cells_y: usize,
+    config: HogConfig,
+    /// `cells_x * cells_y * bins` histogram values, row-major by cell.
+    hist: Vec<f32>,
+}
+
+impl HogCellGrid {
+    /// Computes cell histograms for the whole image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VisionError::TooSmall`] if the image holds no complete
+    /// cell, or [`VisionError::InvalidArgument`] for degenerate configs.
+    pub fn compute(img: &GrayImage, config: HogConfig) -> Result<HogCellGrid> {
+        if config.cell_size == 0 || config.bins == 0 || config.block_cells == 0 {
+            return Err(VisionError::InvalidArgument(
+                "cell_size, bins and block_cells must be positive".into(),
+            ));
+        }
+        let cells_x = img.width() / config.cell_size;
+        let cells_y = img.height() / config.cell_size;
+        if cells_x == 0 || cells_y == 0 {
+            return Err(VisionError::TooSmall(format!(
+                "{}x{} image with cell size {}",
+                img.width(),
+                img.height(),
+                config.cell_size
+            )));
+        }
+        let grad = GradientField::compute(img);
+        let mut hist = vec![0.0f32; cells_x * cells_y * config.bins];
+        for cy in 0..cells_y {
+            for cx in 0..cells_x {
+                let base = (cy * cells_x + cx) * config.bins;
+                for dy in 0..config.cell_size {
+                    for dx in 0..config.cell_size {
+                        let x = cx * config.cell_size + dx;
+                        let y = cy * config.cell_size + dy;
+                        let mag = grad.magnitude.get(x, y);
+                        if mag == 0.0 {
+                            continue;
+                        }
+                        let bin = grad.orientation_bin(x, y, config.bins);
+                        hist[base + bin] += mag;
+                    }
+                }
+            }
+        }
+        Ok(HogCellGrid {
+            cells_x,
+            cells_y,
+            config,
+            hist,
+        })
+    }
+
+    /// Grid width in cells.
+    pub fn cells_x(&self) -> usize {
+        self.cells_x
+    }
+
+    /// Grid height in cells.
+    pub fn cells_y(&self) -> usize {
+        self.cells_y
+    }
+
+    /// The configuration used to build the grid.
+    pub fn config(&self) -> HogConfig {
+        self.config
+    }
+
+    /// Histogram slice of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell coordinates are out of range.
+    pub fn cell(&self, cx: usize, cy: usize) -> &[f32] {
+        assert!(cx < self.cells_x && cy < self.cells_y, "cell out of range");
+        let base = (cy * self.cells_x + cx) * self.config.bins;
+        &self.hist[base..base + self.config.bins]
+    }
+
+    /// Assembles the block-normalized descriptor of the window whose
+    /// top-left cell is `(cx0, cy0)` spanning `cells_w × cells_h` cells.
+    ///
+    /// Blocks of `block_cells × block_cells` cells slide with single-cell
+    /// stride; each block is L2-normalized (Dalal–Triggs "L2-norm" scheme).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VisionError::InvalidArgument`] if the window exceeds the
+    /// grid or is smaller than one block.
+    pub fn window_descriptor(
+        &self,
+        cx0: usize,
+        cy0: usize,
+        cells_w: usize,
+        cells_h: usize,
+    ) -> Result<Vec<f64>> {
+        let b = self.config.block_cells;
+        if cells_w < b || cells_h < b {
+            return Err(VisionError::InvalidArgument(
+                "window smaller than one block".into(),
+            ));
+        }
+        if cx0 + cells_w > self.cells_x || cy0 + cells_h > self.cells_y {
+            return Err(VisionError::InvalidArgument(
+                "window exceeds the cell grid".into(),
+            ));
+        }
+        let bins = self.config.bins;
+        let blocks_x = cells_w - b + 1;
+        let blocks_y = cells_h - b + 1;
+        let mut out = Vec::with_capacity(blocks_x * blocks_y * b * b * bins);
+        for by in 0..blocks_y {
+            for bx in 0..blocks_x {
+                let start = out.len();
+                for cy in 0..b {
+                    for cx in 0..b {
+                        let cell = self.cell(cx0 + bx + cx, cy0 + by + cy);
+                        out.extend(cell.iter().map(|&v| v as f64));
+                    }
+                }
+                // L2 block normalization.
+                let norm: f64 = out[start..].iter().map(|v| v * v).sum::<f64>().sqrt();
+                if norm > 1e-12 {
+                    for v in &mut out[start..] {
+                        *v /= norm;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience: the full HOG descriptor of a standalone window image (the
+/// paper's per-window 3780-d feature when the window is 64×128 with default
+/// parameters).
+#[derive(Debug, Clone)]
+pub struct HogDescriptor;
+
+impl HogDescriptor {
+    /// Computes the descriptor of `img` treated as a single window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid/window errors for undersized images.
+    pub fn compute(img: &GrayImage, config: HogConfig) -> Result<Vec<f64>> {
+        let grid = HogCellGrid::compute(img, config)?;
+        grid.window_descriptor(0, 0, grid.cells_x(), grid.cells_y())
+    }
+}
+
+/// A pooled, low-dimensional orientation descriptor: the image is divided
+/// into a `grid_x × grid_y` grid and each tile contributes a
+/// magnitude-weighted `bins`-bin orientation histogram, L1-normalized over
+/// the whole vector.
+///
+/// This is the compact stand-in for the paper's 3780-d HOG component of the
+/// 4180-d video-comparison feature (see DESIGN.md, dimensionality note).
+///
+/// # Errors
+///
+/// Returns [`VisionError::InvalidArgument`] for zero grid dimensions/bins or
+/// [`VisionError::TooSmall`] when the image is smaller than the grid.
+pub fn pooled_hog(img: &GrayImage, grid_x: usize, grid_y: usize, bins: usize) -> Result<Vec<f64>> {
+    if grid_x == 0 || grid_y == 0 || bins == 0 {
+        return Err(VisionError::InvalidArgument(
+            "grid dimensions and bins must be positive".into(),
+        ));
+    }
+    if img.width() < grid_x || img.height() < grid_y {
+        return Err(VisionError::TooSmall(format!(
+            "{}x{} image for {}x{} grid",
+            img.width(),
+            img.height(),
+            grid_x,
+            grid_y
+        )));
+    }
+    let grad = GradientField::compute(img);
+    let mut out = vec![0.0f64; grid_x * grid_y * bins];
+    let w = img.width();
+    let h = img.height();
+    for y in 0..h {
+        let ty = (y * grid_y / h).min(grid_y - 1);
+        for x in 0..w {
+            let tx = (x * grid_x / w).min(grid_x - 1);
+            let mag = grad.magnitude.get(x, y) as f64;
+            if mag == 0.0 {
+                continue;
+            }
+            let bin = grad.orientation_bin(x, y, bins);
+            out[(ty * grid_x + tx) * bins + bin] += mag;
+        }
+    }
+    let total: f64 = out.iter().sum();
+    if total > 1e-12 {
+        for v in &mut out {
+            *v /= total;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions_3780() {
+        // 64×128 window, 8-px cells, 2×2 blocks, 9 bins → 7·15·4·9 = 3780.
+        let cfg = HogConfig::default();
+        assert_eq!(cfg.descriptor_len(64, 128), Some(3780));
+    }
+
+    #[test]
+    fn descriptor_len_none_for_tiny_window() {
+        let cfg = HogConfig::default();
+        assert_eq!(cfg.descriptor_len(8, 8), None);
+    }
+
+    #[test]
+    fn full_descriptor_matches_config_len() {
+        let img = GrayImage::from_fn(32, 64, |x, y| ((x ^ y) % 7) as f32 / 7.0);
+        let cfg = HogConfig::default();
+        let d = HogDescriptor::compute(&img, cfg).unwrap();
+        assert_eq!(d.len(), cfg.descriptor_len(32, 64).unwrap());
+    }
+
+    #[test]
+    fn blocks_are_l2_normalized() {
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x * y) % 5) as f32 / 5.0);
+        let cfg = HogConfig::default();
+        let d = HogDescriptor::compute(&img, cfg).unwrap();
+        let block_len = cfg.block_cells * cfg.block_cells * cfg.bins;
+        for chunk in d.chunks(block_len) {
+            let norm: f64 = chunk.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(norm < 1.0 + 1e-9, "block norm {norm}");
+        }
+    }
+
+    #[test]
+    fn flat_image_descriptor_is_zero() {
+        let img = GrayImage::filled(16, 16, 0.5);
+        let d = HogDescriptor::compute(&img, HogConfig::default()).unwrap();
+        assert!(d.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn window_descriptor_equals_cropped_full_descriptor() {
+        // Slicing the grid must give the same histograms as cropping the
+        // image (up to boundary gradient effects, so compare an interior
+        // window of an image with cell-aligned content).
+        let img = GrayImage::from_fn(48, 48, |x, y| ((x / 8 + y / 8) % 2) as f32);
+        let cfg = HogConfig::default();
+        let grid = HogCellGrid::compute(&img, cfg).unwrap();
+        let d = grid.window_descriptor(1, 1, 4, 4).unwrap();
+        assert_eq!(d.len(), 3 * 3 * 4 * 9);
+    }
+
+    #[test]
+    fn vertical_edges_dominate_correct_bin() {
+        // Strong vertical stripes → horizontal gradients → θ≈0 → bin 0.
+        let img = GrayImage::from_fn(32, 32, |x, _| ((x / 4) % 2) as f32);
+        let grid = HogCellGrid::compute(&img, HogConfig::default()).unwrap();
+        let mut bins = vec![0.0f32; 9];
+        for cy in 0..grid.cells_y() {
+            for cx in 0..grid.cells_x() {
+                for (b, v) in grid.cell(cx, cy).iter().enumerate() {
+                    bins[b] += v;
+                }
+            }
+        }
+        let max_bin = bins
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            max_bin == 0 || max_bin == 8,
+            "dominant bin {max_bin}: {bins:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let img = GrayImage::new(16, 16);
+        assert!(HogCellGrid::compute(
+            &img,
+            HogConfig {
+                cell_size: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(HogCellGrid::compute(
+            &img,
+            HogConfig {
+                bins: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let tiny = GrayImage::new(4, 4);
+        assert!(HogCellGrid::compute(&tiny, HogConfig::default()).is_err());
+    }
+
+    #[test]
+    fn window_bounds_checked() {
+        let img = GrayImage::new(32, 32);
+        let grid = HogCellGrid::compute(&img, HogConfig::default()).unwrap();
+        assert!(grid.window_descriptor(3, 3, 4, 4).is_err()); // exceeds 4-cell grid
+        assert!(grid.window_descriptor(0, 0, 1, 1).is_err()); // below block size
+    }
+
+    #[test]
+    fn pooled_hog_dimension_and_normalization() {
+        let img = GrayImage::from_fn(40, 30, |x, y| ((x + y) % 9) as f32 / 9.0);
+        let d = pooled_hog(&img, 4, 4, 9).unwrap();
+        assert_eq!(d.len(), 4 * 4 * 9);
+        let sum: f64 = d.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(d.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn pooled_hog_flat_image_is_zero_vector() {
+        let img = GrayImage::filled(20, 20, 0.3);
+        let d = pooled_hog(&img, 2, 2, 6).unwrap();
+        assert!(d.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pooled_hog_distinguishes_orientations() {
+        let vertical = GrayImage::from_fn(32, 32, |x, _| ((x / 4) % 2) as f32);
+        let horizontal = GrayImage::from_fn(32, 32, |_, y| ((y / 4) % 2) as f32);
+        let dv = pooled_hog(&vertical, 2, 2, 9).unwrap();
+        let dh = pooled_hog(&horizontal, 2, 2, 9).unwrap();
+        let dist: f64 = dv
+            .iter()
+            .zip(&dh)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.1, "descriptors should differ, dist={dist}");
+    }
+
+    #[test]
+    fn pooled_hog_rejects_bad_args() {
+        let img = GrayImage::new(8, 8);
+        assert!(pooled_hog(&img, 0, 2, 9).is_err());
+        assert!(pooled_hog(&img, 2, 2, 0).is_err());
+        assert!(pooled_hog(&img, 16, 16, 9).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Summed-area tables (integral images).
+//!
+//! The C4 detector and the ACF channel aggregation both use box sums; the
+//! integral image computes any axis-aligned box sum in O(1).
+
+use crate::image::GrayImage;
+
+/// A summed-area table over a grayscale image.
+///
+/// `table[(x, y)]` holds the sum of all pixels in `[0, x) × [0, y)`, so the
+/// table is one element larger than the image in each dimension.
+///
+/// # Example
+///
+/// ```
+/// use eecs_vision::image::GrayImage;
+/// use eecs_vision::integral::IntegralImage;
+///
+/// let img = GrayImage::filled(4, 4, 1.0);
+/// let ii = IntegralImage::build(&img);
+/// assert!((ii.box_sum(1, 1, 3, 3) - 4.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntegralImage {
+    width: usize,  // table width  = image width + 1
+    height: usize, // table height = image height + 1
+    data: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Builds the table in a single pass.
+    pub fn build(img: &GrayImage) -> IntegralImage {
+        let w = img.width() + 1;
+        let h = img.height() + 1;
+        let mut data = vec![0.0f64; w * h];
+        for y in 1..h {
+            let mut row_sum = 0.0f64;
+            for x in 1..w {
+                row_sum += img.get(x - 1, y - 1) as f64;
+                data[y * w + x] = data[(y - 1) * w + x] + row_sum;
+            }
+        }
+        IntegralImage {
+            width: w,
+            height: h,
+            data,
+        }
+    }
+
+    /// Sum of the pixel rectangle `[x0, x1) × [y0, y1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x1 < x0`, `y1 < y0`, or the rectangle exceeds the source
+    /// image bounds.
+    pub fn box_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f64 {
+        assert!(x0 <= x1 && y0 <= y1, "inverted rectangle");
+        assert!(
+            x1 < self.width && y1 < self.height,
+            "rectangle out of bounds"
+        );
+        let at = |x: usize, y: usize| self.data[y * self.width + x];
+        at(x1, y1) - at(x0, y1) - at(x1, y0) + at(x0, y0)
+    }
+
+    /// Mean of the pixel rectangle `[x0, x1) × [y0, y1)`; 0 for an empty
+    /// rectangle.
+    pub fn box_mean(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f64 {
+        let area = (x1 - x0) * (y1 - y0);
+        if area == 0 {
+            return 0.0;
+        }
+        self.box_sum(x0, y0, x1, y1) / area as f64
+    }
+
+    /// Total sum of all pixels.
+    pub fn total(&self) -> f64 {
+        self.data[self.data.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_of_constant_image() {
+        let img = GrayImage::filled(3, 5, 2.0);
+        let ii = IntegralImage::build(&img);
+        assert!((ii.total() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_sum_matches_naive() {
+        let img = GrayImage::from_fn(6, 4, |x, y| (x * y + x) as f32 * 0.1);
+        let ii = IntegralImage::build(&img);
+        for (x0, y0, x1, y1) in [(0, 0, 6, 4), (1, 1, 4, 3), (2, 0, 2, 4), (5, 3, 6, 4)] {
+            let mut naive = 0.0f64;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    naive += img.get(x, y) as f64;
+                }
+            }
+            assert!(
+                (ii.box_sum(x0, y0, x1, y1) - naive).abs() < 1e-6,
+                "box ({x0},{y0})..({x1},{y1})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_box_is_zero() {
+        let img = GrayImage::filled(3, 3, 1.0);
+        let ii = IntegralImage::build(&img);
+        assert_eq!(ii.box_sum(1, 1, 1, 1), 0.0);
+        assert_eq!(ii.box_mean(2, 2, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn box_mean_of_uniform_region() {
+        let img = GrayImage::filled(8, 8, 0.5);
+        let ii = IntegralImage::build(&img);
+        assert!((ii.box_mean(2, 3, 7, 6) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let ii = IntegralImage::build(&GrayImage::new(3, 3));
+        ii.box_sum(0, 0, 4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_rect_panics() {
+        let ii = IntegralImage::build(&GrayImage::new(3, 3));
+        ii.box_sum(2, 0, 1, 3);
+    }
+}

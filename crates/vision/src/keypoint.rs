@@ -1,0 +1,289 @@
+//! Hessian-based keypoint detection with 64-d descriptors.
+//!
+//! Stands in for SURF (Section V-A of the paper): keypoints are local maxima
+//! of the determinant-of-Hessian response on a lightly smoothed image, and
+//! each keypoint gets a 64-dimensional descriptor — a 4×4 grid of
+//! (Σdx, Σ|dx|, Σdy, Σ|dy|) gradient statistics over the patch, exactly
+//! SURF's descriptor layout.
+
+use crate::image::GrayImage;
+use crate::{Result, VisionError};
+
+/// The SURF-compatible descriptor length: a 4×4 grid × 4 statistics.
+pub const DESCRIPTOR_DIM: usize = 64;
+
+/// Detection parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeypointConfig {
+    /// Minimum determinant-of-Hessian response for a keypoint.
+    pub threshold: f32,
+    /// Side of the square descriptor patch in pixels (must be ≥ 8).
+    pub patch_size: usize,
+    /// Cap on the number of keypoints returned (strongest first).
+    pub max_keypoints: usize,
+}
+
+impl Default for KeypointConfig {
+    fn default() -> Self {
+        KeypointConfig {
+            threshold: 1e-4,
+            patch_size: 16,
+            max_keypoints: 256,
+        }
+    }
+}
+
+/// A detected keypoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Keypoint {
+    /// X coordinate in pixels.
+    pub x: usize,
+    /// Y coordinate in pixels.
+    pub y: usize,
+    /// Determinant-of-Hessian response (strength).
+    pub response: f32,
+    /// 64-d descriptor.
+    pub descriptor: Vec<f64>,
+}
+
+/// Detects keypoints and computes their descriptors.
+///
+/// # Errors
+///
+/// Returns [`VisionError::TooSmall`] if the image cannot hold one descriptor
+/// patch, or [`VisionError::InvalidArgument`] for a degenerate config.
+pub fn detect_keypoints(img: &GrayImage, config: &KeypointConfig) -> Result<Vec<Keypoint>> {
+    if config.patch_size < 8 || config.max_keypoints == 0 {
+        return Err(VisionError::InvalidArgument(
+            "patch_size must be >= 8 and max_keypoints positive".into(),
+        ));
+    }
+    let margin = config.patch_size / 2 + 1;
+    if img.width() < 2 * margin + 2 || img.height() < 2 * margin + 2 {
+        return Err(VisionError::TooSmall(format!(
+            "{}x{} image for patch size {}",
+            img.width(),
+            img.height(),
+            config.patch_size
+        )));
+    }
+
+    let smooth = box_blur3(img);
+    let (w, h) = (smooth.width(), smooth.height());
+
+    // Determinant of Hessian via central second differences.
+    let mut response = GrayImage::new(w, h);
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let c = smooth.get(x, y);
+            let dxx = smooth.get(x + 1, y) + smooth.get(x - 1, y) - 2.0 * c;
+            let dyy = smooth.get(x, y + 1) + smooth.get(x, y - 1) - 2.0 * c;
+            let dxy = 0.25
+                * (smooth.get(x + 1, y + 1) + smooth.get(x - 1, y - 1)
+                    - smooth.get(x + 1, y - 1)
+                    - smooth.get(x - 1, y + 1));
+            response.set(x, y, dxx * dyy - 0.81 * dxy * dxy);
+        }
+    }
+
+    // Non-maximum suppression on a 3×3 neighborhood inside the margins.
+    let mut found: Vec<(f32, usize, usize)> = Vec::new();
+    for y in margin..h - margin {
+        for x in margin..w - margin {
+            let r = response.get(x, y);
+            if r < config.threshold {
+                continue;
+            }
+            let mut is_max = true;
+            'nbhd: for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    if response.get((x as isize + dx) as usize, (y as isize + dy) as usize) > r {
+                        is_max = false;
+                        break 'nbhd;
+                    }
+                }
+            }
+            if is_max {
+                found.push((r, x, y));
+            }
+        }
+    }
+    found.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    found.truncate(config.max_keypoints);
+
+    Ok(found
+        .into_iter()
+        .map(|(r, x, y)| Keypoint {
+            x,
+            y,
+            response: r,
+            descriptor: describe_patch(&smooth, x, y, config.patch_size),
+        })
+        .collect())
+}
+
+/// SURF-style descriptor: the `patch` around `(cx, cy)` is split into a 4×4
+/// grid; each tile contributes (Σdx, Σ|dx|, Σdy, Σ|dy|); the vector is
+/// L2-normalized.
+fn describe_patch(img: &GrayImage, cx: usize, cy: usize, patch: usize) -> Vec<f64> {
+    let half = (patch / 2) as isize;
+    let tile = (patch / 4).max(1) as isize;
+    let mut desc = vec![0.0f64; DESCRIPTOR_DIM];
+    for dy in -half..half {
+        for dx in -half..half {
+            let x = cx as isize + dx;
+            let y = cy as isize + dy;
+            let gx = (img.get_clamped(x + 1, y) - img.get_clamped(x - 1, y)) as f64;
+            let gy = (img.get_clamped(x, y + 1) - img.get_clamped(x, y - 1)) as f64;
+            let tx = (((dx + half) / tile).min(3)) as usize;
+            let ty = (((dy + half) / tile).min(3)) as usize;
+            let base = (ty * 4 + tx) * 4;
+            desc[base] += gx;
+            desc[base + 1] += gx.abs();
+            desc[base + 2] += gy;
+            desc[base + 3] += gy.abs();
+        }
+    }
+    let norm: f64 = desc.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for v in &mut desc {
+            *v /= norm;
+        }
+    }
+    desc
+}
+
+/// 3×3 box blur with clamped borders — the light smoothing applied before
+/// the Hessian.
+fn box_blur3(img: &GrayImage) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut sum = 0.0;
+        for dy in -1isize..=1 {
+            for dx in -1isize..=1 {
+                sum += img.get_clamped(x as isize + dx, y as isize + dy);
+            }
+        }
+        sum / 9.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::draw;
+    use crate::image::RgbImage;
+
+    /// An image with bright dots on a dark background — strong blob
+    /// structure the Hessian responds to.
+    fn dots_image() -> GrayImage {
+        let mut rgb = RgbImage::new(64, 64);
+        for (cx, cy) in [(16.0, 16.0), (48.0, 16.0), (16.0, 48.0), (48.0, 48.0)] {
+            draw::fill_ellipse(&mut rgb, cx, cy, 3.0, 3.0, [1.0, 1.0, 1.0]);
+        }
+        rgb.to_gray()
+    }
+
+    #[test]
+    fn detects_blobs() {
+        let kps = detect_keypoints(&dots_image(), &KeypointConfig::default()).unwrap();
+        assert!(!kps.is_empty(), "no keypoints found");
+        // Every strong keypoint should be near one of the dots.
+        for kp in kps.iter().take(4) {
+            let near =
+                [(16, 16), (48, 16), (16, 48), (48, 48)]
+                    .iter()
+                    .any(|&(cx, cy): &(i32, i32)| {
+                        (kp.x as i32 - cx).abs() <= 4 && (kp.y as i32 - cy).abs() <= 4
+                    });
+            assert!(near, "keypoint at ({}, {}) not near a dot", kp.x, kp.y);
+        }
+    }
+
+    #[test]
+    fn flat_image_has_no_keypoints() {
+        let img = GrayImage::filled(64, 64, 0.5);
+        let kps = detect_keypoints(&img, &KeypointConfig::default()).unwrap();
+        assert!(kps.is_empty());
+    }
+
+    #[test]
+    fn descriptors_are_unit_norm() {
+        let kps = detect_keypoints(&dots_image(), &KeypointConfig::default()).unwrap();
+        for kp in &kps {
+            assert_eq!(kp.descriptor.len(), DESCRIPTOR_DIM);
+            let norm: f64 = kp.descriptor.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "norm={norm}");
+        }
+    }
+
+    #[test]
+    fn keypoints_sorted_by_response() {
+        let kps = detect_keypoints(&dots_image(), &KeypointConfig::default()).unwrap();
+        for w in kps.windows(2) {
+            assert!(w[0].response >= w[1].response);
+        }
+    }
+
+    #[test]
+    fn max_keypoints_cap_respected() {
+        let cfg = KeypointConfig {
+            max_keypoints: 2,
+            ..Default::default()
+        };
+        let kps = detect_keypoints(&dots_image(), &cfg).unwrap();
+        assert!(kps.len() <= 2);
+    }
+
+    #[test]
+    fn rejects_bad_config_and_tiny_image() {
+        let img = dots_image();
+        assert!(detect_keypoints(
+            &img,
+            &KeypointConfig {
+                patch_size: 4,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(detect_keypoints(
+            &img,
+            &KeypointConfig {
+                max_keypoints: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let tiny = GrayImage::new(8, 8);
+        assert!(detect_keypoints(&tiny, &KeypointConfig::default()).is_err());
+    }
+
+    #[test]
+    fn similar_patches_have_similar_descriptors() {
+        // Two identical dots → their descriptors should be nearly equal.
+        let mut rgb = RgbImage::new(64, 32);
+        draw::fill_ellipse(&mut rgb, 16.0, 16.0, 3.0, 3.0, [1.0, 1.0, 1.0]);
+        draw::fill_ellipse(&mut rgb, 48.0, 16.0, 3.0, 3.0, [1.0, 1.0, 1.0]);
+        let kps = detect_keypoints(&rgb.to_gray(), &KeypointConfig::default()).unwrap();
+        assert!(kps.len() >= 2);
+        // Compare the keypoint closest to each blob center (the detector
+        // also fires on blob edges, so the global top-2 may not pair up).
+        let nearest = |cx: i64, cy: i64| {
+            kps.iter()
+                .min_by_key(|k| (k.x as i64 - cx).pow(2) + (k.y as i64 - cy).pow(2))
+                .unwrap()
+        };
+        let a = nearest(16, 16);
+        let b = nearest(48, 16);
+        let d: f64 = a
+            .descriptor
+            .iter()
+            .zip(&b.descriptor)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        assert!(d < 0.2, "identical blobs should match, distance {d}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Budget sweep: how EECS's choices change as the per-frame energy budget
+//! shrinks (the knob between Fig. 5a and Fig. 5b of the paper).
+//!
+//! ```bash
+//! cargo run --release --example budget_sweep
+//! ```
+//!
+//! At generous budgets every algorithm is feasible and EECS picks the most
+//! accurate, downgrading where the views overlap; as the budget tightens,
+//! expensive algorithms drop out one by one until only ACF remains; below
+//! ACF's cost the node cannot operate at all.
+
+use eecs::core::config::EecsConfig;
+use eecs::core::simulation::{OperatingMode, Simulation, SimulationConfig};
+use eecs::core::EecsError;
+use eecs::detect::bank::DetectorBank;
+use eecs::scene::dataset::{DatasetId, DatasetProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training detector bank…");
+    let bank = DetectorBank::train_quick(11)?;
+
+    let mut profile = DatasetProfile::miniature(DatasetId::Lab);
+    profile.num_people = 4;
+    let mut eecs = EecsConfig::default();
+    eecs.assessment_period = 10;
+    eecs.recalibration_interval = 30;
+    eecs.key_frames = 8;
+
+    println!("preparing simulation…");
+    let base = Simulation::prepare(
+        bank,
+        SimulationConfig {
+            profile,
+            cameras: 2,
+            start_frame: 40,
+            end_frame: 100,
+            budget_j_per_frame: 1.0,
+            mode: OperatingMode::FullEecs,
+            eecs,
+            feature_words: 12,
+            max_training_frames: 8,
+            boost_every: 0,
+        },
+    )?;
+
+    // The measured per-algorithm costs anchor the sweep.
+    let record = base.record_for_camera(0);
+    println!("\nmeasured per-frame costs:");
+    for p in record.ranked() {
+        println!(
+            "  {:>5}: {:.3} J (f-score {:.3})",
+            p.algorithm.to_string(),
+            p.energy_per_frame_j,
+            p.f_score
+        );
+    }
+    let min_cost = record
+        .ranked()
+        .iter()
+        .map(|p| p.energy_per_frame_j)
+        .fold(f64::INFINITY, f64::min);
+    let max_cost = record
+        .ranked()
+        .iter()
+        .map(|p| p.energy_per_frame_j)
+        .fold(0.0f64, f64::max);
+
+    println!(
+        "\n{:>12}{:>12}{:>14}{:>30}",
+        "budget J/fr", "found", "energy (J)", "round-1 assignment"
+    );
+    let mut budget = max_cost * 1.5;
+    while budget > min_cost * 0.4 {
+        match base.with_budget(budget)?.run() {
+            Ok(report) => {
+                let assignment: Vec<String> = report.rounds[0]
+                    .assignment
+                    .iter()
+                    .map(|(cam, alg)| format!("cam{cam}→{alg}"))
+                    .collect();
+                println!(
+                    "{budget:>12.3}{:>9}/{:<3}{:>13.2}{:>30}",
+                    report.correctly_detected,
+                    report.gt_objects,
+                    report.total_energy_j,
+                    assignment.join(" ")
+                );
+            }
+            Err(EecsError::Infeasible(_)) => {
+                println!(
+                    "{budget:>12.3}{:>12}{:>14}{:>30}",
+                    "-", "-", "infeasible: budget below ACF"
+                );
+            }
+            Err(e) => return Err(e.into()),
+        }
+        budget /= 2.2;
+    }
+    Ok(())
+}

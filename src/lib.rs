@@ -1,0 +1,11 @@
+//! Facade crate re-exporting the full EECS workspace.
+pub use eecs_core as core;
+pub use eecs_detect as detect;
+pub use eecs_energy as energy;
+pub use eecs_geometry as geometry;
+pub use eecs_learn as learn;
+pub use eecs_linalg as linalg;
+pub use eecs_manifold as manifold;
+pub use eecs_net as net;
+pub use eecs_scene as scene;
+pub use eecs_vision as vision;

@@ -1,0 +1,118 @@
+//! Integration: energy accounting invariants across camera nodes, the
+//! network, and the budget machinery.
+
+use eecs::core::camera_node::CameraNode;
+use eecs::core::profile::AlgorithmProfile;
+use eecs::detect::bank::DetectorBank;
+use eecs::detect::detection::AlgorithmId;
+use eecs::detect::probability::ScoreCalibration;
+use eecs::energy::budget::{BatteryState, EnergyBudget};
+use eecs::energy::comm::LinkModel;
+use eecs::energy::meter::EnergyCategory;
+use eecs::energy::model::DeviceEnergyModel;
+use eecs::net::message::{Message, WireSize};
+use eecs::net::transport::Network;
+use eecs::scene::dataset::{DatasetId, DatasetProfile};
+use eecs::scene::sequence::VideoFeed;
+
+fn profile_for(alg: AlgorithmId) -> AlgorithmProfile {
+    AlgorithmProfile {
+        algorithm: alg,
+        threshold: 0.0,
+        recall: 0.5,
+        precision: 0.5,
+        f_score: 0.5,
+        energy_per_frame_j: 0.1,
+        processing_time_s: 0.1,
+        calibration: ScoreCalibration::from_parts(1.0, 0.0),
+    }
+}
+
+#[test]
+fn battery_meter_and_detector_ops_agree() {
+    let bank = DetectorBank::train_quick(31).expect("bank");
+    let device = DeviceEnergyModel::default();
+    let frame = VideoFeed::open(DatasetProfile::miniature(DatasetId::Lab), 0)
+        .frame(5)
+        .image;
+    let mut node = CameraNode::new(
+        0,
+        bank.clone(),
+        BatteryState::new(1_000.0).unwrap(),
+        EnergyBudget::per_frame(5.0).unwrap(),
+    );
+    // Run each algorithm once; the node's meter must equal the ops-derived
+    // energy, and the battery must have drained exactly that much.
+    let mut expected = 0.0;
+    for alg in AlgorithmId::ALL {
+        let ops = bank.detector(alg).detect(&frame).ops;
+        expected += device.processing_energy(ops);
+        node.run_algorithm(alg, &frame, &profile_for(alg), &device)
+            .expect("battery ample");
+    }
+    let metered = node.meter().by_category(EnergyCategory::Processing);
+    assert!(
+        (metered - expected).abs() < 1e-9,
+        "meter {metered} vs expected {expected}"
+    );
+    assert!((node.battery().used() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn network_and_node_charge_the_same_bytes_identically() {
+    let device = DeviceEnergyModel::default();
+    let link = LinkModel::default();
+    let msg = Message::DetectionMetadata { objects: 3 };
+
+    // Through the network abstraction…
+    let mut net = Network::new(1, link, device);
+    let mut bat1 = BatteryState::new(100.0).unwrap();
+    let mut meter1 = eecs::energy::meter::PowerMeter::new();
+    net.send(0, msg.clone(), &mut bat1, &mut meter1).unwrap();
+
+    // …and through a camera node directly.
+    let bank = DetectorBank::train_quick(32).expect("bank");
+    let mut node = CameraNode::new(
+        0,
+        bank,
+        BatteryState::new(100.0).unwrap(),
+        EnergyBudget::per_frame(1.0).unwrap(),
+    );
+    node.charge_transmission(msg.wire_bytes(), &device, &link)
+        .unwrap();
+
+    assert!(
+        (bat1.used() - node.battery().used()).abs() < 1e-12,
+        "two accounting paths disagree: {} vs {}",
+        bat1.used(),
+        node.battery().used()
+    );
+}
+
+#[test]
+fn budget_feasibility_is_monotone_in_budget() {
+    // If an algorithm fits budget B it must fit every B' > B.
+    let costs = [0.07, 1.08, 3.31, 4.92];
+    let budgets = [0.05, 0.07, 0.5, 1.08, 2.0, 5.0];
+    let mut previous_feasible = 0;
+    for b in budgets {
+        let budget = EnergyBudget::per_frame(b).unwrap();
+        let feasible = costs.iter().filter(|&&c| budget.allows(c)).count();
+        assert!(feasible >= previous_feasible, "feasible set shrank at {b}");
+        previous_feasible = feasible;
+    }
+    assert_eq!(previous_feasible, 4);
+}
+
+#[test]
+fn degraded_link_never_cheapens_transmission() {
+    let device = DeviceEnergyModel::default();
+    let bytes = 10_000;
+    let mut last = 0.0;
+    for q in [1.0, 0.8, 0.6, 0.4, 0.2] {
+        let link = LinkModel::new(20e6, q).unwrap();
+        let e = link.transmit_energy(bytes, &device);
+        assert!(e >= last, "quality {q} made transmission cheaper");
+        last = e;
+    }
+}

@@ -1,0 +1,68 @@
+//! Integration: the Table-V property at miniature scale — test-segment
+//! clips match the training item of the same (dataset, camera) on the
+//! Grassmann manifold.
+
+use eecs::core::features::FeatureExtractor;
+use eecs::manifold::matcher::TrainingLibrary;
+use eecs::manifold::similarity::SimilarityConfig;
+use eecs::scene::dataset::{DatasetId, DatasetProfile};
+use eecs::scene::sequence::VideoFeed;
+use eecs::vision::image::RgbImage;
+
+fn clip(profile: &DatasetProfile, camera: usize, start: usize, end: usize) -> Vec<RgbImage> {
+    VideoFeed::open(profile.clone(), camera)
+        .annotated_frames(start, end)
+        .into_iter()
+        .map(|f| f.image)
+        .collect()
+}
+
+#[test]
+fn test_clips_match_their_training_item() {
+    // 2 datasets × 2 cameras = 4 items.
+    let combos: Vec<(DatasetProfile, usize)> = [DatasetId::Lab, DatasetId::Terrace]
+        .iter()
+        .flat_map(|&id| (0..2).map(move |cam| (DatasetProfile::miniature(id), cam)))
+        .collect();
+
+    let mut vocab = Vec::new();
+    for (p, cam) in &combos {
+        vocab.extend(clip(p, *cam, 0, 20));
+    }
+    let extractor = FeatureExtractor::build(&vocab, 12, 5).expect("extractor");
+
+    let mut library = TrainingLibrary::new(SimilarityConfig {
+        beta: 6,
+        scale: 1.0,
+    });
+    for (i, (p, cam)) in combos.iter().enumerate() {
+        let frames = clip(p, *cam, 0, 45);
+        let item = extractor
+            .extract_video(format!("T{i}"), &frames)
+            .expect("train item");
+        library.add(item).expect("library add");
+    }
+
+    let mut correct = 0;
+    for (i, (p, cam)) in combos.iter().enumerate() {
+        let frames = clip(p, *cam, 45, 100);
+        let query = extractor
+            .extract_video(format!("V{i}"), &frames)
+            .expect("query item");
+        let m = library.best_match(&query).expect("match");
+        if m.best_index == i {
+            correct += 1;
+        }
+        // Similarities are valid probabilistic scores.
+        assert!(m.similarities.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        // Dataset-level match must always hold (items 0-1 lab, 2-3 terrace).
+        assert_eq!(
+            m.best_index / 2,
+            i / 2,
+            "query {i} matched the wrong dataset: {}",
+            m.best_name
+        );
+    }
+    // Camera-level matching at miniature scale: allow one confusion.
+    assert!(correct >= 3, "only {correct}/4 exact matches");
+}

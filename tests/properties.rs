@@ -1,0 +1,138 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use eecs::core::accuracy::combined_probability;
+use eecs::detect::detection::BBox;
+use eecs::detect::detection::Detection;
+use eecs::detect::nms::non_maximum_suppression;
+use eecs::energy::budget::BatteryState;
+use eecs::geometry::homography::Homography;
+use eecs::geometry::point::Point2;
+use eecs::linalg::svd::thin_svd;
+use eecs::linalg::Mat;
+use eecs::manifold::gfk::GeodesicFlowKernel;
+use eecs::manifold::subspace::Subspace;
+use eecs::manifold::video::VideoItem;
+use proptest::prelude::*;
+
+fn bbox_strategy() -> impl Strategy<Value = BBox> {
+    (0.0..100.0f64, 0.0..100.0f64, 1.0..50.0f64, 1.0..50.0f64)
+        .prop_map(|(x, y, w, h)| BBox::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn iou_symmetric_bounded(a in bbox_strategy(), b in bbox_strategy()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq6_bounded_and_monotone(ps in prop::collection::vec(0.0..1.0f64, 1..6), extra in 0.0..1.0f64) {
+        let p = combined_probability(&ps);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(p >= ps.iter().cloned().fold(0.0, f64::max) - 1e-12);
+        // Adding a camera never lowers the fused probability.
+        let mut more = ps.clone();
+        more.push(extra);
+        prop_assert!(combined_probability(&more) >= p - 1e-12);
+    }
+
+    #[test]
+    fn nms_output_is_subset_and_conflict_free(
+        xs in prop::collection::vec((0.0..200.0f64, 0.0..5.0f64), 0..20),
+        threshold in 0.05..0.9f64,
+    ) {
+        let dets: Vec<Detection> = xs
+            .iter()
+            .map(|&(x, s)| Detection { bbox: BBox::new(x, 0.0, x + 20.0, 40.0), score: s })
+            .collect();
+        let kept = non_maximum_suppression(dets.clone(), threshold);
+        prop_assert!(kept.len() <= dets.len());
+        // Survivors are pairwise below the IoU threshold.
+        for i in 0..kept.len() {
+            for j in (i + 1)..kept.len() {
+                prop_assert!(kept[i].bbox.iou(&kept[j].bbox) <= threshold + 1e-12);
+            }
+        }
+        // Idempotence.
+        let again = non_maximum_suppression(kept.clone(), threshold);
+        prop_assert_eq!(again.len(), kept.len());
+    }
+
+    #[test]
+    fn homography_roundtrip_random_affine(
+        a in 0.5..2.0f64, b in -0.5..0.5f64, c in -20.0..20.0f64,
+        d in -0.5..0.5f64, e in 0.5..2.0f64, f in -20.0..20.0f64,
+        px in 0.0..50.0f64, py in 0.0..50.0f64,
+    ) {
+        let src: Vec<Point2> = [(0.0, 0.0), (40.0, 0.0), (40.0, 40.0), (0.0, 40.0), (13.0, 27.0)]
+            .iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        let dst: Vec<Point2> = src
+            .iter()
+            .map(|p| Point2::new(a * p.x + b * p.y + c, d * p.x + e * p.y + f))
+            .collect();
+        let h = Homography::estimate(&src, &dst).unwrap();
+        let p = Point2::new(px, py);
+        let q = h.apply(&p).unwrap();
+        let expected = Point2::new(a * p.x + b * p.y + c, d * p.x + e * p.y + f);
+        prop_assert!(q.distance(&expected) < 1e-5, "{q:?} vs {expected:?}");
+        let back = h.inverse().unwrap().apply(&q).unwrap();
+        prop_assert!(back.distance(&p) < 1e-5);
+    }
+
+    #[test]
+    fn svd_reconstructs_random_matrices(
+        rows in 2..7usize, cols in 2..7usize, seed in 0..1000u64,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = Mat::from_fn(rows, cols, |_, _| rng.random_range(-3.0..3.0));
+        let svd = thin_svd(&m);
+        let sigma = Mat::from_diag(&svd.singular_values);
+        let recon = svd.u.matmul(&sigma).matmul(&svd.v.transpose());
+        prop_assert!(recon.approx_eq(&m, 1e-8));
+        for w in svd.singular_values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn gfk_distance_nonnegative_and_zero_on_self(
+        seed in 0..500u64,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mk = |rng: &mut rand::rngs::StdRng| {
+            let frames: Vec<Vec<f64>> = (0..6)
+                .map(|_| (0..8).map(|_| rng.random_range(0.0..1.0)).collect())
+                .collect();
+            VideoItem::from_frames("p", &frames).unwrap()
+        };
+        let t = mk(&mut rng);
+        let v = mk(&mut rng);
+        let x = Subspace::from_video(&t, 3).unwrap();
+        let z = Subspace::from_video(&v, 3).unwrap();
+        let gfk = GeodesicFlowKernel::between(&x, &z).unwrap();
+        let u: Vec<f64> = (0..8).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let w: Vec<f64> = (0..8).map(|_| rng.random_range(-1.0..1.0)).collect();
+        prop_assert!(gfk.sq_distance(&u, &w) >= 0.0);
+        prop_assert!(gfk.sq_distance(&u, &u) < 1e-10);
+        // Symmetry of the metric.
+        prop_assert!((gfk.sq_distance(&u, &w) - gfk.sq_distance(&w, &u)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn battery_never_goes_negative(draws in prop::collection::vec(0.0..5.0f64, 1..20)) {
+        let mut bat = BatteryState::new(10.0).unwrap();
+        for d in draws {
+            let _ = bat.drain(d);
+            prop_assert!(bat.residual() >= 0.0);
+            prop_assert!(bat.used() <= 10.0 + 1e-9);
+        }
+    }
+}

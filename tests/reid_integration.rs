@@ -1,0 +1,127 @@
+//! Integration: cross-camera re-identification on rendered frames with
+//! *ground-truth* boxes as detections — isolates the homography + color
+//! fusion quality from the detectors (the paper reports > 90% re-id
+//! precision; with exact boxes the simulator should match people across
+//! views essentially perfectly).
+
+use eecs::core::accuracy::count_correct;
+use eecs::core::metadata::{CameraReport, ObjectMetadata};
+use eecs::core::reid::{fuse_reports, ReidConfig};
+use eecs::detect::detection::BBox;
+use eecs::geometry::point::Point2;
+use eecs::scene::dataset::{DatasetId, DatasetProfile};
+use eecs::scene::rig::{camera_rig, rig_calibrations};
+use eecs::scene::sequence::VideoFeed;
+use eecs::vision::color::mean_color_feature;
+
+#[test]
+fn ground_truth_boxes_fuse_to_the_right_people() {
+    let profile = DatasetProfile::miniature(DatasetId::Lab);
+    let rig = camera_rig(&profile);
+    let cals = rig_calibrations(&profile, &rig);
+    let reid = ReidConfig {
+        ground_gate_m: 0.9,
+        color_gate: 8.0,
+        color_metric: None,
+    };
+
+    let feeds: Vec<_> = (0..4)
+        .map(|j| VideoFeed::open(profile.clone(), j))
+        .collect();
+    let mut frames_checked = 0;
+    let mut total_gt = 0usize;
+    let mut total_correct = 0usize;
+    let mut overcount = 0usize;
+    for f in [10usize, 30, 60, 90] {
+        let per_cam: Vec<_> = feeds.iter().map(|feed| feed.frame(f)).collect();
+        let mut reports = Vec::new();
+        let mut gt_ids = std::collections::BTreeMap::new();
+        for (j, fd) in per_cam.iter().enumerate() {
+            let mut objects = Vec::new();
+            for g in &fd.gt {
+                if g.visibility < 0.5 {
+                    continue;
+                }
+                gt_ids.entry(g.human_id).or_insert(g.ground);
+                let color = mean_color_feature(
+                    &fd.image,
+                    g.x0 as usize,
+                    g.y0 as usize,
+                    (g.x1 - g.x0).max(2.0) as usize,
+                    (g.y1 - g.y0).max(2.0) as usize,
+                )
+                .unwrap_or_else(|_| vec![0.0; 40]);
+                objects.push(ObjectMetadata {
+                    camera: j,
+                    bbox: BBox::new(g.x0, g.y0, g.x1, g.y1),
+                    probability: 0.9,
+                    color,
+                });
+            }
+            reports.push(CameraReport { objects });
+        }
+        let fused = fuse_reports(&reports, &cals, &reid);
+        let positions: Vec<Point2> = gt_ids.values().copied().collect();
+        let correct = count_correct(&fused, &positions, 1.0);
+        total_gt += positions.len();
+        total_correct += correct;
+        // Over-fragmentation check: fused objects should not wildly exceed
+        // the number of real people.
+        if fused.len() > positions.len() * 2 {
+            overcount += 1;
+        }
+        frames_checked += 1;
+    }
+    assert_eq!(frames_checked, 4);
+    assert!(total_gt > 0);
+    let recall = total_correct as f64 / total_gt as f64;
+    assert!(recall > 0.9, "re-id recall {recall} from exact boxes");
+    assert_eq!(
+        overcount, 0,
+        "fusion fragmented objects in {overcount} frames"
+    );
+}
+
+#[test]
+fn fused_probability_grows_with_view_count() {
+    let profile = DatasetProfile::miniature(DatasetId::Lab);
+    let rig = camera_rig(&profile);
+    let cals = rig_calibrations(&profile, &rig);
+    let reid = ReidConfig {
+        ground_gate_m: 0.9,
+        color_gate: 8.0,
+        color_metric: None,
+    };
+    let feeds: Vec<_> = (0..4)
+        .map(|j| VideoFeed::open(profile.clone(), j))
+        .collect();
+    let per_cam: Vec<_> = feeds.iter().map(|feed| feed.frame(20)).collect();
+    let build = |cams: &[usize]| -> Vec<CameraReport> {
+        cams.iter()
+            .map(|&j| CameraReport {
+                objects: per_cam[j]
+                    .gt
+                    .iter()
+                    .filter(|g| g.visibility >= 0.5)
+                    .map(|g| ObjectMetadata {
+                        camera: j,
+                        bbox: BBox::new(g.x0, g.y0, g.x1, g.y1),
+                        probability: 0.6,
+                        color: vec![0.5; 3],
+                    })
+                    .collect(),
+            })
+            .collect()
+    };
+    let one = fuse_reports(&build(&[0]), &cals, &reid);
+    let four = fuse_reports(&build(&[0, 1, 2, 3]), &cals, &reid);
+    let mean = |objs: &[eecs::core::reid::FusedObject]| {
+        objs.iter().map(|o| o.probability).sum::<f64>() / objs.len().max(1) as f64
+    };
+    assert!(
+        mean(&four) > mean(&one),
+        "Eq. 6 fusion should raise confidence: {} vs {}",
+        mean(&four),
+        mean(&one)
+    );
+}
