@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local CI gate. Runs offline: every external dependency (rand,
+# crossbeam, proptest, criterion) is vendored as a minimal shim under
+# vendor/ and resolved as a path dependency (see DESIGN.md §7), so no
+# registry access is needed or attempted.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI OK"

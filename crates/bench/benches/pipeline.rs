@@ -83,6 +83,7 @@ fn round_bench(c: &mut Criterion) {
             feature_words: 12,
             max_training_frames: 8,
             boost_every: 0,
+            fault_plan: eecs_net::fault::FaultPlan::ideal(),
         },
     )
     .expect("prepare");

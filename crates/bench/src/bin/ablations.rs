@@ -51,6 +51,7 @@ fn main() {
         feature_words: 12,
         max_training_frames: max_train,
         boost_every: 0,
+        fault_plan: eecs_net::fault::FaultPlan::ideal(),
     };
     let base = Simulation::prepare(bank, base_cfg.clone()).expect("prepare");
 

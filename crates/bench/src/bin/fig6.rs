@@ -30,6 +30,7 @@ fn main() {
             feature_words: 24,
             max_training_frames: if scale == Scale::Paper { 25 } else { 6 },
             boost_every: 0,
+            fault_plan: eecs_net::fault::FaultPlan::ideal(),
         },
     )
     .expect("simulation preparation");

@@ -66,6 +66,13 @@ impl CameraNode {
         &self.meter
     }
 
+    /// Mutable access to the battery and meter together, for transports
+    /// that charge the radio per attempt
+    /// ([`eecs_net::Network::send_reliable`]).
+    pub fn radio_mut(&mut self) -> (&mut BatteryState, &mut PowerMeter) {
+        (&mut self.battery, &mut self.meter)
+    }
+
     /// The controller-assigned algorithm, if the camera is active.
     pub fn assigned(&self) -> Option<AlgorithmId> {
         self.assigned

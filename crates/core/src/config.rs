@@ -6,6 +6,7 @@ use eecs_detect::eval::EvalConfig;
 use eecs_energy::comm::LinkModel;
 use eecs_energy::model::DeviceEnergyModel;
 use eecs_manifold::similarity::SimilarityConfig;
+use eecs_net::reliable::RetryPolicy;
 
 /// All tunables of the framework, defaulted to the paper's evaluation
 /// settings (Section VI-E).
@@ -35,6 +36,12 @@ pub struct EecsConfig {
     pub reid_color_gate: f64,
     /// Downgrade policy (Section IV-B.4; `AnyCheaper` is the ablation).
     pub downgrade_rule: DowngradeRule,
+    /// Ack/retry policy of the camera ↔ controller transport.
+    pub retry: RetryPolicy,
+    /// Graceful degradation: how many rounds old a silent camera's cached
+    /// assessment data may be and still feed selection. Past this age the
+    /// camera is excluded from the round instead.
+    pub staleness_limit_rounds: usize,
 }
 
 impl Default for EecsConfig {
@@ -52,6 +59,8 @@ impl Default for EecsConfig {
             reid_ground_gate_m: 0.9,
             reid_color_gate: 8.0,
             downgrade_rule: DowngradeRule::default(),
+            retry: RetryPolicy::default(),
+            staleness_limit_rounds: 2,
         }
     }
 }
@@ -85,6 +94,16 @@ impl EecsConfig {
         if self.reid_ground_gate_m <= 0.0 || self.reid_color_gate <= 0.0 {
             return Err(EecsError::InvalidArgument(
                 "re-identification gates must be positive".into(),
+            ));
+        }
+        if self.retry.base_backoff_s < 0.0
+            || self.retry.backoff_factor < 1.0
+            || self.retry.max_backoff_s < self.retry.base_backoff_s
+        {
+            return Err(EecsError::InvalidArgument(
+                "retry backoff must be non-negative, non-shrinking, and capped \
+                 at or above its base"
+                    .into(),
             ));
         }
         Ok(())
@@ -129,6 +148,19 @@ mod tests {
     fn validation_rejects_bad_gates() {
         let mut c = EecsConfig::default();
         c.reid_ground_gate_m = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_retry_policies() {
+        let mut c = EecsConfig::default();
+        c.retry.backoff_factor = 0.5;
+        assert!(c.validate().is_err());
+        c = EecsConfig::default();
+        c.retry.max_backoff_s = c.retry.base_backoff_s / 2.0;
+        assert!(c.validate().is_err());
+        c = EecsConfig::default();
+        c.retry.base_backoff_s = -1.0;
         assert!(c.validate().is_err());
     }
 }

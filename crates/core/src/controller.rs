@@ -8,16 +8,95 @@
 //! battery-operated camera sensor" (Section IV).
 
 use crate::config::EecsConfig;
+use crate::metadata::CameraReport;
 use crate::profile::TrainingRecord;
 use crate::reid::{fuse_reports, FusedObject, ReidConfig};
 use crate::selection::{select_cameras_and_algorithms, AssessmentData, SelectionOutcome};
 use crate::{EecsError, Result};
+use eecs_detect::detection::AlgorithmId;
 use eecs_energy::budget::EnergyBudget;
 use eecs_geometry::calibration::GroundCalibration;
 use eecs_linalg::stats::MahalanobisMetric;
 use eecs_linalg::Mat;
 use eecs_manifold::matcher::{MatchResult, TrainingLibrary};
 use eecs_manifold::video::VideoItem;
+use std::collections::BTreeMap;
+
+/// Per-camera assessment reports as gathered in one round:
+/// `reports[algorithm][frame]`.
+pub type CameraAssessment = BTreeMap<AlgorithmId, Vec<CameraReport>>;
+
+/// The controller's memory of each camera's last usable assessment, for
+/// graceful degradation on a lossy network.
+///
+/// When a camera's fresh assessment uploads are lost, the controller can
+/// keep planning with the camera's last-known data — up to a staleness
+/// cap — provided it still *hears* from the camera (any delivered
+/// message counts as a liveness signal). A camera that is both silent
+/// and stale is excluded from selection instead of failing the round.
+#[derive(Debug, Clone, Default)]
+pub struct AssessmentCache {
+    /// `(round gathered, reports)` per camera.
+    data: Vec<Option<(usize, CameraAssessment)>>,
+    /// Round each camera was last heard from (any delivered message).
+    heard: Vec<Option<usize>>,
+}
+
+impl AssessmentCache {
+    /// An empty cache for `cameras` cameras.
+    pub fn new(cameras: usize) -> AssessmentCache {
+        AssessmentCache {
+            data: vec![None; cameras],
+            heard: vec![None; cameras],
+        }
+    }
+
+    /// Notes that any message from `camera` was delivered in `round`.
+    pub fn mark_heard(&mut self, camera: usize, round: usize) {
+        if let Some(h) = self.heard.get_mut(camera) {
+            *h = Some(round);
+        }
+    }
+
+    /// Stores `camera`'s fresh assessment gathered in `round` (and marks
+    /// it heard).
+    pub fn record(&mut self, camera: usize, round: usize, reports: CameraAssessment) {
+        if let Some(d) = self.data.get_mut(camera) {
+            *d = Some((round, reports));
+        }
+        self.mark_heard(camera, round);
+    }
+
+    /// Whether `camera` was heard from in `round` itself.
+    pub fn heard_in(&self, camera: usize, round: usize) -> bool {
+        self.heard.get(camera).copied().flatten() == Some(round)
+    }
+
+    /// The cached reports for `camera` if they are at most
+    /// `staleness_limit` rounds older than `round`.
+    pub fn usable(
+        &self,
+        camera: usize,
+        round: usize,
+        staleness_limit: usize,
+    ) -> Option<&CameraAssessment> {
+        match self.data.get(camera).and_then(|d| d.as_ref()) {
+            Some((gathered, reports)) if round.saturating_sub(*gathered) <= staleness_limit => {
+                Some(reports)
+            }
+            _ => None,
+        }
+    }
+
+    /// Age in rounds of `camera`'s cached data at `round`, if any data
+    /// exists.
+    pub fn age(&self, camera: usize, round: usize) -> Option<usize> {
+        self.data
+            .get(camera)
+            .and_then(|d| d.as_ref())
+            .map(|(gathered, _)| round.saturating_sub(*gathered))
+    }
+}
 
 /// The EECS central controller.
 #[derive(Debug, Clone)]
@@ -165,6 +244,41 @@ impl Controller {
             downgrade,
         )
     }
+
+    /// Like [`Controller::select`], but considering only `live` cameras:
+    /// a dead camera is masked out by zeroing its budget, which removes
+    /// it from the feasible set without disturbing the greedy algorithm.
+    ///
+    /// # Errors
+    ///
+    /// [`EecsError::Infeasible`] when no live camera has a feasible
+    /// algorithm (in particular when `live` is all-false — callers
+    /// should skip selection entirely for an all-silent round), plus
+    /// everything [`Controller::select`] returns.
+    pub fn select_live(
+        &self,
+        data: &AssessmentData,
+        matched_record: &[usize],
+        budgets: &[EnergyBudget],
+        reid: &ReidConfig,
+        downgrade: bool,
+        live: &[bool],
+    ) -> Result<SelectionOutcome> {
+        if live.len() != budgets.len() {
+            return Err(EecsError::InvalidArgument(format!(
+                "live mask covers {} cameras, budgets {}",
+                live.len(),
+                budgets.len()
+            )));
+        }
+        let zero = EnergyBudget::per_frame(0.0).map_err(EecsError::from)?;
+        let masked: Vec<EnergyBudget> = budgets
+            .iter()
+            .zip(live)
+            .map(|(&b, &alive)| if alive { b } else { zero })
+            .collect();
+        self.select(data, matched_record, &masked, reid, downgrade)
+    }
 }
 
 #[cfg(test)]
@@ -273,5 +387,85 @@ mod tests {
         let reid = c.reid_config(None);
         let budgets = vec![EnergyBudget::per_frame(1.0).unwrap()];
         assert!(c.select(&data, &[99], &budgets, &reid, false).is_err());
+    }
+
+    /// A controller with real ground calibrations, as `select` needs one
+    /// per camera.
+    fn calibrated_controller(cameras: usize) -> Controller {
+        use eecs_geometry::calibration::landmark_grid;
+        use eecs_geometry::camera::Camera;
+        use eecs_geometry::point::Point3;
+        let lm = landmark_grid(10.0, 5);
+        let calibrations = (0..cameras)
+            .map(|j| {
+                let cam = Camera::new(
+                    Point3::new(5.0 + j as f64, -6.0, 2.8),
+                    std::f64::consts::FRAC_PI_2,
+                    0.35,
+                    320.0,
+                    360,
+                    288,
+                );
+                GroundCalibration::from_camera(&cam, &lm).unwrap()
+            })
+            .collect();
+        let mut cfg = EecsConfig::default();
+        cfg.similarity.beta = 2;
+        Controller::new(vec![record(0, 1), record(2, 2)], calibrations, cfg).unwrap()
+    }
+
+    #[test]
+    fn select_live_excludes_dead_cameras() {
+        let c = calibrated_controller(2);
+        let report = CameraReport {
+            objects: vec![ObjectMetadata {
+                camera: 0,
+                bbox: BBox::new(0.0, 0.0, 10.0, 20.0),
+                probability: 0.9,
+                color: vec![0.5; 3],
+            }],
+        };
+        let by_alg: CameraAssessment = [(AlgorithmId::Hog, vec![report])].into();
+        let data = AssessmentData {
+            reports: vec![by_alg.clone(), by_alg],
+        };
+        let reid = c.reid_config(None);
+        let budgets = vec![EnergyBudget::per_frame(2.0).unwrap(); 2];
+
+        let out = c
+            .select_live(&data, &[0, 1], &budgets, &reid, false, &[true, false])
+            .unwrap();
+        assert!(!out.active.contains(&1), "dead camera 1 selected");
+
+        // An all-dead round is infeasible — the caller must skip selection.
+        assert!(matches!(
+            c.select_live(&data, &[0, 1], &budgets, &reid, false, &[false, false]),
+            Err(EecsError::Infeasible(_))
+        ));
+        // Mask length is validated.
+        assert!(c
+            .select_live(&data, &[0, 1], &budgets, &reid, false, &[true])
+            .is_err());
+    }
+
+    #[test]
+    fn assessment_cache_staleness_policy() {
+        let mut cache = AssessmentCache::new(2);
+        assert!(cache.usable(0, 0, 2).is_none());
+        assert!(!cache.heard_in(0, 0));
+
+        let reports: CameraAssessment = [(AlgorithmId::Hog, Vec::new())].into();
+        cache.record(0, 3, reports);
+        assert!(cache.heard_in(0, 3));
+        assert_eq!(cache.age(0, 5), Some(2));
+        assert!(cache.usable(0, 5, 2).is_some(), "age 2 ≤ limit 2");
+        assert!(cache.usable(0, 6, 2).is_none(), "age 3 > limit 2");
+        assert!(cache.usable(1, 3, 2).is_none(), "other camera untouched");
+
+        cache.mark_heard(1, 4);
+        assert!(cache.heard_in(1, 4) && !cache.heard_in(1, 5));
+        // Out-of-range indices are ignored, not panicking.
+        cache.mark_heard(9, 1);
+        assert!(cache.usable(9, 1, 2).is_none());
     }
 }

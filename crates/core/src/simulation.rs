@@ -19,7 +19,7 @@
 
 use crate::camera_node::CameraNode;
 use crate::config::EecsConfig;
-use crate::controller::Controller;
+use crate::controller::{AssessmentCache, CameraAssessment, Controller};
 use crate::features::FeatureExtractor;
 use crate::metadata::CameraReport;
 use crate::profile::TrainingRecord;
@@ -31,7 +31,9 @@ use eecs_detect::bank::DetectorBank;
 use eecs_detect::detection::AlgorithmId;
 use eecs_energy::budget::{BatteryState, EnergyBudget};
 use eecs_energy::comm::JPEG_BYTES_PER_PIXEL;
-use eecs_net::message::{Message, WireSize};
+use eecs_net::fault::FaultPlan;
+use eecs_net::message::Message;
+use eecs_net::transport::{Network, TransportStats};
 use eecs_scene::dataset::DatasetProfile;
 use eecs_scene::rig::rig_calibrations;
 use eecs_scene::sequence::{FrameData, VideoFeed};
@@ -81,6 +83,9 @@ pub struct SimulationConfig {
     /// periodically enforce higher accuracy requirements in other
     /// rounds"). `0` disables boosting.
     pub boost_every: usize,
+    /// Deterministic network-fault schedule. [`FaultPlan::ideal`] (no
+    /// faults) reproduces the idealized pre-chaos energy numbers exactly.
+    pub fault_plan: FaultPlan,
 }
 
 /// One recalibration round's outcome.
@@ -117,6 +122,22 @@ pub struct SimulationReport {
     pub gt_objects: usize,
     /// Energy per camera (J).
     pub per_camera_energy: Vec<f64>,
+    /// Per-camera uplink transport statistics (attempts, drops, retries,
+    /// timeouts, duplicates, …).
+    pub transport: Vec<TransportStats>,
+    /// Controller-side downlink statistics.
+    pub downlink: TransportStats,
+}
+
+impl SimulationReport {
+    /// Aggregate uplink statistics across all cameras.
+    pub fn total_transport(&self) -> TransportStats {
+        let mut total = TransportStats::default();
+        for s in &self.transport {
+            total.merge(s);
+        }
+        total
+    }
 }
 
 /// A prepared simulation: trained records, matched feeds, calibrated rig.
@@ -300,18 +321,26 @@ impl Simulation {
             })
             .collect();
 
+        // The transport every flow now goes through. With the ideal plan
+        // every reliable send costs exactly one idealized attempt, so the
+        // energy accounting matches the raw byte math it replaces.
+        let chaos = self.config.fault_plan.enabled();
+        let mut net =
+            Network::with_nodes(vec![(self.config.eecs.link, self.config.eecs.device); cams])
+                .with_fault_plan(self.config.fault_plan.clone())
+                .with_retry_policy(self.config.eecs.retry);
+        let mut cache = AssessmentCache::new(cams);
+
         // One-time feature upload (Section IV-B.1).
         let extractor_dim = self.controller.records()[0].video.feature_dim();
-        for node in &mut nodes {
+        for (j, node) in nodes.iter_mut().enumerate() {
             let msg = Message::FeatureUpload {
                 frames: self.config.eecs.key_frames,
                 feature_dim: extractor_dim,
             };
-            node.charge_transmission(
-                msg.wire_bytes(),
-                &self.config.eecs.device,
-                &self.config.eecs.link,
-            )?;
+            let (battery, meter) = node.radio_mut();
+            net.send_reliable(j, msg, battery, meter)
+                .map_err(EecsError::from)?;
         }
 
         let mut rounds = Vec::new();
@@ -321,6 +350,8 @@ impl Simulation {
         let mut start = 0usize;
         let mut round_index = 0usize;
         let mut reid = self.controller.reid_config(None);
+        // Sticky fallback for rounds where every camera is silent.
+        let mut last_plan: (BTreeMap<usize, AlgorithmId>, Vec<usize>) = Default::default();
         while start < n {
             let end = (start + per_round).min(n);
             let boost_round = self.config.boost_every > 0
@@ -347,15 +378,47 @@ impl Simulation {
                             "no budget-feasible algorithm on any camera".into(),
                         ));
                     }
+                    // The baseline has no controller loop: assignments are
+                    // applied by fiat, not over the network.
+                    for (j, node) in nodes.iter_mut().enumerate() {
+                        node.set_assignment(a.get(&j).copied());
+                    }
                     let active = a.keys().copied().collect();
                     (a, active)
                 }
                 OperatingMode::CameraSubset | OperatingMode::FullEecs => {
                     let assess_end = (start + assess_len).min(end);
-                    let mut data = AssessmentData {
-                        reports: vec![BTreeMap::new(); cams],
-                    };
+
+                    // Liveness probe: lets the controller tell a silent-
+                    // but-alive camera from a dead one. On an ideal
+                    // network silence is impossible, so the probe (and
+                    // its energy) is elided and the idealized accounting
+                    // is unchanged.
+                    if chaos {
+                        for (j, node) in nodes.iter_mut().enumerate() {
+                            let (battery, meter) = node.radio_mut();
+                            let d = net
+                                .send_reliable(j, Message::EnergyReport, battery, meter)
+                                .map_err(EecsError::from)?;
+                            if d.delivered && d.delayed_rounds == 0 {
+                                cache.mark_heard(j, round_index);
+                            }
+                        }
+                    }
+
+                    // Fresh assessment: every feasible algorithm on every
+                    // reachable camera, each report uploaded through the
+                    // transport. Only what actually arrives this round
+                    // reaches the controller; a lost upload leaves an
+                    // empty placeholder (the header timestamps tell the
+                    // controller a frame happened, not what it held).
+                    let mut fresh: Vec<CameraAssessment> = vec![BTreeMap::new(); cams];
+                    let mut attempted = vec![false; cams];
+                    let mut delivered_any = vec![false; cams];
                     for j in 0..cams {
+                        if net.is_camera_down(j) {
+                            continue;
+                        }
                         let record = self.record_for(j);
                         let feasible: Vec<AlgorithmId> = record
                             .feasible_ranked(&self.budgets[j])
@@ -365,38 +428,93 @@ impl Simulation {
                         for alg in feasible {
                             let profile_a = record.profile(alg).expect("feasible ⇒ profiled");
                             let mut series = Vec::new();
-                            for f in start..assess_end {
+                            for fd in &frames[j][start..assess_end] {
                                 let report = nodes[j].run_algorithm(
                                     alg,
-                                    &frames[j][f].image,
+                                    &fd.image,
                                     profile_a,
                                     &self.config.eecs.device,
                                 )?;
                                 let msg = Message::DetectionMetadata {
                                     objects: report.len(),
                                 };
-                                nodes[j].charge_transmission(
-                                    msg.wire_bytes(),
-                                    &self.config.eecs.device,
-                                    &self.config.eecs.link,
-                                )?;
-                                series.push(report);
+                                attempted[j] = true;
+                                let (battery, meter) = nodes[j].radio_mut();
+                                let d = net
+                                    .send_reliable(j, msg, battery, meter)
+                                    .map_err(EecsError::from)?;
+                                if d.delivered && d.delayed_rounds == 0 {
+                                    delivered_any[j] = true;
+                                    cache.mark_heard(j, round_index);
+                                    series.push(report);
+                                } else {
+                                    series.push(CameraReport {
+                                        objects: Vec::new(),
+                                    });
+                                }
                             }
-                            data.reports[j].insert(alg, series);
+                            fresh[j].insert(alg, series);
                         }
                     }
-                    let metric = self.controller.fit_color_metric(&data);
-                    reid = self.controller.reid_config(metric);
-                    let outcome = self.controller.select(
-                        &data,
-                        &self.matched,
-                        &self.budgets,
-                        &reid,
-                        self.config.mode == OperatingMode::FullEecs,
-                    )?;
+
+                    // Graceful degradation: fresh data where it arrived,
+                    // cached data (within the staleness cap) for cameras
+                    // that are alive but unheard, exclusion for the rest.
+                    let mut data = AssessmentData {
+                        reports: vec![BTreeMap::new(); cams],
+                    };
+                    let mut live = vec![false; cams];
+                    for j in 0..cams {
+                        if delivered_any[j] {
+                            cache.record(j, round_index, fresh[j].clone());
+                            data.reports[j] = fresh[j].clone();
+                            live[j] = true;
+                        } else if net.is_camera_down(j) || attempted[j] {
+                            // Silent this round: crashed, or every upload
+                            // was lost. Reuse the last-known assessment if
+                            // the camera is still heard and the data is
+                            // not too stale; otherwise exclude it.
+                            if cache.heard_in(j, round_index) {
+                                if let Some(cached) = cache.usable(
+                                    j,
+                                    round_index,
+                                    self.config.eecs.staleness_limit_rounds,
+                                ) {
+                                    data.reports[j] = cached.clone();
+                                    live[j] = true;
+                                }
+                            }
+                        } else {
+                            // Nothing feasible to send — a budget
+                            // condition, not a network one: keep the
+                            // camera's real budget in play so selection
+                            // treats it exactly as the idealized model
+                            // did.
+                            live[j] = true;
+                        }
+                    }
+
+                    let plan = if live.iter().any(|&l| l) {
+                        let metric = self.controller.fit_color_metric(&data);
+                        reid = self.controller.reid_config(metric);
+                        let outcome = self.controller.select_live(
+                            &data,
+                            &self.matched,
+                            &self.budgets,
+                            &reid,
+                            self.config.mode == OperatingMode::FullEecs,
+                            &live,
+                        )?;
+                        Some(outcome)
+                    } else {
+                        // Every camera silent: nothing to plan with. Keep
+                        // the previous round's assignment (the cameras
+                        // keep whatever they last heard anyway).
+                        None
+                    };
 
                     // Score the assessment frames with the baseline
-                    // (all-best) reports already gathered.
+                    // (all-best) reports that actually arrived.
                     let mut best_assign = BTreeMap::new();
                     for j in 0..cams {
                         if let Some(p) = self.record_for(j).best_within_budget(&self.budgets[j]) {
@@ -407,21 +525,45 @@ impl Simulation {
                         let reports: Vec<CameraReport> = best_assign
                             .iter()
                             .filter_map(|(&j, alg)| {
-                                data.reports[j].get(alg).and_then(|v| v.get(fi)).cloned()
+                                fresh[j].get(alg).and_then(|v| v.get(fi)).cloned()
                             })
                             .collect();
                         let (c, g) = self.score_frame(&reports, &frames, f, &reid);
                         round_correct += c;
                         round_gt += g;
                     }
-                    if boost_round {
-                        // Section VII: override the energy-saving choice
-                        // with the full-accuracy configuration this round.
-                        let active = best_assign.keys().copied().collect();
-                        (best_assign, active)
-                    } else {
-                        (outcome.assignment, outcome.active)
+
+                    let (assignment, active) = match plan {
+                        Some(outcome) if boost_round => {
+                            // Section VII: override the energy-saving
+                            // choice with the full-accuracy configuration
+                            // this round.
+                            let _ = outcome;
+                            let active = best_assign.keys().copied().collect();
+                            (best_assign, active)
+                        }
+                        Some(outcome) => (outcome.assignment, outcome.active),
+                        None => last_plan.clone(),
+                    };
+
+                    // Downlink: the new plan must actually reach each
+                    // camera. A camera that misses its assignment keeps
+                    // the previous one (sticky); one that misses a
+                    // deactivation keeps burning energy — unreliability
+                    // has a price on both ends.
+                    for (j, node) in nodes.iter_mut().enumerate() {
+                        let intended = assignment.get(&j).copied();
+                        let msg = if intended.is_some() {
+                            Message::AlgorithmAssignment
+                        } else {
+                            Message::ActivationCommand
+                        };
+                        let d = net.send_downlink(j, msg).map_err(EecsError::from)?;
+                        if d.delivered {
+                            node.set_assignment(intended);
+                        }
                     }
+                    (assignment, active)
                 }
             };
 
@@ -432,8 +574,16 @@ impl Simulation {
             };
             for f in op_start..end {
                 let mut reports = Vec::new();
-                for &j in &active {
-                    let alg = assignment[&j];
+                for j in 0..cams {
+                    if net.is_camera_down(j) {
+                        continue;
+                    }
+                    // The camera runs what it last heard from the
+                    // controller — which under chaos may lag the plan the
+                    // controller just computed.
+                    let Some(alg) = nodes[j].assigned() else {
+                        continue;
+                    };
                     let profile_a = self
                         .record_for(j)
                         .profile(alg)
@@ -450,17 +600,17 @@ impl Simulation {
                         .iter()
                         .map(|o| (o.bbox.area().max(0.0) * JPEG_BYTES_PER_PIXEL) as u64 + 100)
                         .sum();
-                    let bytes = Message::DetectionMetadata {
+                    let msg = Message::ObjectDelivery {
                         objects: report.len(),
+                        crop_bytes,
+                    };
+                    let (battery, meter) = nodes[j].radio_mut();
+                    let d = net
+                        .send_reliable(j, msg, battery, meter)
+                        .map_err(EecsError::from)?;
+                    if d.delivered && d.delayed_rounds == 0 {
+                        reports.push(report);
                     }
-                    .wire_bytes()
-                        + crop_bytes;
-                    nodes[j].charge_transmission(
-                        bytes,
-                        &self.config.eecs.device,
-                        &self.config.eecs.link,
-                    )?;
-                    reports.push(report);
                 }
                 let (c, g) = self.score_frame(&reports, &frames, f, &reid);
                 round_correct += c;
@@ -468,6 +618,7 @@ impl Simulation {
             }
 
             let energy_after: f64 = nodes.iter().map(|c| c.meter().total()).sum();
+            last_plan = (assignment.clone(), active.clone());
             rounds.push(RoundRecord {
                 first_frame: frames[0][start].frame,
                 last_frame: frames[0][end - 1].frame,
@@ -481,6 +632,8 @@ impl Simulation {
             total_gt += round_gt;
             start = end;
             round_index += 1;
+            net.advance_round();
+            let _ = net.drain_inbox();
         }
 
         Ok(SimulationReport {
@@ -489,6 +642,10 @@ impl Simulation {
             correctly_detected: total_correct,
             gt_objects: total_gt,
             per_camera_energy: nodes.iter().map(|c| c.meter().total()).collect(),
+            transport: (0..cams)
+                .map(|j| net.stats(j).expect("node exists"))
+                .collect(),
+            downlink: net.downlink_stats(),
             rounds,
         })
     }
@@ -548,6 +705,7 @@ mod tests {
             feature_words: 12,
             max_training_frames: 8,
             boost_every: 0,
+            fault_plan: FaultPlan::ideal(),
         }
     }
 

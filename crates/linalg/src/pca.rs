@@ -123,8 +123,8 @@ impl Pca {
         );
         let mut out = self.mean.clone();
         for (c, &p) in projected.iter().enumerate() {
-            for r in 0..out.len() {
-                out[r] += self.basis[(r, c)] * p;
+            for (r, o) in out.iter_mut().enumerate() {
+                *o += self.basis[(r, c)] * p;
             }
         }
         out
@@ -163,8 +163,7 @@ fn snapshot_pca(centered: &Mat, n_components: usize) -> Result<(Mat, Vec<f64>)> 
         let u = eig.eigenvectors.col(c);
         // direction = Cᵀ u / ||Cᵀ u||; the norm equals √((k-1)·λ).
         let mut dir = vec![0.0; alpha];
-        for r in 0..k {
-            let w = u[r];
+        for (r, &w) in u.iter().enumerate().take(k) {
             if w == 0.0 {
                 continue;
             }

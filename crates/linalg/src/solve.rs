@@ -100,8 +100,8 @@ impl Lu {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[self.perm[i]];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * yj;
             }
             y[i] = s;
         }
@@ -109,8 +109,8 @@ impl Lu {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s / self.lu[(i, i)];
         }
@@ -202,16 +202,16 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[i];
-            for j in 0..i {
-                s -= self.l[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= self.l[(i, j)] * yj;
             }
             y[i] = s / self.l[(i, i)];
         }
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.l[(j, i)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.l[(j, i)] * xj;
             }
             x[i] = s / self.l[(i, i)];
         }

@@ -123,8 +123,8 @@ impl MahalanobisMetric {
         let mut y = vec![0.0; self.dim];
         for i in 0..self.dim {
             let mut s = diff[i];
-            for j in 0..i {
-                s -= self.chol.l[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= self.chol.l[(i, j)] * yj;
             }
             y[i] = s / self.chol.l[(i, i)];
         }

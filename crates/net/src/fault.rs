@@ -1,0 +1,366 @@
+//! Deterministic fault injection for the simulated network.
+//!
+//! A [`FaultPlan`] describes everything that can go wrong on the star
+//! network: per-link packet loss, delivery delay and jitter, duplication,
+//! reordering, scheduled link outages, and camera crash (brownout)
+//! windows. The plan is *seeded*: every probabilistic decision is a pure
+//! function of `(seed, link, event tag, event counter)`, so two runs of
+//! the same simulation with the same plan produce byte-for-byte identical
+//! traces — no global RNG, no wall-clock dependence.
+//!
+//! Time is measured in simulation *rounds* (the controller's assessment /
+//! operation cadence), matching how `eecs-core` advances the network via
+//! [`crate::Network::advance_round`]. Outage and crash windows are
+//! half-open round intervals.
+//!
+//! Fault semantics, chosen to stay cheap and deterministic:
+//!
+//! * **Loss** applies independently to each data attempt *and* to each
+//!   acknowledgement, so a message can be delivered yet still retried
+//!   (the classic duplicate-generating failure mode).
+//! * **Outage** means the link is deterministically down for the whole
+//!   round: the sender burns one probe attempt (carrier sense / missed
+//!   beacons reveal a dead channel), then gives up until the next round.
+//! * **Crash** means the camera itself is unpowered: no attempt is made
+//!   and no energy is drawn.
+
+use std::collections::BTreeMap;
+
+/// Event-tag for a data transmission roll.
+pub(crate) const TAG_DATA: u64 = 1;
+/// Event-tag for an acknowledgement roll.
+pub(crate) const TAG_ACK: u64 = 2;
+/// Event-tag for a delivery-jitter roll.
+pub(crate) const TAG_JITTER: u64 = 3;
+/// Event-tag for a duplication roll.
+pub(crate) const TAG_DUP: u64 = 4;
+/// Event-tag for a reordering roll.
+pub(crate) const TAG_REORDER: u64 = 5;
+
+/// Stochastic fault parameters of one camera ↔ controller link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability in `[0, 1)` that one transmission attempt (data or
+    /// ack) is lost.
+    pub loss: f64,
+    /// Fixed delivery delay, in rounds.
+    pub delay_rounds: usize,
+    /// Random extra delay: each delivery draws 0..=`jitter_rounds` extra
+    /// rounds.
+    pub jitter_rounds: usize,
+    /// Probability in `[0, 1)` that a delivered packet is duplicated by
+    /// the network.
+    pub duplicate: f64,
+    /// Probability in `[0, 1)` that a delivered packet overtakes the one
+    /// before it in the controller inbox.
+    pub reorder: f64,
+}
+
+impl LinkFaults {
+    /// A perfectly clean link: no loss, delay, duplication or reorder.
+    pub fn ideal() -> LinkFaults {
+        LinkFaults {
+            loss: 0.0,
+            delay_rounds: 0,
+            jitter_rounds: 0,
+            duplicate: 0.0,
+            reorder: 0.0,
+        }
+    }
+
+    /// A link that only loses packets, with probability `loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= loss < 1` (at `loss = 1` a retry loop could
+    /// never terminate).
+    pub fn lossy(loss: f64) -> LinkFaults {
+        let f = LinkFaults {
+            loss,
+            ..LinkFaults::ideal()
+        };
+        f.check();
+        f
+    }
+
+    /// Whether this link behaves perfectly.
+    pub fn is_ideal(&self) -> bool {
+        *self == LinkFaults::ideal()
+    }
+
+    fn check(&self) {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+        ] {
+            assert!(
+                (0.0..1.0).contains(&p),
+                "fault probability `{name}` must be in [0, 1), got {p}"
+            );
+        }
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::ideal()
+    }
+}
+
+/// A half-open window of simulation rounds, `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First round inside the window.
+    pub start: usize,
+    /// First round past the window.
+    pub end: usize,
+}
+
+impl Window {
+    /// The window `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start >= end` (empty windows are configuration bugs).
+    pub fn new(start: usize, end: usize) -> Window {
+        assert!(start < end, "empty fault window [{start}, {end})");
+        Window { start, end }
+    }
+
+    /// Whether `round` falls inside the window.
+    pub fn contains(&self, round: usize) -> bool {
+        (self.start..self.end).contains(&round)
+    }
+}
+
+/// A seeded, deterministic schedule of network faults.
+///
+/// Construct with [`FaultPlan::ideal`] (no faults, the default) or
+/// [`FaultPlan::seeded`], then layer faults with the builder methods:
+///
+/// ```
+/// use eecs_net::{FaultPlan, LinkFaults};
+///
+/// let plan = FaultPlan::seeded(42)
+///     .with_default_faults(LinkFaults::lossy(0.3))
+///     .with_outage(1, 2, 4) // camera 1's link down for rounds 2..4
+///     .with_crash(3, 0, 10); // camera 3 never comes up
+/// assert!(plan.is_crashed(3, 5) && !plan.is_crashed(2, 5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    default_faults: LinkFaults,
+    per_link: BTreeMap<usize, LinkFaults>,
+    outages: Vec<(usize, Window)>,
+    crashes: Vec<(usize, Window)>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all — the network behaves exactly like
+    /// the pre-fault-injection ideal transport.
+    pub fn ideal() -> FaultPlan {
+        FaultPlan::seeded(0)
+    }
+
+    /// An empty plan carrying the RNG `seed`; add faults with the
+    /// `with_*` builders.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            default_faults: LinkFaults::ideal(),
+            per_link: BTreeMap::new(),
+            outages: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// The seed every roll is derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the fault parameters used by links without a per-link entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a probability is outside `[0, 1)`.
+    pub fn with_default_faults(mut self, faults: LinkFaults) -> FaultPlan {
+        faults.check();
+        self.default_faults = faults;
+        self
+    }
+
+    /// Overrides the fault parameters of `camera`'s link.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a probability is outside `[0, 1)`.
+    pub fn with_link_faults(mut self, camera: usize, faults: LinkFaults) -> FaultPlan {
+        faults.check();
+        self.per_link.insert(camera, faults);
+        self
+    }
+
+    /// Schedules a link outage for `camera` over rounds `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start >= end`.
+    pub fn with_outage(mut self, camera: usize, start: usize, end: usize) -> FaultPlan {
+        self.outages.push((camera, Window::new(start, end)));
+        self
+    }
+
+    /// Schedules a crash (brownout) of `camera` over rounds
+    /// `[start, end)`: the device is off, so it neither computes, sends,
+    /// nor receives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start >= end`.
+    pub fn with_crash(mut self, camera: usize, start: usize, end: usize) -> FaultPlan {
+        self.crashes.push((camera, Window::new(start, end)));
+        self
+    }
+
+    /// The fault parameters governing `camera`'s link.
+    pub fn faults(&self, camera: usize) -> LinkFaults {
+        self.per_link
+            .get(&camera)
+            .copied()
+            .unwrap_or(self.default_faults)
+    }
+
+    /// Whether `camera`'s link is in a scheduled outage at `round`.
+    pub fn is_outage(&self, camera: usize, round: usize) -> bool {
+        self.outages
+            .iter()
+            .any(|(c, w)| *c == camera && w.contains(round))
+    }
+
+    /// Whether `camera` is crashed (unpowered) at `round`.
+    pub fn is_crashed(&self, camera: usize, round: usize) -> bool {
+        self.crashes
+            .iter()
+            .any(|(c, w)| *c == camera && w.contains(round))
+    }
+
+    /// Whether the plan injects any fault at all. An ideal plan lets the
+    /// transport skip every roll.
+    pub fn enabled(&self) -> bool {
+        !self.default_faults.is_ideal()
+            || self.per_link.values().any(|f| !f.is_ideal())
+            || !self.outages.is_empty()
+            || !self.crashes.is_empty()
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for event number `counter`
+    /// of kind `tag` on `link`.
+    ///
+    /// SplitMix64-style finalizer over the mixed inputs; the counter is
+    /// supplied by the transport, which increments it once per roll, so a
+    /// replay with the same plan and the same event order reproduces
+    /// every outcome exactly.
+    pub(crate) fn unit_roll(&self, link: usize, tag: u64, counter: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((link as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(tag.wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add(counter.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_plan_is_disabled() {
+        assert!(!FaultPlan::ideal().enabled());
+        assert!(LinkFaults::ideal().is_ideal());
+    }
+
+    #[test]
+    fn builders_enable_the_plan() {
+        assert!(FaultPlan::seeded(1)
+            .with_default_faults(LinkFaults::lossy(0.1))
+            .enabled());
+        assert!(FaultPlan::seeded(1)
+            .with_link_faults(2, LinkFaults::lossy(0.5))
+            .enabled());
+        assert!(FaultPlan::seeded(1).with_outage(0, 0, 1).enabled());
+        assert!(FaultPlan::seeded(1).with_crash(0, 3, 9).enabled());
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let plan = FaultPlan::seeded(7)
+            .with_outage(2, 3, 5)
+            .with_crash(1, 0, 2);
+        assert!(!plan.is_outage(2, 2));
+        assert!(plan.is_outage(2, 3) && plan.is_outage(2, 4));
+        assert!(!plan.is_outage(2, 5));
+        assert!(!plan.is_outage(0, 4), "outage is per-camera");
+        assert!(plan.is_crashed(1, 0) && !plan.is_crashed(1, 2));
+    }
+
+    #[test]
+    fn per_link_faults_override_default() {
+        let plan = FaultPlan::seeded(9)
+            .with_default_faults(LinkFaults::lossy(0.2))
+            .with_link_faults(1, LinkFaults::ideal());
+        assert_eq!(plan.faults(0).loss, 0.2);
+        assert!(plan.faults(1).is_ideal());
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_distinct() {
+        let plan = FaultPlan::seeded(1234);
+        let a = plan.unit_roll(0, TAG_DATA, 0);
+        assert_eq!(a, plan.unit_roll(0, TAG_DATA, 0), "same inputs, same roll");
+        assert_ne!(a, plan.unit_roll(0, TAG_DATA, 1));
+        assert_ne!(a, plan.unit_roll(1, TAG_DATA, 0));
+        assert_ne!(a, plan.unit_roll(0, TAG_ACK, 0));
+        assert_ne!(a, FaultPlan::seeded(1235).unit_roll(0, TAG_DATA, 0));
+    }
+
+    #[test]
+    fn rolls_are_roughly_uniform() {
+        let plan = FaultPlan::seeded(42);
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|i| plan.unit_roll(0, TAG_JITTER, i))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!((0..n).all(|i| {
+            let r = plan.unit_roll(3, TAG_DUP, i);
+            (0.0..1.0).contains(&r)
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault probability")]
+    fn certain_loss_rejected() {
+        LinkFaults::lossy(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fault window")]
+    fn empty_window_rejected() {
+        Window::new(4, 4);
+    }
+}

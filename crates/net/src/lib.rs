@@ -10,12 +10,21 @@
 //!   sizes (172 B per detected object, 4 B per feature value, …),
 //! * [`transport`] — an in-memory star network that delivers messages to
 //!   the controller, charges the sender's battery through the device/link
-//!   models, and keeps delivery statistics.
+//!   models, and keeps delivery statistics,
+//! * [`fault`] — a seeded, deterministic [`FaultPlan`] injecting packet
+//!   loss, delay/jitter, duplication, reordering, link outages, and
+//!   camera crash windows,
+//! * [`reliable`] — the ack/retry policy and per-send [`Delivery`]
+//!   outcome of the transport's reliable path.
 
+pub mod fault;
 pub mod message;
+pub mod reliable;
 pub mod transport;
 
+pub use fault::{FaultPlan, LinkFaults, Window};
 pub use message::{Message, WireSize};
+pub use reliable::{Delivery, RetryPolicy};
 pub use transport::{Network, TransportStats};
 
 use std::error::Error;
@@ -28,14 +37,26 @@ pub enum NetError {
     /// The addressed node does not exist.
     UnknownNode(usize),
     /// The sender's battery could not cover the transmission.
-    SendFailed(String),
+    SendFailed {
+        /// Energy one attempt needed (J).
+        needed_j: f64,
+        /// Energy the battery had left (J).
+        available_j: f64,
+    },
 }
 
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::UnknownNode(id) => write!(f, "unknown node {id}"),
-            NetError::SendFailed(msg) => write!(f, "send failed: {msg}"),
+            NetError::SendFailed {
+                needed_j,
+                available_j,
+            } => write!(
+                f,
+                "send failed: battery exhausted: requested {needed_j:.3} J, \
+                 remaining {available_j:.3} J"
+            ),
         }
     }
 }
@@ -52,5 +73,13 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(NetError::UnknownNode(3).to_string().contains('3'));
+        let e = NetError::SendFailed {
+            needed_j: 1.25,
+            available_j: 0.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("send failed: "), "{msg}");
+        assert!(msg.contains("1.250") && msg.contains("0.500"), "{msg}");
+        let _: &dyn Error = &e;
     }
 }

@@ -35,6 +35,16 @@ pub enum Message {
         /// Compressed byte count.
         bytes: u64,
     },
+    /// Camera → controller: one operation frame's complete result —
+    /// detection metadata plus the cropped JPEGs — bundled as a single
+    /// delivery unit so the reliability layer acks it atomically. Wire
+    /// size equals a [`Message::DetectionMetadata`] plus the crop bytes.
+    ObjectDelivery {
+        /// Number of detected objects in the frame.
+        objects: usize,
+        /// Compressed bytes of all cropped regions.
+        crop_bytes: u64,
+    },
     /// Controller → camera: which algorithm to run until recalibration.
     AlgorithmAssignment,
     /// Controller → camera: activate or deactivate the camera.
@@ -58,6 +68,10 @@ impl WireSize for Message {
                 Message::EnergyReport => 8,
                 Message::DetectionMetadata { objects } => metadata_bytes(*objects),
                 Message::CroppedImage { bytes } => *bytes,
+                Message::ObjectDelivery {
+                    objects,
+                    crop_bytes,
+                } => metadata_bytes(*objects) + crop_bytes,
                 Message::AlgorithmAssignment => 4,
                 Message::ActivationCommand => 1,
             }
@@ -98,5 +112,15 @@ mod tests {
     fn cropped_image_passthrough() {
         let m = Message::CroppedImage { bytes: 5000 };
         assert_eq!(m.wire_bytes(), HEADER_BYTES + 5000);
+    }
+
+    #[test]
+    fn object_delivery_bundles_metadata_and_crops() {
+        let bundled = Message::ObjectDelivery {
+            objects: 2,
+            crop_bytes: 5000,
+        };
+        let split = Message::DetectionMetadata { objects: 2 }.wire_bytes() + 5000;
+        assert_eq!(bundled.wire_bytes(), split);
     }
 }

@@ -1,0 +1,123 @@
+//! Reliable-delivery policy and per-send outcome.
+//!
+//! The transport's reliable path ([`crate::Network::send_reliable`])
+//! implements a stop-and-wait ARQ: every message carries a per-sender
+//! sequence number, the controller acknowledges each copy it hears, and
+//! the sender retries unacknowledged messages with exponential backoff up
+//! to a retry cap. The controller inbox suppresses duplicate sequence
+//! numbers, so loss of an *ack* (message delivered, sender unaware) never
+//! double-delivers.
+//!
+//! Every attempt — including ones whose data or ack is lost — drains the
+//! sender's battery through the usual link/device energy models; that is
+//! the whole point of modeling retries in an energy paper.
+
+/// Retry/backoff parameters of the reliable send path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first; [`u32::MAX`] means retry
+    /// until acknowledged (termination then relies on loss `< 1`).
+    pub max_retries: u32,
+    /// Backoff before the first retry (s).
+    pub base_backoff_s: f64,
+    /// Multiplier applied to the backoff for each further retry.
+    pub backoff_factor: f64,
+    /// Upper bound on a single backoff interval (s).
+    pub max_backoff_s: f64,
+}
+
+impl RetryPolicy {
+    /// Retry forever (until acknowledged or the battery dies).
+    pub fn unlimited() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: u32::MAX,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Give up after the first attempt — no retries at all.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff interval waited before attempt number `attempt`
+    /// (1-based): zero for the first attempt, then
+    /// `base · factor^(attempt - 2)` capped at `max_backoff_s`.
+    pub fn backoff_before_attempt(&self, attempt: u32) -> f64 {
+        if attempt <= 1 {
+            return 0.0;
+        }
+        let scaled = self.base_backoff_s * self.backoff_factor.powi(attempt as i32 - 2);
+        scaled.min(self.max_backoff_s)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Five retries, 50 ms initial backoff doubling up to 2 s — the
+    /// usual WiFi-association-scale numbers.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_backoff_s: 0.05,
+            backoff_factor: 2.0,
+            max_backoff_s: 2.0,
+        }
+    }
+}
+
+/// Outcome of one reliable send.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Whether any copy of the message reached the controller inbox
+    /// (possibly still pending a delivery delay).
+    pub delivered: bool,
+    /// Whether the sender heard an acknowledgement. `delivered` without
+    /// `acked` means the ack was lost and the retry cap ran out.
+    pub acked: bool,
+    /// Transmission attempts made (0 for a crashed sender).
+    pub attempts: u32,
+    /// The per-sender sequence number this send consumed.
+    pub seq: u64,
+    /// Rounds of delivery delay (fixed delay + jitter) the accepted copy
+    /// incurred; 0 when delivered immediately or not delivered.
+    pub delayed_rounds: usize,
+    /// Total backoff time spent between attempts (s).
+    pub backoff_s: f64,
+}
+
+impl Delivery {
+    pub(crate) fn pending(seq: u64) -> Delivery {
+        Delivery {
+            delivered: false,
+            acked: false,
+            attempts: 0,
+            seq,
+            delayed_rounds: 0,
+            backoff_s: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_geometrically_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_before_attempt(1), 0.0);
+        assert!((p.backoff_before_attempt(2) - 0.05).abs() < 1e-12);
+        assert!((p.backoff_before_attempt(3) - 0.10).abs() < 1e-12);
+        assert!((p.backoff_before_attempt(4) - 0.20).abs() < 1e-12);
+        assert_eq!(p.backoff_before_attempt(30), p.max_backoff_s);
+    }
+
+    #[test]
+    fn unlimited_and_none_policies() {
+        assert_eq!(RetryPolicy::unlimited().max_retries, u32::MAX);
+        assert_eq!(RetryPolicy::none().max_retries, 0);
+    }
+}

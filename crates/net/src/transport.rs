@@ -4,25 +4,78 @@
 //! sender's battery through its link and device models and records
 //! delivery statistics; delivered messages land in the controller's inbox
 //! in send order.
+//!
+//! Two send paths exist:
+//!
+//! * [`Network::send`] — the raw physical-layer primitive: one attempt,
+//!   no faults, no acknowledgement. Kept for components that account
+//!   energy for an idealized transmission.
+//! * [`Network::send_reliable`] — the transport the simulation uses: the
+//!   configured [`FaultPlan`] may drop, delay, duplicate or reorder each
+//!   attempt, and a stop-and-wait ARQ ([`RetryPolicy`]) retries
+//!   unacknowledged messages with exponential backoff. Every attempt —
+//!   successful or not — drains the sender's battery.
+//!
+//! The controller's downlink ([`Network::send_downlink`]) runs the same
+//! ARQ but charges no camera battery: the controller is mains-powered
+//! and receive energy is not modeled (matching the uplink, where the
+//! controller's receive side is also free).
+//!
+//! Time advances in simulation rounds via [`Network::advance_round`],
+//! which matures delayed deliveries into the inbox.
 
+use std::collections::BTreeSet;
+
+use crate::fault::{FaultPlan, TAG_ACK, TAG_DATA, TAG_DUP, TAG_JITTER, TAG_REORDER};
 use crate::message::{Message, WireSize};
+use crate::reliable::{Delivery, RetryPolicy};
 use crate::{NetError, Result};
 use eecs_energy::budget::BatteryState;
 use eecs_energy::comm::LinkModel;
 use eecs_energy::meter::{EnergyCategory, PowerMeter};
 use eecs_energy::model::DeviceEnergyModel;
+use eecs_energy::EnergyError;
 
 /// Per-node delivery statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TransportStats {
-    /// Messages sent.
+    /// Messages delivered and acknowledged end-to-end.
     pub messages: u64,
-    /// Bytes on the wire.
+    /// Bytes put on the wire, failed attempts included.
     pub bytes: u64,
-    /// Radio energy spent (J).
+    /// Radio energy spent (J), failed attempts included.
     pub energy_j: f64,
-    /// Cumulative air time (s).
+    /// Cumulative air time (s), failed attempts included.
     pub airtime_s: f64,
+    /// Transmission attempts, including drops and retries.
+    pub attempts: u64,
+    /// Attempts whose data was lost in transit.
+    pub drops: u64,
+    /// Re-attempts made after a missing acknowledgement.
+    pub retries: u64,
+    /// Sends that exhausted the retry cap without an acknowledgement
+    /// (plus sends refused outright because the sender was crashed).
+    pub timeouts: u64,
+    /// Duplicate copies suppressed at the controller inbox.
+    pub duplicates: u64,
+    /// Total backoff time spent waiting between retries (s).
+    pub backoff_s: f64,
+}
+
+impl TransportStats {
+    /// Adds `other` into `self`, field by field.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.energy_j += other.energy_j;
+        self.airtime_s += other.airtime_s;
+        self.attempts += other.attempts;
+        self.drops += other.drops;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.duplicates += other.duplicates;
+        self.backoff_s += other.backoff_s;
+    }
 }
 
 /// One camera's attachment point.
@@ -31,29 +84,88 @@ struct Node {
     link: LinkModel,
     device: DeviceEnergyModel,
     stats: TransportStats,
+    /// Next uplink sequence number this camera will use.
+    next_seq: u64,
+    /// Sequence numbers already accepted into the inbox (duplicate
+    /// suppression).
+    delivered_seqs: BTreeSet<u64>,
+}
+
+impl Node {
+    fn new(link: LinkModel, device: DeviceEnergyModel) -> Node {
+        Node {
+            link,
+            device,
+            stats: TransportStats::default(),
+            next_seq: 0,
+            delivered_seqs: BTreeSet::new(),
+        }
+    }
+}
+
+/// A delivery held back by link delay/jitter until its round comes up.
+#[derive(Debug, Clone)]
+struct PendingDelivery {
+    due_round: usize,
+    from: usize,
+    message: Message,
 }
 
 /// The star network: `n` camera nodes and a controller inbox.
 #[derive(Debug, Clone)]
 pub struct Network {
     nodes: Vec<Node>,
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    /// Current simulation round (drives outage/crash windows and delays).
+    round: usize,
+    /// Monotone event counter feeding the plan's deterministic rolls.
+    rolls: u64,
+    /// Next downlink sequence number.
+    next_downlink_seq: u64,
+    /// Controller-side (downlink) statistics; no camera battery is
+    /// involved, so `energy_j`/`airtime_s` stay zero.
+    downlink_stats: TransportStats,
     inbox: Vec<(usize, Message)>,
+    pending: Vec<PendingDelivery>,
 }
 
 impl Network {
-    /// Creates a network of `cameras` identical nodes.
+    /// Creates a network of `cameras` identical nodes with an ideal
+    /// (fault-free) plan and the default retry policy.
     pub fn new(cameras: usize, link: LinkModel, device: DeviceEnergyModel) -> Network {
+        Network::with_nodes(vec![(link, device); cameras])
+    }
+
+    /// Creates a network from per-camera `(link, device)` pairs, for
+    /// heterogeneous rigs.
+    pub fn with_nodes(nodes: Vec<(LinkModel, DeviceEnergyModel)>) -> Network {
         Network {
-            nodes: vec![
-                Node {
-                    link,
-                    device,
-                    stats: TransportStats::default(),
-                };
-                cameras
-            ],
+            nodes: nodes
+                .into_iter()
+                .map(|(link, device)| Node::new(link, device))
+                .collect(),
+            plan: FaultPlan::ideal(),
+            retry: RetryPolicy::default(),
+            round: 0,
+            rolls: 0,
+            next_downlink_seq: 0,
+            downlink_stats: TransportStats::default(),
             inbox: Vec::new(),
+            pending: Vec::new(),
         }
+    }
+
+    /// Installs `plan` as the network's fault schedule.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Network {
+        self.plan = plan;
+        self
+    }
+
+    /// Installs `retry` as the reliable-path retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Network {
+        self.retry = retry;
+        self
     }
 
     /// Number of camera nodes.
@@ -61,8 +173,46 @@ impl Network {
         self.nodes.len()
     }
 
-    /// Sends `message` from camera `from`, draining `battery` for the radio
-    /// energy.
+    /// The installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The installed retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The current simulation round.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Advances to the next simulation round: outage/crash windows move
+    /// on, and delayed deliveries whose time has come mature into the
+    /// inbox (in age order).
+    pub fn advance_round(&mut self) {
+        self.round += 1;
+        let round = self.round;
+        let mut still_pending = Vec::new();
+        for p in std::mem::take(&mut self.pending) {
+            if p.due_round <= round {
+                self.push_inbox(p.from, p.message);
+            } else {
+                still_pending.push(p);
+            }
+        }
+        self.pending = still_pending;
+    }
+
+    /// Whether `camera` is crashed (unpowered) in the current round.
+    pub fn is_camera_down(&self, camera: usize) -> bool {
+        self.plan.is_crashed(camera, self.round)
+    }
+
+    /// Sends `message` from camera `from`, draining `battery` for the
+    /// radio energy. This is the raw single-attempt primitive: the fault
+    /// plan does not apply and no acknowledgement is involved.
     ///
     /// # Errors
     ///
@@ -82,11 +232,10 @@ impl Network {
             .ok_or(NetError::UnknownNode(from))?;
         let bytes = message.wire_bytes();
         let energy = node.link.transmit_energy(bytes, &node.device);
-        battery
-            .drain(energy)
-            .map_err(|e| NetError::SendFailed(e.to_string()))?;
+        battery.drain(energy).map_err(send_failed)?;
         meter.record(EnergyCategory::Communication, energy);
         node.stats.messages += 1;
+        node.stats.attempts += 1;
         node.stats.bytes += bytes;
         node.stats.energy_j += energy;
         node.stats.airtime_s += node.link.transfer_time(bytes);
@@ -94,8 +243,178 @@ impl Network {
         Ok(())
     }
 
+    /// Sends `message` from camera `from` through the fault plan with
+    /// ack/retry semantics, draining `battery` once per attempt.
+    ///
+    /// The returned [`Delivery`] reports what actually happened:
+    /// `delivered` (some copy reached the inbox, possibly delayed),
+    /// `acked` (the sender heard an ack), attempts, and backoff time. A
+    /// crashed sender makes no attempt and spends no energy; a link in
+    /// outage burns exactly one probe attempt.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::UnknownNode`] for a bad index,
+    /// * [`NetError::SendFailed`] when the battery dies mid-sequence —
+    ///   earlier attempts remain charged and an already-delivered copy
+    ///   stays in the inbox.
+    pub fn send_reliable(
+        &mut self,
+        from: usize,
+        message: Message,
+        battery: &mut BatteryState,
+        meter: &mut PowerMeter,
+    ) -> Result<Delivery> {
+        if from >= self.nodes.len() {
+            return Err(NetError::UnknownNode(from));
+        }
+        let seq = self.nodes[from].next_seq;
+        self.nodes[from].next_seq += 1;
+        let mut delivery = Delivery::pending(seq);
+
+        if self.plan.is_crashed(from, self.round) {
+            self.nodes[from].stats.timeouts += 1;
+            return Ok(delivery);
+        }
+
+        let bytes = message.wire_bytes();
+        let faults = self.plan.faults(from);
+        let outage = self.plan.is_outage(from, self.round);
+        // During an outage the channel is deterministically dead for the
+        // round, and the MAC layer notices (no association, no ack to the
+        // first probe): one attempt, then give up until next round.
+        let max_attempts: u64 = if outage {
+            1
+        } else {
+            u64::from(self.retry.max_retries).saturating_add(1)
+        };
+
+        loop {
+            if delivery.attempts > 0 {
+                let backoff = self.retry.backoff_before_attempt(delivery.attempts + 1);
+                delivery.backoff_s += backoff;
+                self.nodes[from].stats.retries += 1;
+                self.nodes[from].stats.backoff_s += backoff;
+            }
+            let node = &mut self.nodes[from];
+            let energy = node.link.transmit_energy(bytes, &node.device);
+            battery.drain(energy).map_err(send_failed)?;
+            meter.record(EnergyCategory::Communication, energy);
+            node.stats.attempts += 1;
+            node.stats.bytes += bytes;
+            node.stats.energy_j += energy;
+            node.stats.airtime_s += node.link.transfer_time(bytes);
+            delivery.attempts += 1;
+
+            let data_lost =
+                outage || (faults.loss > 0.0 && self.roll(from, TAG_DATA) < faults.loss);
+            if data_lost {
+                self.nodes[from].stats.drops += 1;
+            } else {
+                if self.nodes[from].delivered_seqs.insert(seq) {
+                    // First copy to arrive: admit it, after any delay.
+                    delivery.delivered = true;
+                    let mut delay = faults.delay_rounds;
+                    if faults.jitter_rounds > 0 {
+                        let draw = self.roll(from, TAG_JITTER);
+                        delay += (draw * (faults.jitter_rounds + 1) as f64) as usize;
+                    }
+                    delivery.delayed_rounds = delay;
+                    self.admit(from, message.clone(), delay);
+                    // The network itself may duplicate the packet; the
+                    // extra copy carries the same seq and is suppressed.
+                    if faults.duplicate > 0.0 && self.roll(from, TAG_DUP) < faults.duplicate {
+                        self.nodes[from].stats.duplicates += 1;
+                    }
+                } else {
+                    // Retransmission of a seq the inbox already has
+                    // (its ack was lost): suppress.
+                    self.nodes[from].stats.duplicates += 1;
+                }
+                let ack_lost = faults.loss > 0.0 && self.roll(from, TAG_ACK) < faults.loss;
+                if !ack_lost {
+                    delivery.acked = true;
+                    self.nodes[from].stats.messages += 1;
+                    return Ok(delivery);
+                }
+            }
+            if u64::from(delivery.attempts) >= max_attempts {
+                self.nodes[from].stats.timeouts += 1;
+                return Ok(delivery);
+            }
+        }
+    }
+
+    /// Sends `message` from the controller to camera `to` with the same
+    /// ARQ semantics as [`Network::send_reliable`], but charging no
+    /// battery: the controller is mains-powered. A crashed camera cannot
+    /// receive; check [`Delivery::delivered`] before applying the
+    /// message's effect. Outcomes accumulate in
+    /// [`Network::downlink_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for a bad index.
+    pub fn send_downlink(&mut self, to: usize, message: Message) -> Result<Delivery> {
+        if to >= self.nodes.len() {
+            return Err(NetError::UnknownNode(to));
+        }
+        let seq = self.next_downlink_seq;
+        self.next_downlink_seq += 1;
+        let mut delivery = Delivery::pending(seq);
+
+        if self.plan.is_crashed(to, self.round) {
+            self.downlink_stats.timeouts += 1;
+            return Ok(delivery);
+        }
+
+        let bytes = message.wire_bytes();
+        let faults = self.plan.faults(to);
+        let outage = self.plan.is_outage(to, self.round);
+        let max_attempts: u64 = if outage {
+            1
+        } else {
+            u64::from(self.retry.max_retries).saturating_add(1)
+        };
+
+        loop {
+            if delivery.attempts > 0 {
+                let backoff = self.retry.backoff_before_attempt(delivery.attempts + 1);
+                delivery.backoff_s += backoff;
+                self.downlink_stats.retries += 1;
+                self.downlink_stats.backoff_s += backoff;
+            }
+            self.downlink_stats.attempts += 1;
+            self.downlink_stats.bytes += bytes;
+            delivery.attempts += 1;
+
+            let data_lost = outage || (faults.loss > 0.0 && self.roll(to, TAG_DATA) < faults.loss);
+            if data_lost {
+                self.downlink_stats.drops += 1;
+            } else {
+                if delivery.delivered {
+                    // The camera already has this seq; the repeat is
+                    // suppressed on its side.
+                    self.downlink_stats.duplicates += 1;
+                }
+                delivery.delivered = true;
+                let ack_lost = faults.loss > 0.0 && self.roll(to, TAG_ACK) < faults.loss;
+                if !ack_lost {
+                    delivery.acked = true;
+                    self.downlink_stats.messages += 1;
+                    return Ok(delivery);
+                }
+            }
+            if u64::from(delivery.attempts) >= max_attempts {
+                self.downlink_stats.timeouts += 1;
+                return Ok(delivery);
+            }
+        }
+    }
+
     /// Drains the controller's inbox, returning `(sender, message)` pairs
-    /// in delivery order.
+    /// in delivery order. Delayed messages appear only once their round
+    /// has come (see [`Network::advance_round`]).
     pub fn drain_inbox(&mut self) -> Vec<(usize, Message)> {
         std::mem::take(&mut self.inbox)
     }
@@ -112,16 +431,18 @@ impl Network {
             .ok_or(NetError::UnknownNode(id))
     }
 
-    /// Aggregate statistics across all nodes.
+    /// Aggregate statistics across all camera nodes (uplink only).
     pub fn total_stats(&self) -> TransportStats {
         let mut total = TransportStats::default();
         for n in &self.nodes {
-            total.messages += n.stats.messages;
-            total.bytes += n.stats.bytes;
-            total.energy_j += n.stats.energy_j;
-            total.airtime_s += n.stats.airtime_s;
+            total.merge(&n.stats);
         }
         total
+    }
+
+    /// Controller-side downlink statistics.
+    pub fn downlink_stats(&self) -> TransportStats {
+        self.downlink_stats
     }
 
     /// Replaces camera `id`'s link (e.g. degraded signal).
@@ -135,11 +456,64 @@ impl Network {
             .map(|n| n.link = link)
             .ok_or(NetError::UnknownNode(id))
     }
+
+    /// One deterministic roll for `link`/`tag`, consuming the next event
+    /// counter value.
+    fn roll(&mut self, link: usize, tag: u64) -> f64 {
+        let n = self.rolls;
+        self.rolls += 1;
+        self.plan.unit_roll(link, tag, n)
+    }
+
+    /// Accepts a delivered message: straight into the inbox, or into the
+    /// pending queue when delayed.
+    fn admit(&mut self, from: usize, message: Message, delay_rounds: usize) {
+        if delay_rounds == 0 {
+            self.push_inbox(from, message);
+        } else {
+            self.pending.push(PendingDelivery {
+                due_round: self.round + delay_rounds,
+                from,
+                message,
+            });
+        }
+    }
+
+    /// Pushes into the inbox, letting the reorder fault swap the new
+    /// arrival with its predecessor.
+    fn push_inbox(&mut self, from: usize, message: Message) {
+        self.inbox.push((from, message));
+        let reorder = self.plan.faults(from).reorder;
+        if reorder > 0.0 && self.inbox.len() >= 2 && self.roll(from, TAG_REORDER) < reorder {
+            let n = self.inbox.len();
+            self.inbox.swap(n - 1, n - 2);
+        }
+    }
+}
+
+/// Maps a battery-drain failure onto the structured transport error.
+fn send_failed(e: EnergyError) -> NetError {
+    match e {
+        EnergyError::BatteryExhausted {
+            requested,
+            remaining,
+        } => NetError::SendFailed {
+            needed_j: requested,
+            available_j: remaining,
+        },
+        // `BatteryState::drain` only rejects negative draws otherwise,
+        // and transmit energies are non-negative by construction.
+        _ => NetError::SendFailed {
+            needed_j: f64::NAN,
+            available_j: f64::NAN,
+        },
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::LinkFaults;
 
     fn setup() -> (Network, BatteryState, PowerMeter) {
         (
@@ -200,6 +574,14 @@ mod tests {
             Err(NetError::UnknownNode(9))
         ));
         assert!(net.stats(9).is_err());
+        assert!(matches!(
+            net.send_reliable(9, Message::EnergyReport, &mut bat, &mut meter),
+            Err(NetError::UnknownNode(9))
+        ));
+        assert!(matches!(
+            net.send_downlink(9, Message::ActivationCommand),
+            Err(NetError::UnknownNode(9))
+        ));
     }
 
     #[test]
@@ -213,7 +595,7 @@ mod tests {
         };
         assert!(matches!(
             net.send(0, big, &mut bat, &mut meter),
-            Err(NetError::SendFailed(_))
+            Err(NetError::SendFailed { .. })
         ));
         assert!(net.drain_inbox().is_empty());
         assert_eq!(net.stats(0).unwrap().messages, 0);
@@ -241,5 +623,284 @@ mod tests {
         .unwrap();
         let total = net.stats(0).unwrap().energy_j;
         assert!(total - good > good, "retransmissions should dominate");
+    }
+
+    #[test]
+    fn with_nodes_builds_heterogeneous_rig() {
+        let mut net = Network::with_nodes(vec![
+            (LinkModel::default(), DeviceEnergyModel::default()),
+            (
+                LinkModel::new(20e6, 0.4).unwrap(),
+                DeviceEnergyModel::default(),
+            ),
+        ]);
+        assert_eq!(net.cameras(), 2);
+        let mut bat = BatteryState::new(100.0).unwrap();
+        let mut meter = PowerMeter::new();
+        let msg = Message::DetectionMetadata { objects: 5 };
+        net.send(0, msg.clone(), &mut bat, &mut meter).unwrap();
+        net.send(1, msg, &mut bat, &mut meter).unwrap();
+        assert!(
+            net.stats(1).unwrap().energy_j > 2.0 * net.stats(0).unwrap().energy_j,
+            "the low-quality link must cost more"
+        );
+    }
+
+    #[test]
+    fn reliable_send_on_ideal_plan_matches_raw_send_energy() {
+        let (mut net, mut bat, mut meter) = setup();
+        let msg = Message::DetectionMetadata { objects: 3 };
+        let d = net
+            .send_reliable(0, msg.clone(), &mut bat, &mut meter)
+            .unwrap();
+        assert!(d.delivered && d.acked);
+        assert_eq!(d.attempts, 1);
+        assert_eq!(d.backoff_s, 0.0);
+        let reliable_cost = bat.used();
+
+        let mut bat2 = BatteryState::new(100.0).unwrap();
+        let mut meter2 = PowerMeter::new();
+        net.send(1, msg, &mut bat2, &mut meter2).unwrap();
+        assert!(
+            (reliable_cost - bat2.used()).abs() < 1e-15,
+            "ideal reliable path must cost exactly one attempt"
+        );
+        assert_eq!(net.drain_inbox().len(), 2);
+    }
+
+    #[test]
+    fn loss_forces_retries_and_burns_energy() {
+        let plan = FaultPlan::seeded(7).with_default_faults(LinkFaults::lossy(0.6));
+        let mut net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::unlimited());
+        let mut bat = BatteryState::new(100.0).unwrap();
+        let mut meter = PowerMeter::new();
+        let mut ideal = BatteryState::new(100.0).unwrap();
+        let mut ideal_meter = PowerMeter::new();
+        let mut ideal_net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default());
+
+        let mut retried = false;
+        for _ in 0..40 {
+            let msg = Message::DetectionMetadata { objects: 2 };
+            let d = net
+                .send_reliable(0, msg.clone(), &mut bat, &mut meter)
+                .unwrap();
+            assert!(d.acked, "unlimited retries must end acked");
+            retried |= d.attempts > 1;
+            ideal_net
+                .send(0, msg, &mut ideal, &mut ideal_meter)
+                .unwrap();
+        }
+        assert!(
+            retried,
+            "60% loss must force at least one retry in 40 sends"
+        );
+        assert!(bat.used() > ideal.used(), "retries must cost extra energy");
+        let s = net.stats(0).unwrap();
+        assert_eq!(s.messages, 40);
+        assert!(s.drops > 0 && s.retries > 0);
+        assert!(s.attempts > 40);
+        assert!(s.backoff_s > 0.0);
+        assert_eq!(net.drain_inbox().len(), 40, "exactly one copy per message");
+    }
+
+    #[test]
+    fn lost_ack_does_not_double_deliver() {
+        // High loss + unlimited retries: some acks are bound to get lost,
+        // producing retransmissions of already-delivered seqs.
+        let plan = FaultPlan::seeded(3).with_default_faults(LinkFaults::lossy(0.7));
+        let mut net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::unlimited());
+        let mut bat = BatteryState::new(1000.0).unwrap();
+        let mut meter = PowerMeter::new();
+        for _ in 0..60 {
+            net.send_reliable(0, Message::EnergyReport, &mut bat, &mut meter)
+                .unwrap();
+        }
+        let s = net.stats(0).unwrap();
+        assert!(s.duplicates > 0, "70% loss must lose some acks in 60 sends");
+        assert_eq!(net.drain_inbox().len(), 60);
+    }
+
+    #[test]
+    fn retry_cap_times_out() {
+        let plan = FaultPlan::seeded(1).with_default_faults(LinkFaults::lossy(0.95));
+        let mut net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy {
+                max_retries: 2,
+                ..RetryPolicy::default()
+            });
+        let mut bat = BatteryState::new(100.0).unwrap();
+        let mut meter = PowerMeter::new();
+        let mut timed_out = false;
+        for _ in 0..20 {
+            let d = net
+                .send_reliable(0, Message::EnergyReport, &mut bat, &mut meter)
+                .unwrap();
+            assert!(d.attempts <= 3);
+            timed_out |= !d.acked;
+        }
+        assert!(timed_out, "95% loss with 2 retries must time out sometimes");
+        assert!(net.stats(0).unwrap().timeouts > 0);
+    }
+
+    #[test]
+    fn crash_window_blocks_send_without_energy() {
+        let plan = FaultPlan::seeded(5).with_crash(0, 0, 2);
+        let mut net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(plan);
+        let mut bat = BatteryState::new(100.0).unwrap();
+        let mut meter = PowerMeter::new();
+        let d = net
+            .send_reliable(0, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(!d.delivered && !d.acked);
+        assert_eq!(d.attempts, 0);
+        assert_eq!(bat.used(), 0.0, "a crashed radio draws nothing");
+        assert!(net.is_camera_down(0));
+
+        net.advance_round();
+        net.advance_round();
+        assert!(!net.is_camera_down(0), "crash window [0, 2) is over");
+        let d = net
+            .send_reliable(0, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(d.acked && bat.used() > 0.0);
+    }
+
+    #[test]
+    fn outage_burns_one_probe_attempt() {
+        let plan = FaultPlan::seeded(6).with_outage(0, 0, 1);
+        let mut net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::unlimited());
+        let mut bat = BatteryState::new(100.0).unwrap();
+        let mut meter = PowerMeter::new();
+        let d = net
+            .send_reliable(0, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(!d.delivered && !d.acked);
+        assert_eq!(d.attempts, 1, "outage: one probe, then give up");
+        assert!(bat.used() > 0.0, "the probe attempt still costs energy");
+        assert_eq!(net.stats(0).unwrap().timeouts, 1);
+    }
+
+    #[test]
+    fn delay_holds_delivery_until_round_matures() {
+        let plan = FaultPlan::seeded(8).with_default_faults(LinkFaults {
+            delay_rounds: 2,
+            ..LinkFaults::ideal()
+        });
+        let mut net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(plan);
+        let mut bat = BatteryState::new(100.0).unwrap();
+        let mut meter = PowerMeter::new();
+        let d = net
+            .send_reliable(0, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(d.delivered && d.acked);
+        assert_eq!(d.delayed_rounds, 2);
+        assert!(net.drain_inbox().is_empty(), "not due yet");
+        net.advance_round();
+        assert!(net.drain_inbox().is_empty(), "still one round early");
+        net.advance_round();
+        assert_eq!(net.drain_inbox().len(), 1);
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_arrivals() {
+        let plan = FaultPlan::seeded(11).with_default_faults(LinkFaults {
+            reorder: 0.5,
+            ..LinkFaults::ideal()
+        });
+        let mut net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(plan);
+        let mut bat = BatteryState::new(100.0).unwrap();
+        let mut meter = PowerMeter::new();
+        for objects in 0..30 {
+            net.send_reliable(
+                0,
+                Message::DetectionMetadata { objects },
+                &mut bat,
+                &mut meter,
+            )
+            .unwrap();
+        }
+        let order: Vec<usize> = net
+            .drain_inbox()
+            .into_iter()
+            .map(|(_, m)| match m {
+                Message::DetectionMetadata { objects } => objects,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(order.len(), 30, "reorder must not lose or duplicate");
+        assert!(
+            (0..order.len()).any(|i| order[i] != i),
+            "50% reorder over 30 sends must swap at least once"
+        );
+    }
+
+    #[test]
+    fn chaos_trace_is_reproducible() {
+        let run = || {
+            let plan = FaultPlan::seeded(99).with_default_faults(LinkFaults {
+                loss: 0.4,
+                delay_rounds: 1,
+                jitter_rounds: 2,
+                duplicate: 0.2,
+                reorder: 0.3,
+            });
+            let mut net = Network::new(3, LinkModel::default(), DeviceEnergyModel::default())
+                .with_fault_plan(plan)
+                .with_retry_policy(RetryPolicy::unlimited());
+            let mut bat = BatteryState::new(1000.0).unwrap();
+            let mut meter = PowerMeter::new();
+            let mut trace = Vec::new();
+            for round in 0..5 {
+                for cam in 0..3 {
+                    let d = net
+                        .send_reliable(
+                            cam,
+                            Message::DetectionMetadata { objects: round },
+                            &mut bat,
+                            &mut meter,
+                        )
+                        .unwrap();
+                    trace.push((cam, d.attempts, d.delayed_rounds));
+                }
+                net.advance_round();
+                trace.extend(
+                    net.drain_inbox()
+                        .into_iter()
+                        .map(|(from, m)| (from, 0, m.wire_bytes() as usize)),
+                );
+            }
+            (trace, bat.used(), net.total_stats())
+        };
+        let (t1, e1, s1) = run();
+        let (t2, e2, s2) = run();
+        assert_eq!(t1, t2, "same seed, same trace");
+        assert_eq!(e1.to_bits(), e2.to_bits(), "bit-identical energy");
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn downlink_costs_no_camera_energy_and_respects_crash() {
+        let plan = FaultPlan::seeded(2).with_crash(1, 0, 3);
+        let mut net = Network::new(2, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(plan);
+        let d = net.send_downlink(0, Message::AlgorithmAssignment).unwrap();
+        assert!(d.delivered && d.acked);
+        let d = net.send_downlink(1, Message::AlgorithmAssignment).unwrap();
+        assert!(!d.delivered, "a crashed camera hears nothing");
+        let stats = net.downlink_stats();
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.energy_j, 0.0, "controller power is not metered");
+        assert_eq!(net.total_stats().attempts, 0, "no uplink involved");
     }
 }

@@ -90,6 +90,7 @@ pub fn add_noise(img: &mut RgbImage, amp: f32, rng: &mut StdRng) {
 /// Overlays a horizontally striped texture inside a rectangle — used to give
 /// furniture clutter strong gradient structure (the cause of the HOG false
 /// positives on dataset #2 in the paper).
+#[allow(clippy::too_many_arguments)]
 pub fn striped_rect(
     img: &mut RgbImage,
     x0: i64,

@@ -22,10 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut profile = DatasetProfile::miniature(DatasetId::Lab);
     profile.num_people = 4;
-    let mut eecs = EecsConfig::default();
-    eecs.assessment_period = 10;
-    eecs.recalibration_interval = 30;
-    eecs.key_frames = 8;
+    let eecs = EecsConfig {
+        assessment_period: 10,
+        recalibration_interval: 30,
+        key_frames: 8,
+        ..EecsConfig::default()
+    };
 
     println!("preparing simulation…");
     let base = Simulation::prepare(
@@ -41,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             feature_words: 12,
             max_training_frames: 8,
             boost_every: 0,
+            fault_plan: eecs::net::fault::FaultPlan::ideal(),
         },
     )?;
 

@@ -35,10 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut profile = DatasetProfile::miniature(DatasetId::Terrace);
     profile.num_people = 5;
-    let mut eecs = EecsConfig::default();
-    eecs.assessment_period = 10;
-    eecs.recalibration_interval = 30;
-    eecs.key_frames = 8;
+    let eecs = EecsConfig {
+        assessment_period: 10,
+        recalibration_interval: 30,
+        key_frames: 8,
+        ..EecsConfig::default()
+    };
 
     println!("preparing simulation (offline training + matching)…");
     let base = Simulation::prepare(
@@ -54,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             feature_words: 12,
             max_training_frames: 8,
             boost_every: 0,
+            fault_plan: eecs::net::fault::FaultPlan::ideal(),
         },
     )?;
 

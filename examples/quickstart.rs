@@ -24,10 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    every 5 frames.
     let mut profile = DatasetProfile::miniature(DatasetId::Lab);
     profile.num_people = 4;
-    let mut eecs = EecsConfig::default();
-    eecs.assessment_period = 10; // frames (2 annotated)
-    eecs.recalibration_interval = 30; // frames (6 annotated)
-    eecs.key_frames = 8;
+    let eecs = EecsConfig {
+        assessment_period: 10,      // frames (2 annotated)
+        recalibration_interval: 30, // frames (6 annotated)
+        key_frames: 8,
+        ..EecsConfig::default()
+    };
 
     // 3. Prepare: offline training on the training segment, manifold
     //    matching of each camera's feed against the training library.
@@ -45,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             feature_words: 12,
             max_training_frames: 8,
             boost_every: 0,
+            fault_plan: eecs::net::fault::FaultPlan::ideal(),
         },
     )?;
 

@@ -10,10 +10,12 @@ use eecs::scene::dataset::{DatasetId, DatasetProfile};
 fn base_simulation() -> Simulation {
     let mut profile = DatasetProfile::miniature(DatasetId::Lab);
     profile.num_people = 4;
-    let mut eecs = EecsConfig::default();
-    eecs.assessment_period = 10;
-    eecs.recalibration_interval = 30;
-    eecs.key_frames = 8;
+    let eecs = EecsConfig {
+        assessment_period: 10,
+        recalibration_interval: 30,
+        key_frames: 8,
+        ..EecsConfig::default()
+    };
     Simulation::prepare(
         DetectorBank::train_quick(23).expect("bank"),
         SimulationConfig {
@@ -27,6 +29,7 @@ fn base_simulation() -> Simulation {
             feature_words: 12,
             max_training_frames: 8,
             boost_every: 0,
+            fault_plan: eecs::net::fault::FaultPlan::ideal(),
         },
     )
     .expect("prepare")

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io; the workspace only
+//! uses `crossbeam::thread::scope`, which std has provided natively since
+//! Rust 1.63. This shim exposes the crossbeam-style API (the spawned
+//! closure receives the scope, `scope` returns a `Result`) on top of
+//! [`std::thread::scope`].
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Error type of [`scope`]: the payload of a propagated panic.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Crossbeam reports child panics as `Err`; `std::thread::scope`
+    /// resumes the panic on join instead, so this shim never actually
+    /// returns `Err` — callers' `.expect(…)` behave identically either
+    /// way (the process panics with the child's payload).
+    pub fn scope<'env, F, T>(f: F) -> Result<T, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1usize, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawns_receive_the_scope() {
+        let hits = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,395 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this path
+//! dependency implements the subset of proptest this workspace uses: the
+//! `proptest!` macro, range / tuple / `prop::collection::vec` strategies,
+//! `prop_map`, `ProptestConfig::with_cases`, and `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its index and seed; rerun
+//!   with the same build to reproduce (generation is deterministic, seeded
+//!   from the test's name).
+//! * **No persistence** — there is no failure-regression file.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (produced by `prop_assert!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+pub mod test_runner {
+    //! Deterministic case generation.
+
+    /// SplitMix64 generator seeded from the property's name, so every
+    //  property has its own reproducible stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds from an arbitrary label (typically the test name).
+        pub fn deterministic(label: &str) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in label.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(h)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform `usize` in `[0, n)`; 0 when `n == 0`.
+        pub fn below(&mut self, n: usize) -> usize {
+            if n == 0 {
+                0
+            } else {
+                ((self.next_u64() as u128 * n as u128) >> 64) as usize
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )+};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )+};
+}
+impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Collection size specification: an exact count or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::test_runner::TestRng;
+    use super::{SizeRange, Strategy};
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` may be an exact `usize` or a `Range<usize>`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.lo + rng.below(self.size.hi - self.size.lo);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+
+    pub mod prop {
+        //! Namespace mirror of proptest's `prop` module.
+        pub use crate::collection;
+    }
+}
+
+/// The property-test macro. Accepts an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose arguments take the form `pattern in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { [$cfg] $($rest)* }
+    };
+}
+
+/// Property-scoped assertion: fails the current case (with its index)
+/// instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Property-scoped equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_sample_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("bounds");
+        let s = prop::collection::vec(-3.0..3.0f64, 4 * 5);
+        let v = s.sample(&mut rng);
+        assert_eq!(v.len(), 20);
+        assert!(v.iter().all(|x| (-3.0..3.0).contains(x)));
+        let sized = prop::collection::vec(0..10usize, 1..6);
+        for _ in 0..100 {
+            let v = sized.sample(&mut rng);
+            assert!((1..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = crate::test_runner::TestRng::deterministic("compose");
+        let s = (0.0..1.0f64, 1..5usize).prop_map(|(x, n)| vec![x; n]);
+        let v = s.sample(&mut rng);
+        assert!(!v.is_empty() && v.len() < 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_cases(x in 0.0..1.0f64, mut n in 1..4usize) {
+            n += 1;
+            prop_assert!(x < 1.0);
+            prop_assert!(n >= 2, "n was {}", n);
+            prop_assert_eq!(n, n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_case_index() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0.0..1.0f64) {
+                prop_assert!(x > 2.0);
+            }
+        }
+        always_fails();
+    }
+}
