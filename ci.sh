@@ -18,4 +18,10 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> bench smoke (pipeline trajectory)"
+# One timed iteration per bench: enough to prove the harness runs end to
+# end and regenerates a well-formed BENCH_pipeline.json at the repo root.
+EECS_BENCH_ITERS=1 cargo bench -q -p eecs-bench --bench pipeline -- --bench
+cargo run -q --release -p eecs-bench --bin check_bench
+
 echo "CI OK"

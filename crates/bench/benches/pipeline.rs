@@ -1,19 +1,27 @@
-//! End-to-end pipeline benchmarks: cross-camera re-identification fusion
-//! and a full assessment → selection → operation round on the miniature
-//! dataset.
+//! End-to-end pipeline benchmarks: cross-camera re-identification fusion,
+//! single-frame detection per algorithm, and a full assessment →
+//! selection → operation round on the miniature dataset, run both serial
+//! and parallel.
+//!
+//! Unlike the other bench targets this one has a custom `main`: after the
+//! benches run it computes the serial-vs-parallel speedup of the full
+//! round and writes `BENCH_pipeline.json` at the repository root — the
+//! machine-readable trajectory CI smoke-checks (`check_bench`) and future
+//! PRs regress against. `EECS_BENCH_ITERS=1` keeps smoke runs short.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, Criterion};
+use eecs_bench::report::{self, BenchEntry};
 use eecs_core::config::EecsConfig;
 use eecs_core::metadata::{CameraReport, ObjectMetadata};
 use eecs_core::reid::{fuse_reports, ReidConfig};
-use eecs_core::simulation::{OperatingMode, Simulation, SimulationConfig};
+use eecs_core::simulation::{OperatingMode, Parallelism, Simulation, SimulationConfig};
 use eecs_detect::bank::DetectorBank;
 use eecs_detect::detection::BBox;
 use eecs_geometry::calibration::{landmark_grid, GroundCalibration};
 use eecs_geometry::camera::Camera;
 use eecs_geometry::point::{Point2, Point3};
 use eecs_scene::dataset::{DatasetId, DatasetProfile};
-use std::hint::black_box;
+use eecs_scene::sequence::VideoFeed;
 
 fn reid_bench(c: &mut Criterion) {
     // 4 cameras × 8 people per frame.
@@ -63,18 +71,39 @@ fn reid_bench(c: &mut Criterion) {
     });
 }
 
-fn round_bench(c: &mut Criterion) {
+/// One miniature-resolution frame through each of the four detectors.
+fn detect_bench(c: &mut Criterion) {
+    let bank = DetectorBank::train_quick(5).expect("bank");
+    let profile = DatasetProfile::miniature(DatasetId::Lab);
+    let frame = VideoFeed::open(profile, 0)
+        .annotated_frames(40, 46)
+        .into_iter()
+        .next()
+        .expect("annotated frame")
+        .image;
+    let mut group = c.benchmark_group("detect_single_frame");
+    for (alg, det) in bank.all() {
+        group.bench_function(format!("{alg}"), |b| {
+            b.iter(|| black_box(det.detect(black_box(&frame))))
+        });
+    }
+    group.finish();
+}
+
+fn round_sim(parallel: Parallelism) -> Simulation {
     let mut profile = DatasetProfile::miniature(DatasetId::Lab);
     profile.num_people = 4;
-    let mut eecs = EecsConfig::default();
-    eecs.assessment_period = 10;
-    eecs.recalibration_interval = 30;
-    eecs.key_frames = 8;
-    let sim = Simulation::prepare(
+    let eecs = EecsConfig {
+        assessment_period: 10,
+        recalibration_interval: 30,
+        key_frames: 8,
+        ..EecsConfig::default()
+    };
+    Simulation::prepare(
         DetectorBank::train_quick(5).expect("bank"),
         SimulationConfig {
             profile,
-            cameras: 2,
+            cameras: 4,
             start_frame: 40,
             end_frame: 70,
             budget_j_per_frame: 10.0,
@@ -84,16 +113,81 @@ fn round_bench(c: &mut Criterion) {
             max_training_frames: 8,
             boost_every: 0,
             fault_plan: eecs_net::fault::FaultPlan::ideal(),
+            parallel,
         },
     )
-    .expect("prepare");
+    .expect("prepare")
+}
+
+/// The full round, serial (1 worker, no cache) vs parallel (auto workers,
+/// shared frame-feature cache). Both must produce the identical report —
+/// the parallel pipeline only changes wall-clock.
+fn round_bench(c: &mut Criterion) {
+    let serial = round_sim(Parallelism::serial());
+    let parallel = round_sim(Parallelism::default());
+    assert_eq!(
+        serial.run().expect("serial run"),
+        parallel.run().expect("parallel run"),
+        "parallelism must not change the report"
+    );
     let mut group = c.benchmark_group("simulation");
     group.sample_size(10);
-    group.bench_function("full_eecs_round_miniature", |b| {
-        b.iter(|| black_box(sim.run().expect("run")))
+    group.bench_function("full_eecs_round_serial", |b| {
+        b.iter(|| black_box(serial.run().expect("run")))
+    });
+    group.bench_function("full_eecs_round_parallel", |b| {
+        b.iter(|| black_box(parallel.run().expect("run")))
     });
     group.finish();
 }
 
-criterion_group!(benches, reid_bench, round_bench);
-criterion_main!(benches);
+/// Repo-root path of the machine-readable report.
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+
+fn main() {
+    // `cargo bench` passes --bench; anything else (notably this target
+    // executed during `cargo test`) is a smoke invocation and must stay
+    // fast.
+    if !std::env::args().any(|a| a == "--bench") {
+        println!("pipeline bench: pass --bench (cargo bench) to run");
+        return;
+    }
+    let mut c = Criterion::new();
+    reid_bench(&mut c);
+    detect_bench(&mut c);
+    round_bench(&mut c);
+
+    let entries: Vec<BenchEntry> = c
+        .results()
+        .iter()
+        .map(|(name, mean_ns)| BenchEntry {
+            name: name.clone(),
+            mean_ns: *mean_ns,
+        })
+        .collect();
+    let serial_ns = c
+        .mean_ns("simulation/full_eecs_round_serial")
+        .expect("serial round ran");
+    let parallel_ns = c
+        .mean_ns("simulation/full_eecs_round_parallel")
+        .expect("parallel round ran")
+        .max(1);
+    let speedup = serial_ns as f64 / parallel_ns as f64;
+    // Interpretation key for the speedup: the parallel round fans out over
+    // this many workers. On a single-core host the speedup reduces to the
+    // feature-cache gain alone.
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let text = report::render(
+        &entries,
+        &[
+            ("round_speedup".into(), speedup),
+            ("host_parallelism".into(), host as f64),
+        ],
+    );
+    report::validate_pipeline_report(&text).expect("generated report validates");
+    std::fs::write(REPORT_PATH, &text).expect("write BENCH_pipeline.json");
+    println!("round speedup (serial/parallel): {speedup:.2}x");
+    println!("wrote {REPORT_PATH}");
+}

@@ -52,6 +52,7 @@ fn main() {
         max_training_frames: max_train,
         boost_every: 0,
         fault_plan: eecs_net::fault::FaultPlan::ideal(),
+        parallel: eecs_core::simulation::Parallelism::default(),
     };
     let base = Simulation::prepare(bank, base_cfg.clone()).expect("prepare");
 

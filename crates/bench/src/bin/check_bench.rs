@@ -1,0 +1,39 @@
+//! CI smoke-check for the benchmark trajectory: verifies that
+//! `BENCH_pipeline.json` exists at the repository root and is a
+//! well-formed pipeline report, then prints its contents.
+//!
+//! Exits non-zero on any problem so `ci.sh` fails loudly.
+
+use eecs_bench::report::validate_pipeline_report;
+use std::process::ExitCode;
+
+/// Repo-root path of the machine-readable report.
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+
+fn main() -> ExitCode {
+    let text = match std::fs::read_to_string(REPORT_PATH) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("check_bench: cannot read {REPORT_PATH}: {e}");
+            eprintln!("run `cargo bench -p eecs-bench --bench pipeline` to generate it");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_pipeline_report(&text) {
+        Ok(summary) => {
+            println!("BENCH_pipeline.json: {} entries", summary.entries.len());
+            for e in &summary.entries {
+                println!("  {:<45} {:>12} ns", e.name, e.mean_ns);
+            }
+            println!(
+                "  round speedup (serial/parallel): {:.2}x",
+                summary.round_speedup
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check_bench: {REPORT_PATH} is invalid: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -36,6 +36,7 @@ fn main() {
             max_training_frames: if scale == Scale::Paper { 40 } else { 8 },
             boost_every: 0,
             fault_plan: eecs_net::fault::FaultPlan::ideal(),
+            parallel: eecs_core::simulation::Parallelism::default(),
         },
     )
     .expect("simulation preparation");

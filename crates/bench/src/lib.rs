@@ -18,6 +18,8 @@
 //! This crate also hosts the Criterion benches (`benches/`) that back the
 //! energy/time columns and the DESIGN.md §5 ablations.
 
+pub mod report;
+
 use eecs_core::config::EecsConfig;
 use eecs_core::features::FeatureExtractor;
 use eecs_core::profile::TrainingRecord;

@@ -1,0 +1,434 @@
+//! Machine-readable benchmark reports (`BENCH_pipeline.json`).
+//!
+//! The pipeline bench (`benches/pipeline.rs`) emits a small JSON document
+//! at the repository root recording each benchmark's mean time plus
+//! derived metrics (serial-vs-parallel speedup of the full assessment
+//! round). Future PRs regress against this trajectory; CI smoke-checks
+//! that the file exists and is well-formed (`src/bin/check_bench.rs`).
+//!
+//! The build environment is offline (no serde), so this module carries
+//! its own writer and a minimal JSON parser — just enough of RFC 8259 to
+//! round-trip what the writer produces and to validate the file.
+
+use std::fmt::Write as _;
+
+/// One benchmark's result: the label and the mean wall-clock time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEntry {
+    /// Benchmark label (`group/name` for grouped benches).
+    pub name: String,
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: u128,
+}
+
+/// Schema tag stamped into every report.
+pub const SCHEMA: &str = "eecs-bench-pipeline/1";
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a pipeline report: the benchmark entries in run order plus
+/// named derived metrics (e.g. `round_speedup`).
+pub fn render(entries: &[BenchEntry], metrics: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = write!(out, "  \"schema\": \"{SCHEMA}\",\n");
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("    {\"name\": \"");
+        escape_into(&mut out, &e.name);
+        let _ = write!(out, "\", \"mean_ns\": {}}}", e.mean_ns);
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        out.push_str("    \"");
+        escape_into(&mut out, name);
+        // {:?} keeps a fractional part on round numbers, so the value
+        // re-parses as the same f64.
+        let _ = write!(out, "\": {value:?}");
+        out.push_str(if i + 1 < metrics.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// A parsed JSON value — the subset the report writer produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, preserving member order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a position-annotated message on malformed input or trailing
+/// content.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(v)
+}
+
+/// What a well-formed pipeline report contains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSummary {
+    /// Parsed benchmark entries.
+    pub entries: Vec<BenchEntry>,
+    /// The serial-vs-parallel speedup of the full assessment round.
+    pub round_speedup: f64,
+}
+
+/// Validates a `BENCH_pipeline.json` document: schema tag, a non-empty
+/// entry list with positive times, and the `round_speedup` metric.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate_pipeline_report(text: &str) -> Result<PipelineSummary, String> {
+    let doc = parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let raw_entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"entries\" array")?;
+    if raw_entries.is_empty() {
+        return Err("\"entries\" is empty".into());
+    }
+    let mut entries = Vec::with_capacity(raw_entries.len());
+    for e in raw_entries {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("entry missing \"name\"")?;
+        let mean_ns = e
+            .get("mean_ns")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("entry {name:?} missing \"mean_ns\""))?;
+        if !(mean_ns.is_finite() && mean_ns > 0.0) {
+            return Err(format!("entry {name:?} has non-positive mean_ns"));
+        }
+        entries.push(BenchEntry {
+            name: name.to_owned(),
+            mean_ns: mean_ns as u128,
+        });
+    }
+    let round_speedup = doc
+        .get("metrics")
+        .and_then(|m| m.get("round_speedup"))
+        .and_then(Json::as_num)
+        .ok_or("missing metrics.round_speedup")?;
+    if !(round_speedup.is_finite() && round_speedup > 0.0) {
+        return Err("round_speedup must be positive".into());
+    }
+    Ok(PipelineSummary {
+        entries,
+        round_speedup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<BenchEntry> {
+        vec![
+            BenchEntry {
+                name: "reid_fuse_4cams_8people".into(),
+                mean_ns: 120_000,
+            },
+            BenchEntry {
+                name: "simulation/full_eecs_round_serial".into(),
+                mean_ns: 2_000_000_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn render_then_validate_round_trips() {
+        let text = render(&sample_entries(), &[("round_speedup".into(), 2.5)]);
+        let summary = validate_pipeline_report(&text).unwrap();
+        assert_eq!(summary.entries, sample_entries());
+        assert!((summary.round_speedup - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_numbers() {
+        let v = parse(r#"{"a": [1, -2.5e3, "x\"y\n", null, true], "b": {}}"#).unwrap();
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_num(), Some(1.0));
+        assert_eq!(arr[1].as_num(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("x\"y\n"));
+        assert_eq!(arr[3], Json::Null);
+        assert_eq!(arr[4], Json::Bool(true));
+        assert_eq!(v.get("b"), Some(&Json::Obj(Vec::new())));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1 2]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"open").is_err());
+    }
+
+    #[test]
+    fn validation_rejects_structural_problems() {
+        assert!(validate_pipeline_report("{}").is_err());
+        let bad_schema =
+            render(&sample_entries(), &[("round_speedup".into(), 2.0)]).replace(SCHEMA, "other/9");
+        assert!(validate_pipeline_report(&bad_schema).is_err());
+        let no_entries = render(&[], &[("round_speedup".into(), 2.0)]);
+        assert!(validate_pipeline_report(&no_entries).is_err());
+        let no_speedup = render(&sample_entries(), &[]);
+        assert!(validate_pipeline_report(&no_speedup).is_err());
+    }
+
+    #[test]
+    fn escaped_names_survive_the_round_trip() {
+        let entries = vec![BenchEntry {
+            name: "weird \"quoted\"\tname\\path".into(),
+            mean_ns: 7,
+        }];
+        let text = render(&entries, &[("round_speedup".into(), 1.0)]);
+        let summary = validate_pipeline_report(&text).unwrap();
+        assert_eq!(summary.entries, entries);
+    }
+}

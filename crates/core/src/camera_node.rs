@@ -10,7 +10,7 @@ use crate::metadata::{CameraReport, ObjectMetadata};
 use crate::profile::AlgorithmProfile;
 use crate::{EecsError, Result};
 use eecs_detect::bank::DetectorBank;
-use eecs_detect::detection::AlgorithmId;
+use eecs_detect::detection::{AlgorithmId, DetectionOutput};
 use eecs_energy::budget::{BatteryState, EnergyBudget};
 use eecs_energy::meter::{EnergyCategory, PowerMeter};
 use eecs_energy::model::DeviceEnergyModel;
@@ -105,6 +105,27 @@ impl CameraNode {
         device: &DeviceEnergyModel,
     ) -> Result<CameraReport> {
         let output = self.bank.detector(algorithm).detect(frame);
+        self.ingest_detection(frame, output, profile, device)
+    }
+
+    /// The stateful half of [`CameraNode::run_algorithm`]: charges the
+    /// battery for a detection `output` (computed by this node's bank on
+    /// `frame`, possibly on another thread) and turns it into a metadata
+    /// report. Splitting detection from ingestion lets the simulator
+    /// precompute the pure detection work in parallel and apply the
+    /// battery/meter effects serially, in deterministic order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EecsError::Subsystem`] when the battery cannot cover the
+    /// processing cost (the frame is skipped and nothing is charged).
+    pub fn ingest_detection(
+        &mut self,
+        frame: &RgbImage,
+        output: DetectionOutput,
+        profile: &AlgorithmProfile,
+        device: &DeviceEnergyModel,
+    ) -> Result<CameraReport> {
         let energy = device.processing_energy(output.ops);
         self.battery
             .drain(energy)

@@ -35,6 +35,7 @@ pub mod config;
 pub mod controller;
 pub mod features;
 pub mod metadata;
+pub mod par;
 pub mod profile;
 pub mod reid;
 pub mod selection;
@@ -49,7 +50,7 @@ pub use features::FeatureExtractor;
 pub use metadata::{CameraReport, ObjectMetadata};
 pub use profile::{AlgorithmProfile, DowngradeRule, TrainingRecord};
 pub use reid::FusedObject;
-pub use simulation::{OperatingMode, SimulationReport};
+pub use simulation::{OperatingMode, Parallelism, SimulationReport};
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,90 @@
+//! Scoped worker-pool fan-out for pure per-item work.
+//!
+//! The simulator's hot paths — offline training sweeps and the per-round
+//! detection work of [`crate::simulation::Simulation::run`] — are
+//! embarrassingly parallel: each item's result depends only on that item.
+//! [`par_map_indexed`] fans such work over a small pool of scoped threads
+//! (vendored `crossbeam::thread::scope`), collects into index-addressed
+//! slots, and returns results in input order, so callers consume them in
+//! exactly the sequence a serial loop would have produced. Determinism of
+//! the overall simulation then only requires that `f` itself is pure.
+
+/// How many worker threads a pool request resolves to: `workers == 0`
+/// means "auto" (the host's available parallelism), and the pool is never
+/// larger than the number of items.
+pub fn resolve_workers(workers: usize, items: usize) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let requested = if workers == 0 { auto } else { workers };
+    requested.min(items.max(1))
+}
+
+/// Applies `f` to every index in `0..n` on a pool of `workers` scoped
+/// threads (`0` = auto) and returns the results in index order.
+///
+/// Work is claimed dynamically through an atomic counter, so slow items do
+/// not stall the pool; with one worker (or one item) the loop runs inline
+/// with no threads spawned, making the serial path literally serial.
+pub fn par_map_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_workers(workers, n);
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out = std::sync::Mutex::new(&mut slots);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                out.lock().expect("slot lock")[i] = Some(v);
+            });
+        }
+    })
+    .expect("pool workers do not panic");
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = par_map_indexed(100, 0, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = par_map_indexed(37, 1, |i| (i, i * i));
+        let parallel = par_map_indexed(37, 8, |i| (i, i * i));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<usize> = par_map_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn resolve_workers_bounds() {
+        assert_eq!(resolve_workers(3, 100), 3);
+        assert_eq!(resolve_workers(8, 2), 2);
+        assert!(resolve_workers(0, 100) >= 1);
+        assert_eq!(resolve_workers(0, 0), 1);
+    }
+}

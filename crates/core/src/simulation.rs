@@ -43,6 +43,42 @@ use std::collections::BTreeMap;
 /// truth (meters).
 const GT_MATCH_GATE_M: f64 = 1.2;
 
+/// Host-side execution settings: how the simulator schedules the pure
+/// detection work of a round. These knobs change wall-clock time only —
+/// detections, op counters, and every Joule of modeled energy are
+/// bit-identical across all settings (the stateful battery/network
+/// effects always replay serially in the original order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads for the per-round detection fan-out. `0` means
+    /// auto (the host's available parallelism); `1` runs inline.
+    pub workers: usize,
+    /// Share per-frame features (pyramid levels, channel stacks) across
+    /// the algorithms assessed on the same frame. Host speedup only: the
+    /// modeled cameras run each algorithm in isolation, so per-algorithm
+    /// `ops` counters and `processing_energy` charges are not reduced.
+    pub feature_cache: bool,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism {
+            workers: 0,
+            feature_cache: true,
+        }
+    }
+}
+
+impl Parallelism {
+    /// Fully serial reference settings: one worker, no feature sharing.
+    pub fn serial() -> Parallelism {
+        Parallelism {
+            workers: 1,
+            feature_cache: false,
+        }
+    }
+}
+
 /// Which coordination strategy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OperatingMode {
@@ -86,6 +122,9 @@ pub struct SimulationConfig {
     /// Deterministic network-fault schedule. [`FaultPlan::ideal`] (no
     /// faults) reproduces the idealized pre-chaos energy numbers exactly.
     pub fault_plan: FaultPlan,
+    /// Host-side execution settings (worker pool, feature cache). Affects
+    /// wall-clock only; reports are bit-identical across settings.
+    pub parallel: Parallelism,
 }
 
 /// One recalibration round's outcome.
@@ -275,6 +314,15 @@ impl Simulation {
         Ok(sim)
     }
 
+    /// A copy of this prepared simulation under different host-side
+    /// execution settings (worker pool size, feature cache). Reports are
+    /// unaffected; only wall-clock time changes.
+    pub fn with_parallelism(&self, parallel: Parallelism) -> Simulation {
+        let mut sim = self.clone();
+        sim.config.parallel = parallel;
+        sim
+    }
+
     /// The trained per-camera records, in matched order (record `matched[j]`
     /// serves camera `j`).
     pub fn record_for_camera(&self, camera: usize) -> &TrainingRecord {
@@ -412,26 +460,67 @@ impl Simulation {
                     // reaches the controller; a lost upload leaves an
                     // empty placeholder (the header timestamps tell the
                     // controller a frame happened, not what it held).
+                    //
+                    // The detection work is pure (camera state is only
+                    // touched by ingestion and the sends), and both the
+                    // crash schedule and the feasible sets are constant
+                    // within a round, so the per-(camera, frame) tasks are
+                    // enumerated up front, fanned over the worker pool,
+                    // and consumed serially below in exactly the order the
+                    // serial loop ran them — keeping battery drains, op
+                    // counters and transport interactions bit-identical.
+                    let assess_count = assess_end - start;
+                    let feasible_by_cam: Vec<Vec<AlgorithmId>> = (0..cams)
+                        .map(|j| {
+                            if net.is_camera_down(j) {
+                                return Vec::new();
+                            }
+                            self.record_for(j)
+                                .feasible_ranked(&self.budgets[j])
+                                .iter()
+                                .map(|p| p.algorithm)
+                                .collect()
+                        })
+                        .collect();
+                    let mut task_of: Vec<(usize, usize)> = Vec::new();
+                    let mut cam_task_start = vec![usize::MAX; cams];
+                    for (j, feasible) in feasible_by_cam.iter().enumerate() {
+                        if feasible.is_empty() {
+                            continue;
+                        }
+                        cam_task_start[j] = task_of.len();
+                        task_of.extend((0..assess_count).map(|fi| (j, fi)));
+                    }
+                    let bank = &self.bank;
+                    let par = self.config.parallel;
+                    // Each task runs all of one camera's feasible
+                    // algorithms on one frame, sharing that frame's
+                    // feature cache across them when enabled.
+                    let outputs = crate::par::par_map_indexed(task_of.len(), par.workers, |t| {
+                        let (j, fi) = task_of[t];
+                        bank.run_algorithms(
+                            &feasible_by_cam[j],
+                            &frames[j][start + fi].image,
+                            par.feature_cache,
+                        )
+                    });
+
                     let mut fresh: Vec<CameraAssessment> = vec![BTreeMap::new(); cams];
                     let mut attempted = vec![false; cams];
                     let mut delivered_any = vec![false; cams];
                     for j in 0..cams {
-                        if net.is_camera_down(j) {
+                        if feasible_by_cam[j].is_empty() {
                             continue;
                         }
                         let record = self.record_for(j);
-                        let feasible: Vec<AlgorithmId> = record
-                            .feasible_ranked(&self.budgets[j])
-                            .iter()
-                            .map(|p| p.algorithm)
-                            .collect();
-                        for alg in feasible {
+                        for (ai, &alg) in feasible_by_cam[j].iter().enumerate() {
                             let profile_a = record.profile(alg).expect("feasible ⇒ profiled");
                             let mut series = Vec::new();
-                            for fd in &frames[j][start..assess_end] {
-                                let report = nodes[j].run_algorithm(
-                                    alg,
+                            for (fi, fd) in frames[j][start..assess_end].iter().enumerate() {
+                                let output = outputs[cam_task_start[j] + fi][ai].clone();
+                                let report = nodes[j].ingest_detection(
                                     &fd.image,
+                                    output,
                                     profile_a,
                                     &self.config.eecs.device,
                                 )?;
@@ -466,7 +555,9 @@ impl Simulation {
                     let mut live = vec![false; cams];
                     for j in 0..cams {
                         if delivered_any[j] {
-                            cache.record(j, round_index, fresh[j].clone());
+                            // `fresh[j]` is recorded into the assessment
+                            // cache by move after the scoring loop below —
+                            // one clone here instead of two.
                             data.reports[j] = fresh[j].clone();
                             live[j] = true;
                         } else if net.is_camera_down(j) || attempted[j] {
@@ -533,6 +624,18 @@ impl Simulation {
                         round_gt += g;
                     }
 
+                    // Record the delivered assessments by move (deferred
+                    // from the delivery loop so scoring could still read
+                    // them). Safe to defer: `record` (delivered cameras)
+                    // and `usable` (silent cameras) touch disjoint camera
+                    // sets within a round, and `mark_heard` already fired
+                    // during the uploads.
+                    for (j, fresh_j) in fresh.into_iter().enumerate() {
+                        if delivered_any[j] {
+                            cache.record(j, round_index, fresh_j);
+                        }
+                    }
+
                     let (assignment, active) = match plan {
                         Some(outcome) if boost_round => {
                             // Section VII: override the energy-saving
@@ -572,6 +675,32 @@ impl Simulation {
                 OperatingMode::AllBest => start,
                 _ => (start + assess_len).min(end),
             };
+            // Assignments and the crash schedule are fixed for the whole
+            // operation span (the controller only re-plans at round
+            // boundaries), so the per-(frame, camera) detection tasks are
+            // known up front: precompute them on the pool, then replay
+            // the identical loop serially for the stateful effects. One
+            // algorithm runs per camera here, so there is nothing for a
+            // feature cache to share.
+            let op_tasks: Vec<(usize, usize, AlgorithmId)> = (op_start..end)
+                .flat_map(|f| {
+                    let net = &net;
+                    let nodes = &nodes;
+                    (0..cams).filter_map(move |j| {
+                        if net.is_camera_down(j) {
+                            return None;
+                        }
+                        nodes[j].assigned().map(|alg| (f, j, alg))
+                    })
+                })
+                .collect();
+            let bank = &self.bank;
+            let op_outputs =
+                crate::par::par_map_indexed(op_tasks.len(), self.config.parallel.workers, |t| {
+                    let (f, j, alg) = op_tasks[t];
+                    bank.detector(alg).detect(&frames[j][f].image)
+                });
+            let mut op_cursor = 0usize;
             for f in op_start..end {
                 let mut reports = Vec::new();
                 for j in 0..cams {
@@ -588,12 +717,14 @@ impl Simulation {
                         .record_for(j)
                         .profile(alg)
                         .expect("assigned ⇒ profiled");
-                    let report = nodes[j].run_algorithm(
-                        alg,
+                    debug_assert_eq!(op_tasks[op_cursor], (f, j, alg));
+                    let report = nodes[j].ingest_detection(
                         &frames[j][f].image,
+                        op_outputs[op_cursor].clone(),
                         profile_a,
                         &self.config.eecs.device,
                     )?;
+                    op_cursor += 1;
                     // Metadata + cropped object images (Section VI).
                     let crop_bytes: u64 = report
                         .objects
@@ -706,6 +837,7 @@ mod tests {
             max_training_frames: 8,
             boost_every: 0,
             fault_plan: FaultPlan::ideal(),
+            parallel: Parallelism::default(),
         }
     }
 

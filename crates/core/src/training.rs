@@ -26,30 +26,7 @@ use eecs_scene::sequence::FrameData;
 /// preserving frame order. Deterministic: each output depends only on its
 /// own frame.
 pub fn detect_all(detector: &dyn Detector, frames: &[FrameData]) -> Vec<DetectionOutput> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(frames.len().max(1));
-    let mut outputs: Vec<Option<DetectionOutput>> = vec![None; frames.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = std::sync::Mutex::new(&mut outputs);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= frames.len() {
-                    break;
-                }
-                let out = detector.detect(&frames[i].image);
-                slots.lock().expect("slot lock")[i] = Some(out);
-            });
-        }
-    })
-    .expect("detection workers do not panic");
-    outputs
-        .into_iter()
-        .map(|o| o.expect("every frame processed"))
-        .collect()
+    crate::par::par_map_indexed(frames.len(), 0, |i| detector.detect(&frames[i].image))
 }
 
 /// Trains one record from a training segment's annotated frames.

@@ -16,6 +16,7 @@
 //!    panels, keeping precision high in dataset #2 where HOG collapses.
 
 use crate::detection::{AlgorithmId, BBox, Detection, DetectionOutput};
+use crate::frame_features::FrameFeatures;
 use crate::nms::non_maximum_suppression;
 use crate::pyramid::{ScaleSchedule, WINDOW_H, WINDOW_W};
 use crate::training::{synthesize, NegativeRegime, TrainingConfig};
@@ -24,7 +25,6 @@ use eecs_learn::boost::AdaBoost;
 use eecs_learn::Example;
 use eecs_vision::channels::{AcfChannels, CHANNEL_COUNT};
 use eecs_vision::image::RgbImage;
-use eecs_vision::resize::resize_rgb;
 
 /// ACF detector configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +94,9 @@ pub struct AcfDetector {
     /// Window size in aggregated pixels.
     agg_w: usize,
     agg_h: usize,
+    /// The enumerated scale schedule, cached at training time so `detect`
+    /// only filters it per frame instead of re-deriving it.
+    scale_levels: Vec<f64>,
 }
 
 impl AcfDetector {
@@ -135,11 +138,13 @@ impl AcfDetector {
         // window_features layout: channel-major, then row, then column.
         let per_channel = agg_w * agg_h;
         let stumps = boost_to_channel_stumps(&boost, per_channel, agg_w);
+        let scale_levels = config.scales.scales();
         Ok(AcfDetector {
             config,
             stumps,
             agg_w,
             agg_h,
+            scale_levels,
         })
     }
 
@@ -204,22 +209,25 @@ impl Detector for AcfDetector {
     }
 
     fn detect(&self, frame: &RgbImage) -> DetectionOutput {
+        self.detect_with_cache(frame, &FrameFeatures::new(frame))
+    }
+
+    fn detect_with_cache(&self, frame: &RgbImage, cache: &FrameFeatures<'_>) -> DetectionOutput {
         let mut ops = 0u64;
         let mut candidates = Vec::new();
-        for scale in self
-            .config
-            .scales
-            .usable_scales(frame.width(), frame.height())
-        {
+        for scale in ScaleSchedule::usable_from(&self.scale_levels, frame.width(), frame.height()) {
             let sw = (frame.width() as f64 * scale).round() as usize;
             let sh = (frame.height() as f64 * scale).round() as usize;
-            let Ok(resized) = resize_rgb(frame, sw, sh) else {
+            // Cache stages mirror the direct resize-then-channels
+            // computation so the ops increment lands between the same
+            // failure points.
+            if cache.resized_rgb(sw, sh).is_err() {
                 continue;
-            };
+            }
             // Channel computation: ~1 op per pixel per gradient pass plus
             // the aggregation; CHANNEL_COUNT lookups amortized via shrink².
             ops += (sw * sh) as u64 * 3;
-            let Ok(ch) = AcfChannels::compute(&resized, self.config.shrink) else {
+            let Ok(ch) = cache.acf_channels(sw, sh, self.config.shrink) else {
                 continue;
             };
             let _ = CHANNEL_COUNT;

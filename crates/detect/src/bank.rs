@@ -4,10 +4,12 @@
 
 use crate::acf_detector::{AcfDetector, AcfDetectorConfig};
 use crate::c4_detector::{C4Detector, C4DetectorConfig};
-use crate::detection::AlgorithmId;
+use crate::detection::{AlgorithmId, DetectionOutput};
+use crate::frame_features::FrameFeatures;
 use crate::hog_detector::{HogDetectorConfig, HogSvmDetector};
 use crate::lsvm_detector::{LsvmDetector, LsvmDetectorConfig};
 use crate::{Detector, Result};
+use eecs_vision::image::RgbImage;
 use std::sync::Arc;
 
 /// The four trained detectors a camera carries.
@@ -117,6 +119,30 @@ impl DetectorBank {
             (AlgorithmId::C4, self.c4.as_ref() as &dyn Detector),
             (AlgorithmId::Lsvm, self.lsvm.as_ref() as &dyn Detector),
         ]
+    }
+
+    /// Runs several algorithms on the same frame, in order. With
+    /// `share_features` the detectors share one [`FrameFeatures`] cache —
+    /// outputs (detections *and* per-algorithm `ops`) are identical either
+    /// way; sharing only removes redundant host computation.
+    pub fn run_algorithms(
+        &self,
+        algorithms: &[AlgorithmId],
+        frame: &RgbImage,
+        share_features: bool,
+    ) -> Vec<DetectionOutput> {
+        if share_features {
+            let cache = FrameFeatures::new(frame);
+            algorithms
+                .iter()
+                .map(|&a| self.detector(a).detect_with_cache(frame, &cache))
+                .collect()
+        } else {
+            algorithms
+                .iter()
+                .map(|&a| self.detector(a).detect(frame))
+                .collect()
+        }
     }
 
     /// The HOG detector.

@@ -8,6 +8,7 @@
 //! the full-resolution frame.
 
 use crate::detection::{AlgorithmId, BBox, Detection, DetectionOutput};
+use crate::frame_features::FrameFeatures;
 use crate::nms::non_maximum_suppression;
 use crate::pyramid::{ScaleSchedule, WINDOW_H, WINDOW_W};
 use crate::training::{synthesize, NegativeRegime, TrainingConfig};
@@ -15,7 +16,6 @@ use crate::{DetectError, Detector, Result};
 use eecs_learn::svm::{LinearSvm, SvmConfig};
 use eecs_learn::Example;
 use eecs_vision::image::{GrayImage, RgbImage};
-use eecs_vision::resize::resize_gray;
 
 /// Census histogram bins (8-neighbor census → 256 codes).
 pub const CENSUS_BINS: usize = 256;
@@ -90,6 +90,9 @@ impl Default for C4DetectorConfig {
 pub struct C4Detector {
     config: C4DetectorConfig,
     svm: LinearSvm,
+    /// The enumerated scale schedule, cached at training time so `detect`
+    /// only filters it per frame instead of re-deriving it.
+    scale_levels: Vec<f64>,
 }
 
 impl C4Detector {
@@ -147,7 +150,12 @@ impl C4Detector {
             svm = LinearSvm::train(&examples, &refit_cfg)
                 .map_err(|e| DetectError::Training(format!("c4 svm refit: {e}")))?;
         }
-        Ok(C4Detector { config, svm })
+        let scale_levels = config.scales.scales();
+        Ok(C4Detector {
+            config,
+            svm,
+            scale_levels,
+        })
     }
 
     /// The configuration used at training time.
@@ -239,34 +247,36 @@ impl Detector for C4Detector {
     }
 
     fn detect(&self, frame: &RgbImage) -> DetectionOutput {
-        let gray = frame.to_gray();
+        self.detect_with_cache(frame, &FrameFeatures::new(frame))
+    }
+
+    fn detect_with_cache(&self, frame: &RgbImage, cache: &FrameFeatures<'_>) -> DetectionOutput {
+        let (iw, ih) = (self.config.internal_w, self.config.internal_h);
         // Resize to the fixed internal resolution: the only step whose cost
         // depends on the input resolution.
         let mut ops = (frame.width() * frame.height()) as u64 * 2;
-        let Ok(internal) = resize_gray(&gray, self.config.internal_w, self.config.internal_h)
-        else {
+        if cache.resized_gray(iw, ih).is_err() {
             return DetectionOutput {
                 detections: Vec::new(),
                 ops,
             };
-        };
+        }
         // Back-projection factors internal → original pixels.
-        let fx = frame.width() as f64 / self.config.internal_w as f64;
-        let fy = frame.height() as f64 / self.config.internal_h as f64;
+        let fx = frame.width() as f64 / iw as f64;
+        let fy = frame.height() as f64 / ih as f64;
 
         let mut candidates = Vec::new();
-        for scale in self
-            .config
-            .scales
-            .usable_scales(self.config.internal_w, self.config.internal_h)
-        {
-            let sw = (self.config.internal_w as f64 * scale).round() as usize;
-            let sh = (self.config.internal_h as f64 * scale).round() as usize;
-            let Ok(resized) = resize_gray(&internal, sw, sh) else {
+        for scale in ScaleSchedule::usable_from(&self.scale_levels, iw, ih) {
+            let sw = (iw as f64 * scale).round() as usize;
+            let sh = (ih as f64 * scale).round() as usize;
+            // The census level is keyed on the internal resolution too: a
+            // resize *through* the internal image is not the same image as
+            // a direct resize, and the failure point (the second resize)
+            // precedes the ops increment exactly as in the direct path.
+            let Ok(census) = cache.census_level(iw, ih, sw, sh) else {
                 continue;
             };
             ops += (sw * sh) as u64 * 9; // resize + 8-comparison census
-            let census = census_transform(&resized);
             let stride = self.config.stride.max(1);
             let mut y0 = 0;
             while y0 + WINDOW_H <= sh {

@@ -8,15 +8,15 @@
 
 use crate::detection::BBox;
 use crate::detection::{AlgorithmId, Detection, DetectionOutput};
+use crate::frame_features::FrameFeatures;
 use crate::nms::non_maximum_suppression;
 use crate::pyramid::{ScaleSchedule, WINDOW_H, WINDOW_W};
 use crate::training::{synthesize, NegativeRegime, TrainingConfig, TrainingWindows};
 use crate::{DetectError, Detector, Result};
 use eecs_learn::svm::{LinearSvm, SvmConfig};
 use eecs_learn::Example;
-use eecs_vision::hog::{HogCellGrid, HogConfig, HogDescriptor};
+use eecs_vision::hog::{HogConfig, HogDescriptor};
 use eecs_vision::image::RgbImage;
-use eecs_vision::resize::resize_gray;
 
 /// HOG detector configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +73,9 @@ impl Default for HogDetectorConfig {
 pub struct HogSvmDetector {
     config: HogDetectorConfig,
     svm: LinearSvm,
+    /// The enumerated scale schedule, cached at training time so `detect`
+    /// only filters it per frame instead of re-deriving it.
+    scale_levels: Vec<f64>,
 }
 
 impl HogSvmDetector {
@@ -87,7 +90,12 @@ impl HogSvmDetector {
         let examples = descriptor_examples(&windows, config.hog)?;
         let svm = LinearSvm::train(&examples, &config.svm)
             .map_err(|e| DetectError::Training(format!("hog svm: {e}")))?;
-        Ok(HogSvmDetector { config, svm })
+        let scale_levels = config.scales.scales();
+        Ok(HogSvmDetector {
+            config,
+            svm,
+            scale_levels,
+        })
     }
 
     /// The trained SVM (for inspection/calibration).
@@ -126,25 +134,27 @@ impl Detector for HogSvmDetector {
     }
 
     fn detect(&self, frame: &RgbImage) -> DetectionOutput {
+        self.detect_with_cache(frame, &FrameFeatures::new(frame))
+    }
+
+    fn detect_with_cache(&self, frame: &RgbImage, cache: &FrameFeatures<'_>) -> DetectionOutput {
         let cell = self.config.hog.cell_size;
         let cells_w = WINDOW_W / cell;
         let cells_h = WINDOW_H / cell;
-        let gray = frame.to_gray();
         let mut ops = (frame.width() * frame.height()) as u64; // grayscale
         let mut candidates = Vec::new();
 
-        for scale in self
-            .config
-            .scales
-            .usable_scales(frame.width(), frame.height())
-        {
+        for scale in ScaleSchedule::usable_from(&self.scale_levels, frame.width(), frame.height()) {
             let sw = (frame.width() as f64 * scale).round() as usize;
             let sh = (frame.height() as f64 * scale).round() as usize;
-            let Ok(resized) = resize_gray(&gray, sw, sh) else {
+            // The two cache stages mirror the direct resize-then-grid
+            // computation so the ops increment lands between the same
+            // failure points as before.
+            if cache.resized_gray(sw, sh).is_err() {
                 continue;
-            };
+            }
             ops += (sw * sh) as u64 * 3; // resize + gradient + cell binning
-            let Ok(grid) = HogCellGrid::compute(&resized, self.config.hog) else {
+            let Ok(grid) = cache.hog_grid(sw, sh, self.config.hog) else {
                 continue;
             };
             if grid.cells_x() < cells_w || grid.cells_y() < cells_h {

@@ -30,6 +30,7 @@ pub mod bank;
 pub mod c4_detector;
 pub mod detection;
 pub mod eval;
+pub mod frame_features;
 pub mod hog_detector;
 pub mod lsvm_detector;
 pub mod nms;
@@ -40,6 +41,7 @@ pub mod training;
 pub use bank::DetectorBank;
 pub use detection::{AlgorithmId, BBox, Detection, DetectionOutput};
 pub use eval::{EvalConfig, EvalCounts, ThresholdSweep};
+pub use frame_features::FrameFeatures;
 pub use nms::non_maximum_suppression;
 
 use eecs_vision::image::RgbImage;
@@ -82,6 +84,21 @@ pub trait Detector: Send + Sync {
 
     /// Runs detection on a frame.
     fn detect(&self, frame: &RgbImage) -> DetectionOutput;
+
+    /// Runs detection on a frame, sharing per-frame intermediates
+    /// (grayscale conversion, pyramid levels, feature channels) with other
+    /// detectors through `cache`. `cache` must have been built over
+    /// `frame`.
+    ///
+    /// The output — detections *and* the `ops` counter — is identical to
+    /// [`Detector::detect`]; the cache only removes redundant host
+    /// computation, never modeled work (the simulated cameras run each
+    /// algorithm in isolation, so `ops`-based energy charges must not
+    /// shrink when features are shared).
+    fn detect_with_cache(&self, frame: &RgbImage, cache: &FrameFeatures<'_>) -> DetectionOutput {
+        let _ = cache;
+        self.detect(frame)
+    }
 }
 
 #[cfg(test)]

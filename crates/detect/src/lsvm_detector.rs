@@ -9,6 +9,7 @@
 //! extra filter evaluations.
 
 use crate::detection::{AlgorithmId, BBox, Detection, DetectionOutput};
+use crate::frame_features::FrameFeatures;
 use crate::hog_detector::descriptor_examples;
 use crate::nms::non_maximum_suppression;
 use crate::pyramid::{ScaleSchedule, WINDOW_H, WINDOW_W};
@@ -18,7 +19,6 @@ use eecs_learn::svm::{LinearSvm, SvmConfig};
 use eecs_learn::Example;
 use eecs_vision::hog::{HogCellGrid, HogConfig};
 use eecs_vision::image::RgbImage;
-use eecs_vision::resize::resize_gray;
 
 /// A part filter: an anchor (in cells, relative to the window origin) and a
 /// linear filter over a 2×2-cell HOG sub-descriptor.
@@ -100,6 +100,9 @@ pub struct LsvmDetector {
     config: LsvmDetectorConfig,
     root: LinearSvm,
     parts: Vec<Part>,
+    /// The enumerated scale schedule, cached at training time so `detect`
+    /// only filters it per frame instead of re-deriving it.
+    scale_levels: Vec<f64>,
 }
 
 impl LsvmDetector {
@@ -135,10 +138,12 @@ impl LsvmDetector {
                 svm,
             });
         }
+        let scale_levels = config.scales.scales();
         Ok(LsvmDetector {
             config,
             root,
             parts,
+            scale_levels,
         })
     }
 
@@ -222,25 +227,26 @@ impl Detector for LsvmDetector {
     }
 
     fn detect(&self, frame: &RgbImage) -> DetectionOutput {
+        self.detect_with_cache(frame, &FrameFeatures::new(frame))
+    }
+
+    fn detect_with_cache(&self, frame: &RgbImage, cache: &FrameFeatures<'_>) -> DetectionOutput {
         let cell = self.config.hog.cell_size;
         let cells_w = WINDOW_W / cell;
         let cells_h = WINDOW_H / cell;
-        let gray = frame.to_gray();
         let mut ops = (frame.width() * frame.height()) as u64;
         let mut candidates = Vec::new();
 
-        for scale in self
-            .config
-            .scales
-            .usable_scales(frame.width(), frame.height())
-        {
+        for scale in ScaleSchedule::usable_from(&self.scale_levels, frame.width(), frame.height()) {
             let sw = (frame.width() as f64 * scale).round() as usize;
             let sh = (frame.height() as f64 * scale).round() as usize;
-            let Ok(resized) = resize_gray(&gray, sw, sh) else {
+            // Cache stages mirror the direct resize-then-grid computation
+            // so the ops increment lands between the same failure points.
+            if cache.resized_gray(sw, sh).is_err() {
                 continue;
-            };
+            }
             ops += (sw * sh) as u64 * 3;
-            let Ok(grid) = HogCellGrid::compute(&resized, self.config.hog) else {
+            let Ok(grid) = cache.hog_grid(sw, sh, self.config.hog) else {
                 continue;
             };
             if grid.cells_x() < cells_w || grid.cells_y() < cells_h {

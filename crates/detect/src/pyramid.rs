@@ -48,10 +48,19 @@ impl ScaleSchedule {
     /// Restricts the schedule to scales at which a `w × h` image still
     /// contains at least one detection window.
     pub fn usable_scales(&self, w: usize, h: usize) -> Vec<f64> {
-        self.scales()
-            .into_iter()
-            .filter(|s| (w as f64 * s) as usize >= WINDOW_W && (h as f64 * s) as usize >= WINDOW_H)
-            .collect()
+        let scales = self.scales();
+        Self::usable_from(&scales, w, h).collect()
+    }
+
+    /// Filters a precomputed scale list (from [`ScaleSchedule::scales`]) to
+    /// the scales at which a `w × h` image still contains at least one
+    /// detection window. Detectors cache the enumerated list at training
+    /// time and filter it per frame through this, instead of re-deriving
+    /// (and re-validating) the geometric schedule on every `detect` call.
+    pub fn usable_from(scales: &[f64], w: usize, h: usize) -> impl Iterator<Item = f64> + '_ {
+        scales.iter().copied().filter(move |&s| {
+            (w as f64 * s) as usize >= WINDOW_W && (h as f64 * s) as usize >= WINDOW_H
+        })
     }
 
     /// Range of detectable person heights (pixels in the original image),

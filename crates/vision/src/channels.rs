@@ -56,11 +56,6 @@ impl AcfChannels {
         let gray = img.to_gray();
         let grad = GradientField::compute(&gray);
 
-        let mut full: Vec<GrayImage> = Vec::with_capacity(CHANNEL_COUNT);
-        full.push(img.r.clone());
-        full.push(img.g.clone());
-        full.push(img.b.clone());
-        full.push(grad.magnitude.clone());
         // Orientation channels: gradient magnitude split across bins.
         let (w, h) = (gray.width(), gray.height());
         let mut orient = vec![GrayImage::new(w, h); ORIENT_BINS];
@@ -74,12 +69,17 @@ impl AcfChannels {
                 orient[bin].set(x, y, mag);
             }
         }
-        full.append(&mut orient);
 
-        let channels = full
-            .iter()
-            .map(|c| box_downsample(c, shrink))
-            .collect::<Result<Vec<_>>>()?;
+        // Aggregate straight from borrowed full-resolution planes — the
+        // color and magnitude channels need no owned copies of their
+        // sources, only the downsampled outputs.
+        let mut channels: Vec<GrayImage> = Vec::with_capacity(CHANNEL_COUNT);
+        for c in [&img.r, &img.g, &img.b, &grad.magnitude] {
+            channels.push(box_downsample(c, shrink)?);
+        }
+        for o in &orient {
+            channels.push(box_downsample(o, shrink)?);
+        }
         Ok(AcfChannels { channels, shrink })
     }
 

@@ -19,14 +19,27 @@ pub fn resize_gray(src: &GrayImage, new_w: usize, new_h: usize) -> Result<GrayIm
     if src.width() == 0 || src.height() == 0 {
         return Err(VisionError::InvalidArgument("empty source image".into()));
     }
+    // Identity resize is exact under center-aligned bilinear sampling
+    // (fx = x, so every tap lands on the source pixel): skip the sampling
+    // loop entirely.
+    if new_w == src.width() && new_h == src.height() {
+        return Ok(src.clone());
+    }
     let sx = src.width() as f32 / new_w as f32;
     let sy = src.height() as f32 / new_h as f32;
-    Ok(GrayImage::from_fn(new_w, new_h, |x, y| {
-        // Sample at the center of the destination pixel.
-        let fx = (x as f32 + 0.5) * sx - 0.5;
+    // Sample positions depend on one axis each; computing them once per
+    // row/column instead of per pixel keeps the inner loop to the four
+    // taps. Same arithmetic as the per-pixel form, so outputs are
+    // bit-identical.
+    let xs: Vec<f32> = (0..new_w).map(|x| (x as f32 + 0.5) * sx - 0.5).collect();
+    let mut data = Vec::with_capacity(new_w * new_h);
+    for y in 0..new_h {
         let fy = (y as f32 + 0.5) * sy - 0.5;
-        bilinear(src, fx, fy)
-    }))
+        for &fx in &xs {
+            data.push(bilinear(src, fx, fy));
+        }
+    }
+    Ok(GrayImage::from_vec(new_w, new_h, data))
 }
 
 /// Resizes an RGB image channel-wise.

@@ -44,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_training_frames: 8,
             boost_every: 0,
             fault_plan: eecs::net::fault::FaultPlan::ideal(),
+            parallel: eecs::core::simulation::Parallelism::default(),
         },
     )?;
 

@@ -30,6 +30,7 @@ fn base_simulation() -> Simulation {
             max_training_frames: 8,
             boost_every: 0,
             fault_plan: eecs::net::fault::FaultPlan::ideal(),
+            parallel: eecs::core::simulation::Parallelism::default(),
         },
     )
     .expect("prepare")

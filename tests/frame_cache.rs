@@ -1,0 +1,127 @@
+//! The shared frame-feature cache must be invisible: every cached
+//! intermediate equals the detector's direct computation bit-for-bit, and
+//! running the four detectors through one shared cache changes neither
+//! their detections nor their `ops` counters (the energy model charges
+//! each algorithm as if it ran in isolation).
+
+use eecs::detect::bank::DetectorBank;
+use eecs::detect::c4_detector::census_transform;
+use eecs::detect::detection::AlgorithmId;
+use eecs::detect::FrameFeatures;
+use eecs::scene::dataset::{DatasetId, DatasetProfile};
+use eecs::scene::sequence::VideoFeed;
+use eecs::vision::channels::AcfChannels;
+use eecs::vision::hog::{HogCellGrid, HogConfig};
+use eecs::vision::image::RgbImage;
+use eecs::vision::resize::{resize_gray, resize_rgb};
+use std::sync::OnceLock;
+
+fn bank() -> &'static DetectorBank {
+    static BANK: OnceLock<DetectorBank> = OnceLock::new();
+    BANK.get_or_init(|| DetectorBank::train_quick(7).expect("bank"))
+}
+
+fn first_frame(profile: DatasetProfile) -> RgbImage {
+    let interval = profile.gt_interval;
+    VideoFeed::open(profile, 0)
+        .annotated_frames(0, 2 * interval)
+        .into_iter()
+        .next()
+        .expect("annotated frame")
+        .image
+}
+
+/// Every dataset resolution the simulator ships: lab/terrace 360×288,
+/// chap 1024×768, miniature 180×144.
+fn dataset_frames() -> Vec<RgbImage> {
+    vec![
+        first_frame(DatasetProfile::lab()),
+        first_frame(DatasetProfile::for_id(DatasetId::Chap)),
+        first_frame(DatasetProfile::miniature(DatasetId::Lab)),
+    ]
+}
+
+#[test]
+fn cached_levels_equal_direct_computation_at_dataset_resolutions() {
+    let hog = HogConfig {
+        cell_size: 8,
+        block_cells: 2,
+        bins: 9,
+    };
+    for frame in dataset_frames() {
+        let cache = FrameFeatures::new(&frame);
+        let gray = frame.to_gray();
+        assert_eq!(*cache.gray(), gray);
+
+        let (fw, fh) = (frame.width(), frame.height());
+        for scale in [1.0, 0.8, 0.5] {
+            let (w, h) = ((fw as f64 * scale) as usize, (fh as f64 * scale) as usize);
+
+            let direct_gray = resize_gray(&gray, w, h).expect("resize");
+            assert_eq!(*cache.resized_gray(w, h).expect("cached gray"), direct_gray);
+
+            let direct_rgb = resize_rgb(&frame, w, h).expect("resize");
+            assert_eq!(*cache.resized_rgb(w, h).expect("cached rgb"), direct_rgb);
+
+            let direct_grid = HogCellGrid::compute(&direct_gray, hog).expect("grid");
+            let cached_grid = cache.hog_grid(w, h, hog).expect("cached grid");
+            assert_eq!(cached_grid.cells_x(), direct_grid.cells_x());
+            assert_eq!(cached_grid.cells_y(), direct_grid.cells_y());
+            for cy in 0..direct_grid.cells_y() {
+                for cx in 0..direct_grid.cells_x() {
+                    assert_eq!(cached_grid.cell(cx, cy), direct_grid.cell(cx, cy));
+                }
+            }
+
+            let direct_ch = AcfChannels::compute(&direct_rgb, 4).expect("channels");
+            let cached_ch = cache.acf_channels(w, h, 4).expect("cached channels");
+            assert_eq!(cached_ch.width(), direct_ch.width());
+            assert_eq!(cached_ch.height(), direct_ch.height());
+            for c in 0..10 {
+                assert_eq!(cached_ch.channel(c), direct_ch.channel(c));
+            }
+        }
+
+        // C4's second-order resize: through the internal resolution, then
+        // to the level, then census-transformed.
+        let (iw, ih) = (160, 128);
+        let internal = resize_gray(&gray, iw, ih).expect("internal");
+        for scale in [1.0, 0.6] {
+            let (w, h) = ((iw as f64 * scale) as usize, (ih as f64 * scale) as usize);
+            let direct = census_transform(&resize_gray(&internal, w, h).expect("level"));
+            assert_eq!(
+                *cache.census_level(iw, ih, w, h).expect("cached census"),
+                direct
+            );
+        }
+    }
+}
+
+#[test]
+fn detect_with_shared_cache_matches_direct_detect_for_all_algorithms() {
+    let bank = bank();
+    for frame in dataset_frames() {
+        // ONE cache shared across all four detectors, exactly as the
+        // assessment phase uses it.
+        let cache = FrameFeatures::new(&frame);
+        for (alg, det) in bank.all() {
+            let direct = det.detect(&frame);
+            let cached = det.detect_with_cache(&frame, &cache);
+            assert_eq!(
+                cached, direct,
+                "{alg}: shared cache changed detections or ops"
+            );
+        }
+    }
+}
+
+#[test]
+fn bank_run_algorithms_is_identical_with_and_without_sharing() {
+    let bank = bank();
+    let frame = first_frame(DatasetProfile::miniature(DatasetId::Lab));
+    let algorithms = AlgorithmId::ALL;
+    let shared = bank.run_algorithms(&algorithms, &frame, true);
+    let isolated = bank.run_algorithms(&algorithms, &frame, false);
+    assert_eq!(shared, isolated);
+    assert_eq!(shared.len(), algorithms.len());
+}

@@ -40,6 +40,7 @@ fn simulation(fault_plan: FaultPlan) -> Simulation {
             max_training_frames: 8,
             boost_every: 0,
             fault_plan,
+            parallel: eecs::core::simulation::Parallelism::default(),
         },
     )
     .expect("prepare")

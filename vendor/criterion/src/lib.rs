@@ -17,8 +17,18 @@ use std::time::Instant;
 /// Re-export so `criterion::black_box` resolves.
 pub use std::hint::black_box;
 
-/// Iterations per benchmark body (after one untimed call).
+/// Default iterations per benchmark body (after one untimed call).
 const ITERS: u32 = 3;
+
+/// Iterations per benchmark body: `EECS_BENCH_ITERS` overrides the
+/// default (minimum 1) so CI smoke runs can time a single iteration.
+fn iters() -> u32 {
+    std::env::var("EECS_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(ITERS)
+}
 
 /// Benchmark identifier: function name + parameter label.
 #[derive(Debug, Clone)]
@@ -62,6 +72,7 @@ impl IntoBenchmarkLabel for String {
 /// Timing handle passed to benchmark closures.
 pub struct Bencher {
     iters: u32,
+    mean_ns: Option<u128>,
 }
 
 impl Bencher {
@@ -73,18 +84,22 @@ impl Bencher {
             black_box(routine());
         }
         let mean = start.elapsed() / self.iters;
+        self.mean_ns = Some(mean.as_nanos());
         println!("  time: {mean:?} (mean of {} iterations)", self.iters);
     }
 }
 
-/// The benchmark harness.
+/// The benchmark harness. Collects each benchmark's mean time so custom
+/// `main`s can post-process the run (e.g. emit a machine-readable report).
 pub struct Criterion {
-    _private: (),
+    results: Vec<(String, u128)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { _private: () }
+        Criterion {
+            results: Vec::new(),
+        }
     }
 }
 
@@ -94,42 +109,71 @@ impl Criterion {
         Criterion::default()
     }
 
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        println!("bench {label}");
+        let mut b = Bencher {
+            iters: iters(),
+            mean_ns: None,
+        };
+        f(&mut b);
+        if let Some(mean_ns) = b.mean_ns {
+            self.results.push((label, mean_ns));
+        }
+    }
+
     /// Runs one benchmark.
-    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkLabel, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        println!("bench {}", name.label());
-        f(&mut Bencher { iters: ITERS });
+        self.run_one(name.label(), f);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
         println!("group {name}");
-        BenchmarkGroup { _parent: self }
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            parent: self,
+        }
+    }
+
+    /// `(label, mean nanoseconds)` of every benchmark run so far, in run
+    /// order. Group benchmarks are labelled `group/name`.
+    pub fn results(&self) -> &[(String, u128)] {
+        &self.results
+    }
+
+    /// The mean nanoseconds of the benchmark labelled `label`, if it ran.
+    pub fn mean_ns(&self, label: &str) -> Option<u128> {
+        self.results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, ns)| ns)
     }
 }
 
 /// A group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    prefix: String,
+    parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
     /// Accepted for API compatibility; the shim's iteration count is
-    /// fixed.
+    /// fixed (override with `EECS_BENCH_ITERS`).
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
     }
 
     /// Runs one benchmark in the group.
-    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkLabel, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        println!("bench {}", name.label());
-        f(&mut Bencher { iters: ITERS });
+        let label = format!("{}/{}", self.prefix, name.label());
+        self.parent.run_one(label, f);
         self
     }
 
@@ -143,8 +187,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        println!("bench {}", id.label);
-        f(&mut Bencher { iters: ITERS }, input);
+        let label = format!("{}/{}", self.prefix, id.label);
+        self.parent.run_one(label, |b| f(b, input));
         self
     }
 
@@ -198,9 +242,14 @@ mod tests {
     criterion_group!(benches, sample_bench);
 
     #[test]
-    fn harness_runs_benches() {
+    fn harness_runs_benches_and_records_results() {
         let mut c = Criterion::new();
         benches(&mut c);
+        assert_eq!(c.results().len(), 3);
+        assert!(c.mean_ns("sum").is_some());
+        assert!(c.mean_ns("grouped/double/21").is_some());
+        assert!(c.mean_ns("grouped/id-label").is_some());
+        assert!(c.mean_ns("missing").is_none());
     }
 
     #[test]
