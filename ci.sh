@@ -24,4 +24,9 @@ echo "==> bench smoke (pipeline trajectory)"
 EECS_BENCH_ITERS=1 cargo bench -q -p eecs-bench --bench pipeline -- --bench
 cargo run -q --release -p eecs-bench --bin check_bench
 
+echo "==> fault-matrix smoke (sensor + network + controller chaos)"
+# One combined-chaos mission per seed: must complete, stay physical,
+# record the scheduled failover, and replay bit-for-bit.
+cargo run -q --release -p eecs-bench --bin chaos_smoke -- 1 2 3
+
 echo "CI OK"

@@ -113,6 +113,8 @@ fn round_sim(parallel: Parallelism) -> Simulation {
             max_training_frames: 8,
             boost_every: 0,
             fault_plan: eecs_net::fault::FaultPlan::ideal(),
+            sensor_plan: eecs_scene::sensor_fault::SensorFaultPlan::ideal(),
+            controller_plan: eecs_net::fault::ControllerFaultPlan::none(),
             parallel,
         },
     )

@@ -52,6 +52,8 @@ fn main() {
         max_training_frames: max_train,
         boost_every: 0,
         fault_plan: eecs_net::fault::FaultPlan::ideal(),
+        sensor_plan: eecs_scene::sensor_fault::SensorFaultPlan::ideal(),
+        controller_plan: eecs_net::fault::ControllerFaultPlan::none(),
         parallel: eecs_core::simulation::Parallelism::default(),
     };
     let base = Simulation::prepare(bank, base_cfg.clone()).expect("prepare");

@@ -1,0 +1,123 @@
+//! Fault-matrix smoke: one miniature EECS mission run under combined
+//! sensor + network + controller chaos, once per seed given on the
+//! command line (default: 1 2 3).
+//!
+//! ```bash
+//! cargo run --release -p eecs-bench --bin chaos_smoke -- 1 2 3
+//! ```
+//!
+//! For every seed the run must complete, keep energy physical, record the
+//! scheduled controller failover, and replay bit-for-bit; any violation
+//! exits non-zero. This is the CI gate that keeps the self-healing
+//! runtime honest without paying for a full test suite.
+
+use eecs_core::config::EecsConfig;
+use eecs_core::simulation::{OperatingMode, Parallelism, Simulation, SimulationConfig};
+use eecs_detect::bank::DetectorBank;
+use eecs_net::fault::{ControllerFaultPlan, FaultPlan, LinkFaults};
+use eecs_scene::dataset::{DatasetId, DatasetProfile};
+use eecs_scene::sensor_fault::{SensorFaultPlan, SensorImpairments};
+
+/// Round the controller dies at (the miniature run has two rounds).
+const CRASH_ROUND: usize = 1;
+
+fn main() {
+    let seeds: Vec<u64> = {
+        let args: Vec<u64> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().unwrap_or_else(|_| panic!("bad seed {a:?}")))
+            .collect();
+        if args.is_empty() {
+            vec![1, 2, 3]
+        } else {
+            args
+        }
+    };
+
+    let mut profile = DatasetProfile::miniature(DatasetId::Lab);
+    profile.num_people = 4;
+    let eecs = EecsConfig {
+        assessment_period: 10,
+        recalibration_interval: 30,
+        key_frames: 8,
+        ..EecsConfig::default()
+    };
+    let base = Simulation::prepare(
+        DetectorBank::train_quick(23).expect("bank"),
+        SimulationConfig {
+            profile,
+            cameras: 4,
+            start_frame: 40,
+            end_frame: 100,
+            budget_j_per_frame: 5.0,
+            mode: OperatingMode::FullEecs,
+            eecs,
+            feature_words: 12,
+            max_training_frames: 8,
+            boost_every: 0,
+            fault_plan: FaultPlan::ideal(),
+            sensor_plan: SensorFaultPlan::ideal(),
+            controller_plan: ControllerFaultPlan::none(),
+            parallel: Parallelism::default(),
+        },
+    )
+    .expect("prepare");
+    eprintln!("prepared miniature mission; fault matrix over seeds {seeds:?}");
+
+    for &seed in &seeds {
+        let sim = base.with_faults(
+            FaultPlan::seeded(seed).with_default_faults(LinkFaults::lossy(0.2)),
+            SensorFaultPlan::seeded(seed)
+                .with_default_impairments(SensorImpairments::harsh())
+                .with_occlusion(1, 40, 100, 0.25),
+            ControllerFaultPlan::none().with_crash(CRASH_ROUND, CRASH_ROUND + 1),
+        );
+        let report = sim.run().expect("chaos run completes");
+        let replay = sim.run().expect("chaos replay completes");
+        assert_eq!(report, replay, "seed {seed}: run is not deterministic");
+
+        assert!(!report.rounds.is_empty(), "seed {seed}: no rounds");
+        assert!(
+            report.rounds.iter().all(|r| !r.active.is_empty()),
+            "seed {seed}: a round lost every camera"
+        );
+        assert!(
+            report.total_energy_j.is_finite() && report.total_energy_j > 0.0,
+            "seed {seed}: unphysical total energy {}",
+            report.total_energy_j
+        );
+        assert!(
+            report
+                .per_camera_energy
+                .iter()
+                .all(|e| e.is_finite() && *e >= 0.0),
+            "seed {seed}: negative per-camera energy {:?}",
+            report.per_camera_energy
+        );
+        assert!(
+            report.degraded_frames > 0,
+            "seed {seed}: sensor plan never fired"
+        );
+        assert_eq!(
+            report.failovers.len(),
+            1,
+            "seed {seed}: expected exactly one failover, got {:?}",
+            report.failovers
+        );
+        let f = &report.failovers[0];
+        assert_eq!(f.round, CRASH_ROUND, "seed {seed}: failover in wrong round");
+        println!(
+            "seed {seed}: OK — found {}/{}, {:.2} J, degraded {} dropped {}, \
+             failover → camera {} (checkpoint round {}, {} acks)",
+            report.correctly_detected,
+            report.gt_objects,
+            report.total_energy_j,
+            report.degraded_frames,
+            report.dropped_frames,
+            f.elected,
+            f.checkpoint_round,
+            f.announced,
+        );
+    }
+    println!("chaos smoke OK ({} seeds)", seeds.len());
+}

@@ -31,6 +31,8 @@ fn main() {
             max_training_frames: if scale == Scale::Paper { 25 } else { 6 },
             boost_every: 0,
             fault_plan: eecs_net::fault::FaultPlan::ideal(),
+            sensor_plan: eecs_scene::sensor_fault::SensorFaultPlan::ideal(),
+            controller_plan: eecs_net::fault::ControllerFaultPlan::none(),
             parallel: eecs_core::simulation::Parallelism::default(),
         },
     )

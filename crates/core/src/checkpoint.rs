@@ -1,0 +1,462 @@
+//! Periodic controller-state checkpoints for failover.
+//!
+//! When a [`eecs_net::ControllerFaultPlan`] can kill the controller
+//! mid-run, the simulation snapshots the controller's volatile selection
+//! state at the end of each round ([`crate::config::EecsConfig::checkpoint_every`]):
+//! the assessment cache, the current assignment plan, the quarantine
+//! ledger, and the per-camera battery ledger. After a crash the newly
+//! elected camera-controller restores the latest checkpoint and carries
+//! on — within one assessment round it behaves as if it had been the
+//! controller all along.
+//!
+//! Serialization goes through the workspace's hand-rolled JSON
+//! ([`crate::jsonio`], shared with `eecs_bench::report`; the build is
+//! offline, no serde). Floats are written with `{:?}` — Rust's shortest
+//! round-trip format — so a serialize → parse cycle restores every
+//! `f64` bit-for-bit, and a restored controller replays byte-identically
+//! with one that never crashed between checkpoints.
+
+use crate::controller::{AssessmentCache, CameraAssessment};
+use crate::jsonio::{self, Json};
+use crate::metadata::{CameraReport, ObjectMetadata};
+use eecs_detect::detection::{AlgorithmId, BBox};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every checkpoint document.
+pub const SCHEMA: &str = "eecs-checkpoint/1";
+
+/// One camera's slot in the serialized assessment cache.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CacheSlot {
+    /// Round the camera was last heard from.
+    pub heard: Option<usize>,
+    /// `(round gathered, reports)` as cached by the controller.
+    pub entry: Option<(usize, CameraAssessment)>,
+}
+
+/// A snapshot of everything the controller needs to resume selection
+/// after a crash.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimulationCheckpoint {
+    /// Round index the snapshot was taken at the end of.
+    pub round: usize,
+    /// The standing algorithm assignment (camera → algorithm).
+    pub assignment: BTreeMap<usize, AlgorithmId>,
+    /// The standing active-camera set.
+    pub active: Vec<usize>,
+    /// Per-camera energy drawn so far (J) — the battery ledger; restored
+    /// for bookkeeping and used by the election sanity checks.
+    pub battery_used_j: Vec<f64>,
+    /// The assessment cache, slot per camera.
+    pub cache: Vec<CacheSlot>,
+    /// Quarantine ledger entries `(camera, algorithm, strikes,
+    /// eligible_round)`.
+    pub quarantine: Vec<(usize, AlgorithmId, u32, usize)>,
+}
+
+impl SimulationCheckpoint {
+    /// An empty checkpoint for `cameras` cameras — what a controller that
+    /// crashed before its first round-end snapshot restores to.
+    pub fn initial(cameras: usize) -> SimulationCheckpoint {
+        SimulationCheckpoint {
+            round: 0,
+            assignment: BTreeMap::new(),
+            active: Vec::new(),
+            battery_used_j: vec![0.0; cameras],
+            cache: vec![CacheSlot::default(); cameras],
+            quarantine: Vec::new(),
+        }
+    }
+
+    /// Captures the cache side of a snapshot from the live controller
+    /// structures.
+    pub fn capture_cache(cache: &AssessmentCache, cameras: usize) -> Vec<CacheSlot> {
+        (0..cameras)
+            .map(|j| CacheSlot {
+                heard: cache.heard_round(j),
+                entry: cache.entry(j).map(|(r, a)| (r, a.clone())),
+            })
+            .collect()
+    }
+
+    /// Rebuilds a live [`AssessmentCache`] from the snapshot.
+    pub fn restore_cache(&self) -> AssessmentCache {
+        let mut cache = AssessmentCache::new(self.cache.len());
+        for (j, slot) in self.cache.iter().enumerate() {
+            cache.restore_entry(j, slot.heard, slot.entry.clone());
+        }
+        cache
+    }
+
+    /// Serializes the checkpoint to JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\": \"");
+        out.push_str(SCHEMA);
+        let _ = write!(out, "\", \"round\": {}", self.round);
+
+        out.push_str(", \"assignment\": [");
+        for (i, (cam, alg)) in self.assignment.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{cam}, \"{alg}\"]");
+        }
+        out.push(']');
+
+        out.push_str(", \"active\": [");
+        for (i, cam) in self.active.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{cam}");
+        }
+        out.push(']');
+
+        out.push_str(", \"battery_used_j\": [");
+        for (i, j) in self.battery_used_j.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{j:?}");
+        }
+        out.push(']');
+
+        out.push_str(", \"cache\": [");
+        for (i, slot) in self.cache.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_slot(&mut out, slot);
+        }
+        out.push(']');
+
+        out.push_str(", \"quarantine\": [");
+        for (i, (cam, alg, strikes, until)) in self.quarantine.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{cam}, \"{alg}\", {strikes}, {until}]");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a checkpoint back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem — malformed
+    /// JSON, a wrong schema tag, or a missing/ill-typed field.
+    pub fn from_json(text: &str) -> Result<SimulationCheckpoint, String> {
+        let doc = jsonio::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing \"schema\"")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let round = get_usize(&doc, "round")?;
+
+        let mut assignment = BTreeMap::new();
+        for pair in get_arr(&doc, "assignment")? {
+            let items = pair.as_arr().ok_or("assignment entry must be an array")?;
+            let (cam, alg) = match items {
+                [cam, alg] => (as_usize(cam)?, as_algorithm(alg)?),
+                _ => return Err("assignment entry must be [camera, algorithm]".into()),
+            };
+            assignment.insert(cam, alg);
+        }
+
+        let active = get_arr(&doc, "active")?
+            .iter()
+            .map(as_usize)
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let battery_used_j = get_arr(&doc, "battery_used_j")?
+            .iter()
+            .map(|v| {
+                v.as_num()
+                    .ok_or_else(|| "battery entry must be a number".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let cache = get_arr(&doc, "cache")?
+            .iter()
+            .map(parse_slot)
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut quarantine = Vec::new();
+        for entry in get_arr(&doc, "quarantine")? {
+            let items = entry.as_arr().ok_or("quarantine entry must be an array")?;
+            match items {
+                [cam, alg, strikes, until] => quarantine.push((
+                    as_usize(cam)?,
+                    as_algorithm(alg)?,
+                    as_usize(strikes)? as u32,
+                    as_usize(until)?,
+                )),
+                _ => {
+                    return Err(
+                        "quarantine entry must be [camera, algorithm, strikes, round]".into(),
+                    )
+                }
+            }
+        }
+
+        Ok(SimulationCheckpoint {
+            round,
+            assignment,
+            active,
+            battery_used_j,
+            cache,
+            quarantine,
+        })
+    }
+}
+
+fn write_slot(out: &mut String, slot: &CacheSlot) {
+    out.push('{');
+    match slot.heard {
+        Some(r) => {
+            let _ = write!(out, "\"heard\": {r}");
+        }
+        None => out.push_str("\"heard\": null"),
+    }
+    out.push_str(", \"entry\": ");
+    match &slot.entry {
+        None => out.push_str("null"),
+        Some((round, reports)) => {
+            let _ = write!(out, "{{\"round\": {round}, \"reports\": [");
+            for (i, (alg, series)) in reports.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[\"{alg}\", [");
+                for (k, report) in series.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    write_report(out, report);
+                }
+                out.push_str("]]");
+            }
+            out.push_str("]}");
+        }
+    }
+    out.push('}');
+}
+
+fn write_report(out: &mut String, report: &CameraReport) {
+    out.push_str("{\"objects\": [");
+    for (i, o) in report.objects.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"camera\": {}, \"bbox\": [{:?}, {:?}, {:?}, {:?}], \"probability\": {:?}, \"color\": [",
+            o.camera, o.bbox.x0, o.bbox.y0, o.bbox.x1, o.bbox.y1, o.probability
+        );
+        for (k, c) in o.color.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{c:?}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+fn parse_slot(v: &Json) -> Result<CacheSlot, String> {
+    let heard = match v.get("heard") {
+        Some(Json::Null) | None => None,
+        Some(n) => Some(as_usize(n)?),
+    };
+    let entry = match v.get("entry") {
+        Some(Json::Null) | None => None,
+        Some(e) => {
+            let round = get_usize(e, "round")?;
+            let mut reports: CameraAssessment = BTreeMap::new();
+            for pair in get_arr(e, "reports")? {
+                let items = pair.as_arr().ok_or("reports entry must be an array")?;
+                let (alg, series) = match items {
+                    [alg, series] => (as_algorithm(alg)?, series),
+                    _ => return Err("reports entry must be [algorithm, series]".into()),
+                };
+                let series = series
+                    .as_arr()
+                    .ok_or("report series must be an array")?
+                    .iter()
+                    .map(parse_report)
+                    .collect::<Result<Vec<_>, _>>()?;
+                reports.insert(alg, series);
+            }
+            Some((round, reports))
+        }
+    };
+    Ok(CacheSlot { heard, entry })
+}
+
+fn parse_report(v: &Json) -> Result<CameraReport, String> {
+    let mut objects = Vec::new();
+    for o in get_arr(v, "objects")? {
+        let camera = get_usize(o, "camera")?;
+        let bbox = o
+            .get("bbox")
+            .and_then(Json::as_arr)
+            .ok_or("object missing \"bbox\"")?;
+        let bbox = match bbox {
+            [x0, y0, x1, y1] => BBox {
+                x0: as_f64(x0)?,
+                y0: as_f64(y0)?,
+                x1: as_f64(x1)?,
+                y1: as_f64(y1)?,
+            },
+            _ => return Err("bbox must be [x0, y0, x1, y1]".into()),
+        };
+        let probability = o
+            .get("probability")
+            .and_then(Json::as_num)
+            .ok_or("object missing \"probability\"")?;
+        let color = o
+            .get("color")
+            .and_then(Json::as_arr)
+            .ok_or("object missing \"color\"")?
+            .iter()
+            .map(as_f64)
+            .collect::<Result<Vec<_>, _>>()?;
+        objects.push(ObjectMetadata {
+            camera,
+            bbox,
+            probability,
+            color,
+        });
+    }
+    Ok(CameraReport { objects })
+}
+
+fn get_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing \"{key}\" array"))
+}
+
+fn get_usize(v: &Json, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .ok_or_else(|| format!("missing \"{key}\""))
+        .and_then(as_usize)
+}
+
+fn as_usize(v: &Json) -> Result<usize, String> {
+    let n = v.as_num().ok_or("expected a number")?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("expected a non-negative integer, got {n}"));
+    }
+    Ok(n as usize)
+}
+
+fn as_f64(v: &Json) -> Result<f64, String> {
+    v.as_num().ok_or_else(|| "expected a number".to_string())
+}
+
+fn as_algorithm(v: &Json) -> Result<AlgorithmId, String> {
+    v.as_str().ok_or("expected an algorithm name")?.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimulationCheckpoint {
+        let report = CameraReport {
+            objects: vec![ObjectMetadata {
+                camera: 1,
+                bbox: BBox::new(3.25, 4.5, 10.125, 30.75),
+                probability: 1.0 / 3.0,
+                color: vec![0.1, 0.2, 1.0 / 7.0],
+            }],
+        };
+        let mut reports: CameraAssessment = BTreeMap::new();
+        reports.insert(
+            AlgorithmId::Hog,
+            vec![report.clone(), CameraReport::default()],
+        );
+        reports.insert(AlgorithmId::C4, vec![report]);
+        SimulationCheckpoint {
+            round: 7,
+            assignment: [(0, AlgorithmId::Hog), (2, AlgorithmId::Lsvm)].into(),
+            active: vec![0, 2],
+            battery_used_j: vec![1.5, 0.1 + 0.2, 0.0],
+            cache: vec![
+                CacheSlot {
+                    heard: Some(7),
+                    entry: Some((6, reports)),
+                },
+                CacheSlot::default(),
+                CacheSlot {
+                    heard: Some(5),
+                    entry: None,
+                },
+            ],
+            quarantine: vec![(1, AlgorithmId::Acf, 2, 9)],
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let ckpt = sample();
+        let restored = SimulationCheckpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(restored, ckpt);
+        // The f64 ledger must survive bit-for-bit, not just approximately.
+        for (a, b) in ckpt.battery_used_j.iter().zip(&restored.battery_used_j) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let (pa, pb) = (
+            &ckpt.cache[0].entry.as_ref().unwrap().1[&AlgorithmId::Hog][0].objects[0],
+            &restored.cache[0].entry.as_ref().unwrap().1[&AlgorithmId::Hog][0].objects[0],
+        );
+        assert_eq!(pa.probability.to_bits(), pb.probability.to_bits());
+        assert_eq!(pa.bbox.x1.to_bits(), pb.bbox.x1.to_bits());
+    }
+
+    #[test]
+    fn initial_checkpoint_is_empty() {
+        let ckpt = SimulationCheckpoint::initial(3);
+        assert_eq!(ckpt.round, 0);
+        assert!(ckpt.assignment.is_empty() && ckpt.active.is_empty());
+        assert_eq!(ckpt.battery_used_j, vec![0.0; 3]);
+        assert_eq!(ckpt.cache.len(), 3);
+        let restored = SimulationCheckpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(restored, ckpt);
+    }
+
+    #[test]
+    fn cache_capture_and_restore_round_trip() {
+        let mut cache = AssessmentCache::new(2);
+        let reports: CameraAssessment = [(AlgorithmId::Acf, Vec::new())].into();
+        cache.record(0, 4, reports.clone());
+        cache.mark_heard(1, 2);
+        let ckpt = SimulationCheckpoint {
+            cache: SimulationCheckpoint::capture_cache(&cache, 2),
+            ..SimulationCheckpoint::initial(2)
+        };
+        let restored = ckpt.restore_cache();
+        assert_eq!(restored.entry(0), Some((4, &reports)));
+        assert!(restored.heard_in(1, 2));
+        assert!(restored.entry(1).is_none());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(SimulationCheckpoint::from_json("{").is_err());
+        assert!(SimulationCheckpoint::from_json("{}").is_err());
+        let wrong_schema = sample().to_json().replace(SCHEMA, "other/1");
+        assert!(SimulationCheckpoint::from_json(&wrong_schema).is_err());
+        let bad_alg = sample().to_json().replace("LSVM", "YOLO");
+        assert!(SimulationCheckpoint::from_json(&bad_alg).is_err());
+    }
+}

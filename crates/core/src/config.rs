@@ -1,12 +1,75 @@
 //! EECS configuration.
 
+use crate::controller::QuarantinePolicy;
 use crate::profile::DowngradeRule;
 use crate::{EecsError, Result};
 use eecs_detect::eval::EvalConfig;
+use eecs_detect::health::HealthPolicy;
 use eecs_energy::comm::LinkModel;
 use eecs_energy::model::DeviceEnergyModel;
 use eecs_manifold::similarity::SimilarityConfig;
 use eecs_net::reliable::RetryPolicy;
+use std::fmt;
+
+/// A structural problem in a simulation or framework configuration,
+/// caught at construction instead of panicking rounds later.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The rig has no cameras at all.
+    NoCameras,
+    /// More cameras requested than the rig supports.
+    TooManyCameras {
+        /// Cameras requested.
+        requested: usize,
+        /// The rig's maximum.
+        max: usize,
+    },
+    /// The frame range `[start, end)` contains no frames, so the run has
+    /// zero rounds.
+    EmptyFrameRange {
+        /// Requested first frame.
+        start: usize,
+        /// Requested end frame (exclusive).
+        end: usize,
+    },
+    /// The per-frame energy budget is NaN or infinite.
+    NonFiniteBudget(f64),
+    /// The per-frame energy budget is negative.
+    NegativeBudget(f64),
+    /// A nested knob (EECS tunables, health or quarantine policy) is out
+    /// of its domain.
+    BadKnob(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoCameras => write!(f, "simulation needs at least one camera"),
+            ConfigError::TooManyCameras { requested, max } => {
+                write!(f, "{requested} cameras requested, the rig has {max}")
+            }
+            ConfigError::EmptyFrameRange { start, end } => {
+                write!(f, "frame range [{start}, {end}) holds no rounds")
+            }
+            ConfigError::NonFiniteBudget(v) => {
+                write!(f, "per-frame budget must be finite, got {v}")
+            }
+            ConfigError::NegativeBudget(v) => {
+                write!(f, "per-frame budget must be non-negative, got {v}")
+            }
+            ConfigError::BadKnob(msg) => write!(f, "bad configuration knob: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for EecsError {
+    fn from(e: ConfigError) -> Self {
+        EecsError::InvalidArgument(e.to_string())
+    }
+}
 
 /// All tunables of the framework, defaulted to the paper's evaluation
 /// settings (Section VI-E).
@@ -42,6 +105,17 @@ pub struct EecsConfig {
     /// assessment data may be and still feed selection. Past this age the
     /// camera is excluded from the round instead.
     pub staleness_limit_rounds: usize,
+    /// Detector sanity-check thresholds (NaN scores, count explosions,
+    /// score collapse). The lenient defaults never trip on healthy
+    /// detectors, so fault-free runs are unaffected.
+    pub health: HealthPolicy,
+    /// Backoff policy for quarantining (camera, algorithm) pairs whose
+    /// detector output failed the health checks.
+    pub quarantine: QuarantinePolicy,
+    /// Controller-state checkpoint cadence in rounds (used only when a
+    /// `ControllerFaultPlan` is armed): a checkpoint is taken at the end
+    /// of every round whose index is a multiple of this.
+    pub checkpoint_every: usize,
 }
 
 impl Default for EecsConfig {
@@ -61,6 +135,9 @@ impl Default for EecsConfig {
             downgrade_rule: DowngradeRule::default(),
             retry: RetryPolicy::default(),
             staleness_limit_rounds: 2,
+            health: HealthPolicy::default(),
+            quarantine: QuarantinePolicy::default(),
+            checkpoint_every: 1,
         }
     }
 }
@@ -106,6 +183,17 @@ impl EecsConfig {
                     .into(),
             ));
         }
+        self.health
+            .validate()
+            .map_err(|m| EecsError::from(ConfigError::BadKnob(m)))?;
+        self.quarantine
+            .validate()
+            .map_err(|m| EecsError::from(ConfigError::BadKnob(m)))?;
+        if self.checkpoint_every == 0 {
+            return Err(
+                ConfigError::BadKnob("checkpoint_every must be at least 1 round".into()).into(),
+            );
+        }
         Ok(())
     }
 }
@@ -149,6 +237,30 @@ mod tests {
         let mut c = EecsConfig::default();
         c.reid_ground_gate_m = 0.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_health_and_checkpoint_knobs() {
+        let mut c = EecsConfig::default();
+        c.health.max_detections = 0;
+        assert!(c.validate().is_err());
+        c = EecsConfig::default();
+        c.quarantine.base_backoff_rounds = 0;
+        assert!(c.validate().is_err());
+        c = EecsConfig::default();
+        c.checkpoint_every = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_error_display_and_conversion() {
+        let e = ConfigError::EmptyFrameRange { start: 50, end: 50 };
+        assert!(e.to_string().contains("[50, 50)"));
+        let ee: EecsError = ConfigError::NoCameras.into();
+        assert!(matches!(ee, EecsError::InvalidArgument(_)));
+        assert!(ConfigError::NonFiniteBudget(f64::NAN)
+            .to_string()
+            .contains("finite"));
     }
 
     #[test]

@@ -96,6 +96,193 @@ impl AssessmentCache {
             .and_then(|d| d.as_ref())
             .map(|(gathered, _)| round.saturating_sub(*gathered))
     }
+
+    /// The round `camera` was last heard from, if ever — checkpoint
+    /// export.
+    pub fn heard_round(&self, camera: usize) -> Option<usize> {
+        self.heard.get(camera).copied().flatten()
+    }
+
+    /// The cached `(round gathered, reports)` entry for `camera`,
+    /// regardless of staleness — checkpoint export.
+    pub fn entry(&self, camera: usize) -> Option<(usize, &CameraAssessment)> {
+        self.data
+            .get(camera)
+            .and_then(|d| d.as_ref())
+            .map(|(round, reports)| (*round, reports))
+    }
+
+    /// Overwrites `camera`'s cache slot wholesale — checkpoint restore.
+    /// Out-of-range cameras are ignored, matching `mark_heard`.
+    pub fn restore_entry(
+        &mut self,
+        camera: usize,
+        heard: Option<usize>,
+        entry: Option<(usize, CameraAssessment)>,
+    ) {
+        if let Some(h) = self.heard.get_mut(camera) {
+            *h = heard;
+        }
+        if let Some(d) = self.data.get_mut(camera) {
+            *d = entry;
+        }
+    }
+}
+
+/// Backoff parameters of the detector quarantine (Section IV's controller
+/// extended with self-healing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinePolicy {
+    /// Rounds a pair sits out after its first strike.
+    pub base_backoff_rounds: usize,
+    /// Multiplier applied to the backoff for each further strike.
+    pub backoff_factor: usize,
+    /// Upper bound on a single backoff — this also bounds how long the
+    /// controller can go without re-probing a quarantined pair.
+    pub max_backoff_rounds: usize,
+}
+
+impl QuarantinePolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the backoff could stall (zero base or
+    /// factor) or the cap undercuts the base (re-probe would never be
+    /// scheduled consistently).
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.base_backoff_rounds == 0 {
+            return Err("quarantine base backoff must be at least 1 round".into());
+        }
+        if self.backoff_factor == 0 {
+            return Err("quarantine backoff factor must be at least 1".into());
+        }
+        if self.max_backoff_rounds < self.base_backoff_rounds {
+            return Err("quarantine backoff cap must be at or above its base".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for QuarantinePolicy {
+    /// One round out after the first strike, doubling to a cap of 8 —
+    /// a re-probe is always at most 8 rounds away.
+    fn default() -> Self {
+        QuarantinePolicy {
+            base_backoff_rounds: 1,
+            backoff_factor: 2,
+            max_backoff_rounds: 8,
+        }
+    }
+}
+
+/// The controller's record of (camera, algorithm) pairs that produced
+/// unhealthy detector output (see `eecs_detect::health`).
+///
+/// A struck pair is excluded from assessment for an exponentially growing
+/// number of rounds, then automatically *re-probed*: once its backoff
+/// expires, the next assessment round includes it again. A healthy
+/// re-probe clears the entry entirely; another unhealthy one doubles the
+/// backoff (up to the policy cap, which bounds the re-probe interval).
+/// An empty ledger — the fault-free case — changes nothing anywhere.
+#[derive(Debug, Clone, Default)]
+pub struct QuarantineLedger {
+    /// `(strikes, first round the pair may be probed again)` per pair.
+    entries: BTreeMap<(usize, AlgorithmId), (u32, usize)>,
+}
+
+impl QuarantineLedger {
+    /// An empty ledger.
+    pub fn new() -> QuarantineLedger {
+        QuarantineLedger::default()
+    }
+
+    /// The backoff `policy` assigns to a pair with `strikes` strikes:
+    /// `base · factor^(strikes-1)`, saturating at the cap. Monotone in
+    /// `strikes` and never above `max_backoff_rounds`.
+    pub fn backoff_rounds(policy: &QuarantinePolicy, strikes: u32) -> usize {
+        if strikes == 0 {
+            return 0;
+        }
+        let mut backoff = policy.base_backoff_rounds;
+        for _ in 1..strikes {
+            backoff = backoff.saturating_mul(policy.backoff_factor);
+            if backoff >= policy.max_backoff_rounds {
+                return policy.max_backoff_rounds;
+            }
+        }
+        backoff.min(policy.max_backoff_rounds)
+    }
+
+    /// Records an unhealthy output from `(camera, algorithm)` observed in
+    /// `round`: one more strike, and the pair sits out the next
+    /// `backoff_rounds(policy, strikes)` rounds — it becomes eligible
+    /// again (is re-probed) at round `round + 1 + backoff`.
+    pub fn report_unhealthy(
+        &mut self,
+        camera: usize,
+        algorithm: AlgorithmId,
+        round: usize,
+        policy: &QuarantinePolicy,
+    ) {
+        let entry = self.entries.entry((camera, algorithm)).or_insert((0, 0));
+        entry.0 = entry.0.saturating_add(1);
+        let backoff = QuarantineLedger::backoff_rounds(policy, entry.0);
+        entry.1 = round + 1 + backoff;
+    }
+
+    /// Records a healthy output from `(camera, algorithm)`: the pair is
+    /// fully rehabilitated and forgotten.
+    pub fn report_healthy(&mut self, camera: usize, algorithm: AlgorithmId) {
+        self.entries.remove(&(camera, algorithm));
+    }
+
+    /// Whether `(camera, algorithm)` may be assessed in `round`. A pair
+    /// struck in round `s` with backoff `b` is excluded from rounds
+    /// `s+1 ..= s+b` and re-probed from round `s+1+b` on.
+    pub fn allows(&self, camera: usize, algorithm: AlgorithmId, round: usize) -> bool {
+        match self.entries.get(&(camera, algorithm)) {
+            Some((_, until)) => round >= *until,
+            None => true,
+        }
+    }
+
+    /// Current strike count of `(camera, algorithm)`.
+    pub fn strikes(&self, camera: usize, algorithm: AlgorithmId) -> u32 {
+        self.entries
+            .get(&(camera, algorithm))
+            .map(|(s, _)| *s)
+            .unwrap_or(0)
+    }
+
+    /// Number of pairs currently holding strikes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pair holds a strike.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every entry as `(camera, algorithm, strikes, eligible_round)` —
+    /// checkpoint export.
+    pub fn export(&self) -> Vec<(usize, AlgorithmId, u32, usize)> {
+        self.entries
+            .iter()
+            .map(|(&(cam, alg), &(strikes, until))| (cam, alg, strikes, until))
+            .collect()
+    }
+
+    /// Rebuilds a ledger from exported entries — checkpoint restore.
+    pub fn from_entries(entries: Vec<(usize, AlgorithmId, u32, usize)>) -> QuarantineLedger {
+        QuarantineLedger {
+            entries: entries
+                .into_iter()
+                .map(|(cam, alg, strikes, until)| ((cam, alg), (strikes, until)))
+                .collect(),
+        }
+    }
 }
 
 /// The EECS central controller.
@@ -446,6 +633,94 @@ mod tests {
         assert!(c
             .select_live(&data, &[0, 1], &budgets, &reid, false, &[true])
             .is_err());
+    }
+
+    #[test]
+    fn quarantine_backoff_doubles_and_caps() {
+        let policy = QuarantinePolicy::default();
+        assert_eq!(QuarantineLedger::backoff_rounds(&policy, 0), 0);
+        assert_eq!(QuarantineLedger::backoff_rounds(&policy, 1), 1);
+        assert_eq!(QuarantineLedger::backoff_rounds(&policy, 2), 2);
+        assert_eq!(QuarantineLedger::backoff_rounds(&policy, 3), 4);
+        assert_eq!(QuarantineLedger::backoff_rounds(&policy, 4), 8);
+        assert_eq!(QuarantineLedger::backoff_rounds(&policy, 5), 8, "capped");
+        assert_eq!(QuarantineLedger::backoff_rounds(&policy, 100), 8);
+        assert!(policy.validate().is_ok());
+        assert!(QuarantinePolicy {
+            base_backoff_rounds: 0,
+            ..policy
+        }
+        .validate()
+        .is_err());
+        assert!(QuarantinePolicy {
+            max_backoff_rounds: 0,
+            ..policy
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn quarantine_excludes_then_reprobes_then_clears() {
+        let policy = QuarantinePolicy::default();
+        let mut ledger = QuarantineLedger::new();
+        let pair = (1, AlgorithmId::Acf);
+        assert!(ledger.allows(pair.0, pair.1, 0) && ledger.is_empty());
+
+        // Strike in round 3: one round out (rounds 4), re-probe at 5.
+        ledger.report_unhealthy(pair.0, pair.1, 3, &policy);
+        assert_eq!(ledger.strikes(pair.0, pair.1), 1);
+        assert!(!ledger.allows(pair.0, pair.1, 4));
+        assert!(ledger.allows(pair.0, pair.1, 5), "re-probe after backoff");
+        assert!(ledger.allows(2, AlgorithmId::Acf, 4), "other camera free");
+        assert!(
+            ledger.allows(1, AlgorithmId::Hog, 4),
+            "other algorithm free"
+        );
+
+        // Second strike at the re-probe: two rounds out.
+        ledger.report_unhealthy(pair.0, pair.1, 5, &policy);
+        assert!(!ledger.allows(pair.0, pair.1, 6) && !ledger.allows(pair.0, pair.1, 7));
+        assert!(ledger.allows(pair.0, pair.1, 8));
+
+        // A healthy re-probe clears everything.
+        ledger.report_healthy(pair.0, pair.1);
+        assert_eq!(ledger.strikes(pair.0, pair.1), 0);
+        assert!(ledger.allows(pair.0, pair.1, 6));
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn quarantine_export_round_trips() {
+        let policy = QuarantinePolicy::default();
+        let mut ledger = QuarantineLedger::new();
+        ledger.report_unhealthy(0, AlgorithmId::Hog, 2, &policy);
+        ledger.report_unhealthy(3, AlgorithmId::Lsvm, 7, &policy);
+        ledger.report_unhealthy(3, AlgorithmId::Lsvm, 9, &policy);
+        let restored = QuarantineLedger::from_entries(ledger.export());
+        assert_eq!(restored.export(), ledger.export());
+        assert_eq!(restored.strikes(3, AlgorithmId::Lsvm), 2);
+        assert_eq!(restored.len(), 2);
+    }
+
+    #[test]
+    fn assessment_cache_export_round_trips() {
+        let mut cache = AssessmentCache::new(2);
+        let reports: CameraAssessment = [(AlgorithmId::Hog, Vec::new())].into();
+        cache.record(0, 3, reports.clone());
+        cache.mark_heard(1, 5);
+
+        let mut restored = AssessmentCache::new(2);
+        for j in 0..2 {
+            restored.restore_entry(
+                j,
+                cache.heard_round(j),
+                cache.entry(j).map(|(r, a)| (r, a.clone())),
+            );
+        }
+        assert!(restored.heard_in(0, 3) && restored.heard_in(1, 5));
+        assert_eq!(restored.entry(0), Some((3, &reports)));
+        assert!(restored.entry(1).is_none());
     }
 
     #[test]

@@ -31,9 +31,11 @@
 
 pub mod accuracy;
 pub mod camera_node;
+pub mod checkpoint;
 pub mod config;
 pub mod controller;
 pub mod features;
+pub mod jsonio;
 pub mod metadata;
 pub mod par;
 pub mod profile;
@@ -44,13 +46,14 @@ pub mod training;
 
 pub use accuracy::{DesiredAccuracy, GlobalAccuracy};
 pub use camera_node::CameraNode;
-pub use config::EecsConfig;
-pub use controller::Controller;
+pub use checkpoint::SimulationCheckpoint;
+pub use config::{ConfigError, EecsConfig};
+pub use controller::{Controller, QuarantineLedger, QuarantinePolicy};
 pub use features::FeatureExtractor;
 pub use metadata::{CameraReport, ObjectMetadata};
 pub use profile::{AlgorithmProfile, DowngradeRule, TrainingRecord};
 pub use reid::FusedObject;
-pub use simulation::{OperatingMode, Parallelism, SimulationReport};
+pub use simulation::{FailoverEvent, OperatingMode, Parallelism, SimulationReport};
 
 use std::error::Error;
 use std::fmt;

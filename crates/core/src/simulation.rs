@@ -18,8 +18,9 @@
 //! frames on datasets #1/#3 and 10 on dataset #2.
 
 use crate::camera_node::CameraNode;
-use crate::config::EecsConfig;
-use crate::controller::{AssessmentCache, CameraAssessment, Controller};
+use crate::checkpoint::SimulationCheckpoint;
+use crate::config::{ConfigError, EecsConfig};
+use crate::controller::{AssessmentCache, CameraAssessment, Controller, QuarantineLedger};
 use crate::features::FeatureExtractor;
 use crate::metadata::CameraReport;
 use crate::profile::TrainingRecord;
@@ -29,13 +30,17 @@ use crate::training::train_record;
 use crate::{EecsError, Result};
 use eecs_detect::bank::DetectorBank;
 use eecs_detect::detection::AlgorithmId;
+use eecs_detect::health::DetectorHealth;
 use eecs_energy::budget::{BatteryState, EnergyBudget};
 use eecs_energy::comm::JPEG_BYTES_PER_PIXEL;
-use eecs_net::fault::FaultPlan;
+use eecs_energy::meter::PowerMeter;
+use eecs_net::fault::{ControllerFaultPlan, FaultPlan};
 use eecs_net::message::Message;
+use eecs_net::reliable::Delivery;
 use eecs_net::transport::{Network, TransportStats};
 use eecs_scene::dataset::DatasetProfile;
 use eecs_scene::rig::rig_calibrations;
+use eecs_scene::sensor_fault::{FrameImpairment, SensorFaultPlan};
 use eecs_scene::sequence::{FrameData, VideoFeed};
 use std::collections::BTreeMap;
 
@@ -122,9 +127,68 @@ pub struct SimulationConfig {
     /// Deterministic network-fault schedule. [`FaultPlan::ideal`] (no
     /// faults) reproduces the idealized pre-chaos energy numbers exactly.
     pub fault_plan: FaultPlan,
+    /// Deterministic sensor-fault schedule: per-camera frame corruption
+    /// (noise, blur, occlusion, exposure drift, stuck rows, dropped
+    /// frames). [`SensorFaultPlan::ideal`] leaves every pixel untouched
+    /// and reproduces the clean-sensor reports exactly.
+    pub sensor_plan: SensorFaultPlan,
+    /// Deterministic controller-crash schedule. While a crash window is
+    /// open the hub is dark; the surviving cameras elect a replacement
+    /// from their own ranks and restore its state from the last
+    /// checkpoint. [`ControllerFaultPlan::none`] keeps the mains-powered
+    /// controller immortal and the run bit-identical to pre-chaos.
+    pub controller_plan: ControllerFaultPlan,
     /// Host-side execution settings (worker pool, feature cache). Affects
     /// wall-clock only; reports are bit-identical across settings.
     pub parallel: Parallelism,
+}
+
+impl SimulationConfig {
+    /// Structural validation, before any feed is opened or detector run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`]: no cameras, more cameras than
+    /// the 4-camera rigs support, an empty frame range, or a NaN/infinite/
+    /// negative per-frame budget.
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        if self.cameras == 0 {
+            return Err(ConfigError::NoCameras);
+        }
+        if self.cameras > 4 {
+            return Err(ConfigError::TooManyCameras {
+                requested: self.cameras,
+                max: 4,
+            });
+        }
+        if self.start_frame >= self.end_frame {
+            return Err(ConfigError::EmptyFrameRange {
+                start: self.start_frame,
+                end: self.end_frame,
+            });
+        }
+        if !self.budget_j_per_frame.is_finite() {
+            return Err(ConfigError::NonFiniteBudget(self.budget_j_per_frame));
+        }
+        if self.budget_j_per_frame < 0.0 {
+            return Err(ConfigError::NegativeBudget(self.budget_j_per_frame));
+        }
+        Ok(())
+    }
+}
+
+/// One controller failover, as it happened during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverEvent {
+    /// Round whose start the controller crashed at.
+    pub round: usize,
+    /// Camera elected as the replacement controller (highest remaining
+    /// battery among survivors; ties break to the lowest index).
+    pub elected: usize,
+    /// Round of the checkpoint the new controller restored from.
+    pub checkpoint_round: usize,
+    /// Peers that acknowledged the handover announcement.
+    pub announced: usize,
 }
 
 /// One recalibration round's outcome.
@@ -166,6 +230,19 @@ pub struct SimulationReport {
     pub transport: Vec<TransportStats>,
     /// Controller-side downlink statistics.
     pub downlink: TransportStats,
+    /// Controller failovers, in order of occurrence. Empty unless a
+    /// [`ControllerFaultPlan`] crash window opened during the run.
+    pub failovers: Vec<FailoverEvent>,
+    /// Frames the sensor-fault plan visibly corrupted (noise, blur,
+    /// occlusion, exposure shift or stuck rows — drops counted
+    /// separately).
+    pub degraded_frames: usize,
+    /// Frames the sensor-fault plan dropped entirely.
+    pub dropped_frames: usize,
+    /// Detector-health strikes the controller recorded (each one
+    /// quarantined or extended the quarantine of a (camera, algorithm)
+    /// pair).
+    pub quarantine_strikes: usize,
 }
 
 impl SimulationReport {
@@ -201,12 +278,7 @@ impl Simulation {
     /// Propagates training/feature failures and invalid configurations.
     pub fn prepare(bank: DetectorBank, config: SimulationConfig) -> Result<Simulation> {
         config.eecs.validate()?;
-        if config.cameras == 0 || config.cameras > 4 {
-            return Err(EecsError::InvalidArgument("cameras must be 1..=4".into()));
-        }
-        if config.start_frame >= config.end_frame {
-            return Err(EecsError::InvalidArgument("empty frame range".into()));
-        }
+        config.validate()?;
         let feeds: Vec<VideoFeed> = (0..config.cameras)
             .map(|j| VideoFeed::open(config.profile.clone(), j))
             .collect();
@@ -323,6 +395,22 @@ impl Simulation {
         sim
     }
 
+    /// A copy of this prepared simulation under different fault schedules
+    /// (network, sensor, controller). Training and matching see only
+    /// clean data, so one `prepare` serves a whole fault matrix.
+    pub fn with_faults(
+        &self,
+        fault_plan: FaultPlan,
+        sensor_plan: SensorFaultPlan,
+        controller_plan: ControllerFaultPlan,
+    ) -> Simulation {
+        let mut sim = self.clone();
+        sim.config.fault_plan = fault_plan;
+        sim.config.sensor_plan = sensor_plan;
+        sim.config.controller_plan = controller_plan;
+        sim
+    }
+
     /// The trained per-camera records, in matched order (record `matched[j]`
     /// serves camera `j`).
     pub fn record_for_camera(&self, camera: usize) -> &TrainingRecord {
@@ -342,7 +430,7 @@ impl Simulation {
     pub fn run(&self) -> Result<SimulationReport> {
         let cams = self.config.cameras;
         let profile = &self.config.profile;
-        let frames: Vec<Vec<FrameData>> = self
+        let mut frames: Vec<Vec<FrameData>> = self
             .feeds
             .iter()
             .map(|f| f.annotated_frames(self.config.start_frame, self.config.end_frame))
@@ -353,6 +441,36 @@ impl Simulation {
                 "no annotated frames in the requested range".into(),
             ));
         }
+
+        // Sensor faults corrupt the captured frames before anything reads
+        // them — every consumer downstream (assessment, operation,
+        // feature caches, parallel workers) sees the same degraded pixels,
+        // so worker count cannot change what was "seen". With the ideal
+        // plan no pixel is touched.
+        let sensor_chaos = self.config.sensor_plan.enabled();
+        let impairments: Vec<Vec<FrameImpairment>> = frames
+            .iter_mut()
+            .enumerate()
+            .map(|(j, cam_frames)| {
+                cam_frames
+                    .iter_mut()
+                    .map(|fd| {
+                        if sensor_chaos {
+                            self.config.sensor_plan.corrupt(j, fd.frame, &mut fd.image)
+                        } else {
+                            FrameImpairment::clean()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let frames = frames;
+        let degraded_frames = impairments
+            .iter()
+            .flatten()
+            .filter(|i| i.degraded() && !i.dropped)
+            .count();
+        let dropped_frames = impairments.iter().flatten().filter(|i| i.dropped).count();
 
         let per_round = (self.config.eecs.recalibration_interval / profile.gt_interval).max(1);
         let assess_len =
@@ -378,6 +496,18 @@ impl Simulation {
                 .with_fault_plan(self.config.fault_plan.clone())
                 .with_retry_policy(self.config.eecs.retry);
         let mut cache = AssessmentCache::new(cams);
+
+        // Self-healing state. The quarantine ledger tracks (camera,
+        // algorithm) pairs whose detector output failed the health checks;
+        // the seat is the camera acting as controller after a failover
+        // (`None` = the mains-powered hub). Both stay inert — and the run
+        // bit-identical to pre-chaos — under ideal plans.
+        let controller_chaos = self.config.controller_plan.enabled();
+        let mut quarantine = QuarantineLedger::new();
+        let mut quarantine_strikes = 0usize;
+        let mut seat: Option<usize> = None;
+        let mut failovers: Vec<FailoverEvent> = Vec::new();
+        let mut checkpoint = SimulationCheckpoint::initial(cams).to_json();
 
         // One-time feature upload (Section IV-B.1).
         let extractor_dim = self.controller.records()[0].video.feature_dim();
@@ -437,17 +567,84 @@ impl Simulation {
                 OperatingMode::CameraSubset | OperatingMode::FullEecs => {
                     let assess_end = (start + assess_len).min(end);
 
+                    // Controller crash: the hub (or the camera currently
+                    // holding the seat) goes dark at the start of this
+                    // round. Every survivor burns one failed probe
+                    // discovering the silence, then the highest-battery
+                    // survivor takes the seat and restores the last
+                    // checkpoint — within this same round it is planning
+                    // again.
+                    if controller_chaos && self.config.controller_plan.crash_starts(round_index) {
+                        net.set_controller_down(true);
+                        let failed_seat = seat;
+                        seat = None;
+                        for (j, node) in nodes.iter_mut().enumerate() {
+                            if net.is_camera_down(j) || failed_seat == Some(j) {
+                                continue;
+                            }
+                            let (battery, meter) = node.radio_mut();
+                            net.send_reliable(j, Message::EnergyReport, battery, meter)
+                                .map_err(EecsError::from)?;
+                        }
+                        let mut elected: Option<(usize, f64)> = None;
+                        for (j, node) in nodes.iter().enumerate() {
+                            if net.is_camera_down(j) || failed_seat == Some(j) {
+                                continue;
+                            }
+                            let used = node.meter().total();
+                            if elected.is_none_or(|(_, best)| used < best) {
+                                elected = Some((j, used));
+                            }
+                        }
+                        // With no survivor the hub stays dark: every send
+                        // from here on times out and the run degrades
+                        // gracefully instead of aborting.
+                        if let Some((new_seat, _)) = elected {
+                            net.set_controller_down(false);
+                            let ckpt =
+                                SimulationCheckpoint::from_json(&checkpoint).map_err(|m| {
+                                    EecsError::Subsystem(format!("checkpoint restore: {m}"))
+                                })?;
+                            cache = ckpt.restore_cache();
+                            quarantine = QuarantineLedger::from_entries(ckpt.quarantine.clone());
+                            last_plan = (ckpt.assignment.clone(), ckpt.active.clone());
+                            let mut announced = 0usize;
+                            for peer in 0..cams {
+                                if peer == new_seat || net.is_camera_down(peer) {
+                                    continue;
+                                }
+                                let msg = Message::ControllerHandover {
+                                    controller: new_seat,
+                                };
+                                let (battery, meter) = nodes[new_seat].radio_mut();
+                                let d = net
+                                    .send_peer(new_seat, peer, msg, battery, meter)
+                                    .map_err(EecsError::from)?;
+                                if d.delivered {
+                                    announced += 1;
+                                }
+                            }
+                            seat = Some(new_seat);
+                            failovers.push(FailoverEvent {
+                                round: round_index,
+                                elected: new_seat,
+                                checkpoint_round: ckpt.round,
+                                announced,
+                            });
+                        }
+                    }
+
                     // Liveness probe: lets the controller tell a silent-
                     // but-alive camera from a dead one. On an ideal
                     // network silence is impossible, so the probe (and
                     // its energy) is elided and the idealized accounting
                     // is unchanged.
-                    if chaos {
+                    if chaos || net.controller_down() || seat.is_some() {
                         for (j, node) in nodes.iter_mut().enumerate() {
                             let (battery, meter) = node.radio_mut();
-                            let d = net
-                                .send_reliable(j, Message::EnergyReport, battery, meter)
-                                .map_err(EecsError::from)?;
+                            let d =
+                                uplink(&mut net, seat, j, Message::EnergyReport, battery, meter)
+                                    .map_err(EecsError::from)?;
                             if d.delivered && d.delayed_rounds == 0 {
                                 cache.mark_heard(j, round_index);
                             }
@@ -479,6 +676,19 @@ impl Simulation {
                                 .feasible_ranked(&self.budgets[j])
                                 .iter()
                                 .map(|p| p.algorithm)
+                                // Quarantined detectors sit out their
+                                // backoff; `allows` turns true again at
+                                // the re-probe round.
+                                .filter(|&alg| quarantine.allows(j, alg, round_index))
+                                .collect()
+                        })
+                        .collect();
+                    // Frame offsets each camera's sensor actually produced
+                    // — dropped frames run no detector at all.
+                    let kept: Vec<Vec<usize>> = (0..cams)
+                        .map(|j| {
+                            (0..assess_count)
+                                .filter(|&fi| !impairments[j][start + fi].dropped)
                                 .collect()
                         })
                         .collect();
@@ -489,7 +699,7 @@ impl Simulation {
                             continue;
                         }
                         cam_task_start[j] = task_of.len();
-                        task_of.extend((0..assess_count).map(|fi| (j, fi)));
+                        task_of.extend(kept[j].iter().map(|&fi| (j, fi)));
                     }
                     let bank = &self.bank;
                     let par = self.config.parallel;
@@ -512,29 +722,77 @@ impl Simulation {
                         if feasible_by_cam[j].is_empty() {
                             continue;
                         }
+                        // Dropped frames: the sensor produced nothing, so
+                        // the camera reports the gap with a tiny
+                        // DegradedFrame message instead of detections.
+                        for fi in 0..assess_count {
+                            if !impairments[j][start + fi].dropped {
+                                continue;
+                            }
+                            attempted[j] = true;
+                            let (battery, meter) = nodes[j].radio_mut();
+                            let d =
+                                uplink(&mut net, seat, j, Message::DegradedFrame, battery, meter)
+                                    .map_err(EecsError::from)?;
+                            if d.delivered && d.delayed_rounds == 0 {
+                                cache.mark_heard(j, round_index);
+                            }
+                        }
+                        let mut pos_of = vec![usize::MAX; assess_count];
+                        for (pos, &fi) in kept[j].iter().enumerate() {
+                            pos_of[fi] = pos;
+                        }
                         let record = self.record_for(j);
                         for (ai, &alg) in feasible_by_cam[j].iter().enumerate() {
                             let profile_a = record.profile(alg).expect("feasible ⇒ profiled");
                             let mut series = Vec::new();
                             for (fi, fd) in frames[j][start..assess_end].iter().enumerate() {
-                                let output = outputs[cam_task_start[j] + fi][ai].clone();
-                                let report = nodes[j].ingest_detection(
+                                if impairments[j][start + fi].dropped {
+                                    series.push(CameraReport {
+                                        objects: Vec::new(),
+                                    });
+                                    continue;
+                                }
+                                let output = outputs[cam_task_start[j] + pos_of[fi]][ai].clone();
+                                let healthy =
+                                    DetectorHealth::check(alg, &output, &self.config.eecs.health)
+                                        .is_healthy();
+                                let mut report = nodes[j].ingest_detection(
                                     &fd.image,
                                     output,
                                     profile_a,
                                     &self.config.eecs.device,
                                 )?;
+                                if !healthy {
+                                    // A detector spewing NaNs or absurd
+                                    // counts must not poison fusion: the
+                                    // energy is already spent, the output
+                                    // is discarded.
+                                    report = CameraReport {
+                                        objects: Vec::new(),
+                                    };
+                                }
                                 let msg = Message::DetectionMetadata {
                                     objects: report.len(),
                                 };
                                 attempted[j] = true;
                                 let (battery, meter) = nodes[j].radio_mut();
-                                let d = net
-                                    .send_reliable(j, msg, battery, meter)
+                                let d = uplink(&mut net, seat, j, msg, battery, meter)
                                     .map_err(EecsError::from)?;
                                 if d.delivered && d.delayed_rounds == 0 {
                                     delivered_any[j] = true;
                                     cache.mark_heard(j, round_index);
+                                    if healthy {
+                                        quarantine.report_healthy(j, alg);
+                                    } else {
+                                        quarantine.report_unhealthy(
+                                            j,
+                                            alg,
+                                            round_index,
+                                            &self.config.eecs.quarantine,
+                                        );
+                                        quarantine_strikes += 1;
+                                    }
                                     series.push(report);
                                 } else {
                                     series.push(CameraReport {
@@ -654,16 +912,28 @@ impl Simulation {
                     // the previous one (sticky); one that misses a
                     // deactivation keeps burning energy — unreliability
                     // has a price on both ends.
-                    for (j, node) in nodes.iter_mut().enumerate() {
+                    for j in 0..cams {
                         let intended = assignment.get(&j).copied();
                         let msg = if intended.is_some() {
                             Message::AlgorithmAssignment
                         } else {
                             Message::ActivationCommand
                         };
-                        let d = net.send_downlink(j, msg).map_err(EecsError::from)?;
+                        // A camera-held seat pays for its own downlinks:
+                        // peer radio sends charged to the seat's battery,
+                        // a free loopback to itself. The mains hub sends
+                        // for free, as before.
+                        let d = match seat {
+                            Some(s) if s == j => Delivery::loopback(),
+                            Some(s) => {
+                                let (battery, meter) = nodes[s].radio_mut();
+                                net.send_peer(s, j, msg, battery, meter)
+                                    .map_err(EecsError::from)?
+                            }
+                            None => net.send_downlink(j, msg).map_err(EecsError::from)?,
+                        };
                         if d.delivered {
-                            node.set_assignment(intended);
+                            nodes[j].set_assignment(intended);
                         }
                     }
                     (assignment, active)
@@ -686,8 +956,9 @@ impl Simulation {
                 .flat_map(|f| {
                     let net = &net;
                     let nodes = &nodes;
+                    let impairments = &impairments;
                     (0..cams).filter_map(move |j| {
-                        if net.is_camera_down(j) {
+                        if net.is_camera_down(j) || impairments[j][f].dropped {
                             return None;
                         }
                         nodes[j].assigned().map(|alg| (f, j, alg))
@@ -713,18 +984,33 @@ impl Simulation {
                     let Some(alg) = nodes[j].assigned() else {
                         continue;
                     };
+                    if impairments[j][f].dropped {
+                        // Sensor gap: no detection ran; report the gap.
+                        let (battery, meter) = nodes[j].radio_mut();
+                        uplink(&mut net, seat, j, Message::DegradedFrame, battery, meter)
+                            .map_err(EecsError::from)?;
+                        continue;
+                    }
                     let profile_a = self
                         .record_for(j)
                         .profile(alg)
                         .expect("assigned ⇒ profiled");
                     debug_assert_eq!(op_tasks[op_cursor], (f, j, alg));
-                    let report = nodes[j].ingest_detection(
+                    let output = op_outputs[op_cursor].clone();
+                    op_cursor += 1;
+                    let healthy =
+                        DetectorHealth::check(alg, &output, &self.config.eecs.health).is_healthy();
+                    let mut report = nodes[j].ingest_detection(
                         &frames[j][f].image,
-                        op_outputs[op_cursor].clone(),
+                        output,
                         profile_a,
                         &self.config.eecs.device,
                     )?;
-                    op_cursor += 1;
+                    if !healthy {
+                        report = CameraReport {
+                            objects: Vec::new(),
+                        };
+                    }
                     // Metadata + cropped object images (Section VI).
                     let crop_bytes: u64 = report
                         .objects
@@ -736,10 +1022,18 @@ impl Simulation {
                         crop_bytes,
                     };
                     let (battery, meter) = nodes[j].radio_mut();
-                    let d = net
-                        .send_reliable(j, msg, battery, meter)
-                        .map_err(EecsError::from)?;
+                    let d =
+                        uplink(&mut net, seat, j, msg, battery, meter).map_err(EecsError::from)?;
                     if d.delivered && d.delayed_rounds == 0 {
+                        if !healthy {
+                            quarantine.report_unhealthy(
+                                j,
+                                alg,
+                                round_index,
+                                &self.config.eecs.quarantine,
+                            );
+                            quarantine_strikes += 1;
+                        }
                         reports.push(report);
                     }
                 }
@@ -761,6 +1055,26 @@ impl Simulation {
             });
             total_correct += round_correct;
             total_gt += round_gt;
+
+            // Checkpoint the controller's volatile state so the next
+            // failover loses at most `checkpoint_every` rounds of it.
+            // Serialize/parse through real JSON every time: the restored
+            // state is exactly what a crash would recover.
+            if controller_chaos
+                && !net.controller_down()
+                && round_index.is_multiple_of(self.config.eecs.checkpoint_every)
+            {
+                checkpoint = SimulationCheckpoint {
+                    round: round_index,
+                    assignment: last_plan.0.clone(),
+                    active: last_plan.1.clone(),
+                    battery_used_j: nodes.iter().map(|c| c.meter().total()).collect(),
+                    cache: SimulationCheckpoint::capture_cache(&cache, cams),
+                    quarantine: quarantine.export(),
+                }
+                .to_json();
+            }
+
             start = end;
             round_index += 1;
             net.advance_round();
@@ -777,6 +1091,10 @@ impl Simulation {
                 .map(|j| net.stats(j).expect("node exists"))
                 .collect(),
             downlink: net.downlink_stats(),
+            failovers,
+            degraded_frames,
+            dropped_frames,
+            quarantine_strikes,
             rounds,
         })
     }
@@ -811,6 +1129,23 @@ impl Simulation {
     }
 }
 
+/// Routes a camera→controller send through the transport — unless the
+/// sender currently *holds* the controller seat (post-failover), in which
+/// case its own traffic never touches the radio and costs nothing.
+fn uplink(
+    net: &mut Network,
+    seat: Option<usize>,
+    from: usize,
+    message: Message,
+    battery: &mut BatteryState,
+    meter: &mut PowerMeter,
+) -> eecs_net::Result<Delivery> {
+    if seat == Some(from) {
+        return Ok(Delivery::loopback());
+    }
+    net.send_reliable(from, message, battery, meter)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -837,6 +1172,8 @@ mod tests {
             max_training_frames: 8,
             boost_every: 0,
             fault_plan: FaultPlan::ideal(),
+            sensor_plan: SensorFaultPlan::ideal(),
+            controller_plan: ControllerFaultPlan::none(),
             parallel: Parallelism::default(),
         }
     }

@@ -36,6 +36,22 @@ impl fmt::Display for AlgorithmId {
     }
 }
 
+impl std::str::FromStr for AlgorithmId {
+    type Err = String;
+
+    /// Parses the paper's algorithm names as produced by `Display` —
+    /// the round-trip the checkpoint serializer relies on.
+    fn from_str(s: &str) -> Result<AlgorithmId, String> {
+        match s {
+            "HOG" => Ok(AlgorithmId::Hog),
+            "ACF" => Ok(AlgorithmId::Acf),
+            "C4" => Ok(AlgorithmId::C4),
+            "LSVM" => Ok(AlgorithmId::Lsvm),
+            other => Err(format!("unknown algorithm id `{other}`")),
+        }
+    }
+}
+
 /// An axis-aligned bounding box in pixel coordinates, `[x0, x1) × [y0, y1)`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BBox {
@@ -200,6 +216,14 @@ mod tests {
         assert_eq!(AlgorithmId::Hog.to_string(), "HOG");
         assert_eq!(AlgorithmId::Lsvm.to_string(), "LSVM");
         assert_eq!(AlgorithmId::ALL.len(), 4);
+    }
+
+    #[test]
+    fn algorithm_id_display_round_trips_through_from_str() {
+        for alg in AlgorithmId::ALL {
+            assert_eq!(alg.to_string().parse::<AlgorithmId>(), Ok(alg));
+        }
+        assert!("YOLO".parse::<AlgorithmId>().is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod c4_detector;
 pub mod detection;
 pub mod eval;
 pub mod frame_features;
+pub mod health;
 pub mod hog_detector;
 pub mod lsvm_detector;
 pub mod nms;
@@ -42,6 +43,7 @@ pub use bank::DetectorBank;
 pub use detection::{AlgorithmId, BBox, Detection, DetectionOutput};
 pub use eval::{EvalConfig, EvalCounts, ThresholdSweep};
 pub use frame_features::FrameFeatures;
+pub use health::{DetectorHealth, HealthIssue, HealthPolicy};
 pub use nms::non_maximum_suppression;
 
 use eecs_vision::image::RgbImage;

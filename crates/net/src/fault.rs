@@ -283,6 +283,62 @@ impl Default for FaultPlan {
     }
 }
 
+/// A deterministic schedule of *controller* crashes.
+///
+/// Where [`FaultPlan`] kills cameras and links, this plan kills the hub:
+/// at the first round of each window the currently acting controller
+/// dies mid-round. The runtime reacts by failing over — every camera
+/// burns a probe discovering the silence, the highest-battery camera is
+/// elected, and selection state is restored from the latest checkpoint.
+/// Once a camera holds the controller seat it keeps it (no failback);
+/// later windows crash *that* controller in turn, so a multi-window plan
+/// produces a chain of handovers.
+///
+/// [`ControllerFaultPlan::none`] (the default) changes nothing anywhere:
+/// the simulation takes no checkpoints and the mains-powered controller
+/// is immortal, preserving bit-identical replays of fault-free runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ControllerFaultPlan {
+    crashes: Vec<Window>,
+}
+
+impl ControllerFaultPlan {
+    /// An immortal controller — the pre-fault-injection behavior.
+    pub fn none() -> ControllerFaultPlan {
+        ControllerFaultPlan::default()
+    }
+
+    /// Schedules a controller crash over rounds `[start, end)`. The
+    /// crash fires at `start`; the rest of the window only matters for
+    /// [`ControllerFaultPlan::is_down`] (the crashed host stays dark and
+    /// never reclaims the seat).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start >= end`.
+    pub fn with_crash(mut self, start: usize, end: usize) -> ControllerFaultPlan {
+        self.crashes.push(Window::new(start, end));
+        self
+    }
+
+    /// Whether a crash fires at exactly `round` (the moment the acting
+    /// controller dies and failover must run).
+    pub fn crash_starts(&self, round: usize) -> bool {
+        self.crashes.iter().any(|w| w.start == round)
+    }
+
+    /// Whether some crashed controller host is still dark at `round`.
+    pub fn is_down(&self, round: usize) -> bool {
+        self.crashes.iter().any(|w| w.contains(round))
+    }
+
+    /// Whether the plan schedules any crash at all. A `none()` plan lets
+    /// the runtime skip checkpointing entirely.
+    pub fn enabled(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +406,24 @@ mod tests {
             let r = plan.unit_roll(3, TAG_DUP, i);
             (0.0..1.0).contains(&r)
         }));
+    }
+
+    #[test]
+    fn controller_plan_none_is_disabled() {
+        let plan = ControllerFaultPlan::none();
+        assert!(!plan.enabled());
+        assert!(!plan.crash_starts(0) && !plan.is_down(0));
+    }
+
+    #[test]
+    fn controller_crashes_fire_at_window_starts() {
+        let plan = ControllerFaultPlan::none()
+            .with_crash(2, 5)
+            .with_crash(9, 10);
+        assert!(plan.enabled());
+        assert!(plan.crash_starts(2) && plan.crash_starts(9));
+        assert!(!plan.crash_starts(3), "only the window start kills");
+        assert!(plan.is_down(4) && !plan.is_down(5), "half-open window");
     }
 
     #[test]

@@ -45,6 +45,17 @@ pub enum Message {
         /// Compressed bytes of all cropped regions.
         crop_bytes: u64,
     },
+    /// Camera → controller: the sensor failed to capture a usable frame
+    /// (dropped capture); carries only a status code so the controller
+    /// can tell "no people" apart from "no frame".
+    DegradedFrame,
+    /// Camera → camera: the sender has taken over the controller seat
+    /// after a crash (failover announcement); carries the new
+    /// controller's index.
+    ControllerHandover {
+        /// Index of the camera now acting as controller.
+        controller: usize,
+    },
     /// Controller → camera: which algorithm to run until recalibration.
     AlgorithmAssignment,
     /// Controller → camera: activate or deactivate the camera.
@@ -72,6 +83,8 @@ impl WireSize for Message {
                     objects,
                     crop_bytes,
                 } => metadata_bytes(*objects) + crop_bytes,
+                Message::DegradedFrame => 2,
+                Message::ControllerHandover { .. } => 4,
                 Message::AlgorithmAssignment => 4,
                 Message::ActivationCommand => 1,
             }
@@ -106,6 +119,8 @@ mod tests {
         assert!(Message::AlgorithmAssignment.wire_bytes() < 32);
         assert!(Message::ActivationCommand.wire_bytes() < 32);
         assert!(Message::EnergyReport.wire_bytes() < 32);
+        assert!(Message::DegradedFrame.wire_bytes() < 32);
+        assert!(Message::ControllerHandover { controller: 3 }.wire_bytes() < 32);
     }
 
     #[test]

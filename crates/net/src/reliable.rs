@@ -99,6 +99,20 @@ impl Delivery {
             backoff_s: 0.0,
         }
     }
+
+    /// A delivery that never touched the radio: the sender and receiver
+    /// are the same host (a camera acting as its own controller after a
+    /// failover). Delivered and acknowledged, zero attempts, zero cost.
+    pub fn loopback() -> Delivery {
+        Delivery {
+            delivered: true,
+            acked: true,
+            attempts: 0,
+            seq: 0,
+            delayed_rounds: 0,
+            backoff_s: 0.0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -119,6 +119,11 @@ pub struct Network {
     retry: RetryPolicy,
     /// Current simulation round (drives outage/crash windows and delays).
     round: usize,
+    /// Whether the controller (hub) is currently dead: uplinks get no
+    /// ack (one probe attempt, like an outage) and the downlink is
+    /// silent. Set by the simulation during a controller crash, cleared
+    /// when a camera takes over the seat.
+    controller_down: bool,
     /// Monotone event counter feeding the plan's deterministic rolls.
     rolls: u64,
     /// Next downlink sequence number.
@@ -148,6 +153,7 @@ impl Network {
             plan: FaultPlan::ideal(),
             retry: RetryPolicy::default(),
             round: 0,
+            controller_down: false,
             rolls: 0,
             next_downlink_seq: 0,
             downlink_stats: TransportStats::default(),
@@ -208,6 +214,18 @@ impl Network {
     /// Whether `camera` is crashed (unpowered) in the current round.
     pub fn is_camera_down(&self, camera: usize) -> bool {
         self.plan.is_crashed(camera, self.round)
+    }
+
+    /// Marks the controller (hub) dead or alive. While dead, every
+    /// uplink behaves like an outage — one probe attempt, no ack — and
+    /// downlinks time out without an attempt.
+    pub fn set_controller_down(&mut self, down: bool) {
+        self.controller_down = down;
+    }
+
+    /// Whether the controller is currently marked dead.
+    pub fn controller_down(&self) -> bool {
+        self.controller_down
     }
 
     /// Sends `message` from camera `from`, draining `battery` for the
@@ -279,7 +297,9 @@ impl Network {
 
         let bytes = message.wire_bytes();
         let faults = self.plan.faults(from);
-        let outage = self.plan.is_outage(from, self.round);
+        // A dead controller looks exactly like an outage from the
+        // camera's side: the probe goes unanswered.
+        let outage = self.plan.is_outage(from, self.round) || self.controller_down;
         // During an outage the channel is deterministically dead for the
         // round, and the MAC layer notices (no association, no ack to the
         // first probe): one attempt, then give up until next round.
@@ -363,6 +383,11 @@ impl Network {
         self.next_downlink_seq += 1;
         let mut delivery = Delivery::pending(seq);
 
+        if self.controller_down {
+            // A dead controller transmits nothing.
+            self.downlink_stats.timeouts += 1;
+            return Ok(delivery);
+        }
         if self.plan.is_crashed(to, self.round) {
             self.downlink_stats.timeouts += 1;
             return Ok(delivery);
@@ -407,6 +432,91 @@ impl Network {
             }
             if u64::from(delivery.attempts) >= max_attempts {
                 self.downlink_stats.timeouts += 1;
+                return Ok(delivery);
+            }
+        }
+    }
+
+    /// Sends `message` camera-to-camera (the failover announcement path:
+    /// the newly elected controller tells each peer about the handover).
+    /// Charges `battery` — the *sender's* — once per attempt, exactly
+    /// like [`Network::send_reliable`], but the message never enters the
+    /// controller inbox: it terminates at the peer. The sender's link
+    /// faults govern loss; a crashed or outaged peer soaks up one probe
+    /// attempt, a crashed sender makes none.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::UnknownNode`] for a bad index on either end,
+    /// * [`NetError::SendFailed`] when the battery dies mid-sequence.
+    pub fn send_peer(
+        &mut self,
+        from: usize,
+        to: usize,
+        message: Message,
+        battery: &mut BatteryState,
+        meter: &mut PowerMeter,
+    ) -> Result<Delivery> {
+        if from >= self.nodes.len() {
+            return Err(NetError::UnknownNode(from));
+        }
+        if to >= self.nodes.len() {
+            return Err(NetError::UnknownNode(to));
+        }
+        let seq = self.nodes[from].next_seq;
+        self.nodes[from].next_seq += 1;
+        let mut delivery = Delivery::pending(seq);
+
+        if self.plan.is_crashed(from, self.round) {
+            self.nodes[from].stats.timeouts += 1;
+            return Ok(delivery);
+        }
+
+        let bytes = message.wire_bytes();
+        let faults = self.plan.faults(from);
+        // A dead or outaged peer cannot respond; either end's outage
+        // window kills the channel for the round.
+        let peer_dark = self.plan.is_crashed(to, self.round)
+            || self.plan.is_outage(from, self.round)
+            || self.plan.is_outage(to, self.round);
+        let max_attempts: u64 = if peer_dark {
+            1
+        } else {
+            u64::from(self.retry.max_retries).saturating_add(1)
+        };
+
+        loop {
+            if delivery.attempts > 0 {
+                let backoff = self.retry.backoff_before_attempt(delivery.attempts + 1);
+                delivery.backoff_s += backoff;
+                self.nodes[from].stats.retries += 1;
+                self.nodes[from].stats.backoff_s += backoff;
+            }
+            let node = &mut self.nodes[from];
+            let energy = node.link.transmit_energy(bytes, &node.device);
+            battery.drain(energy).map_err(send_failed)?;
+            meter.record(EnergyCategory::Communication, energy);
+            node.stats.attempts += 1;
+            node.stats.bytes += bytes;
+            node.stats.energy_j += energy;
+            node.stats.airtime_s += node.link.transfer_time(bytes);
+            delivery.attempts += 1;
+
+            let data_lost =
+                peer_dark || (faults.loss > 0.0 && self.roll(from, TAG_DATA) < faults.loss);
+            if data_lost {
+                self.nodes[from].stats.drops += 1;
+            } else {
+                delivery.delivered = true;
+                let ack_lost = faults.loss > 0.0 && self.roll(from, TAG_ACK) < faults.loss;
+                if !ack_lost {
+                    delivery.acked = true;
+                    self.nodes[from].stats.messages += 1;
+                    return Ok(delivery);
+                }
+            }
+            if u64::from(delivery.attempts) >= max_attempts {
+                self.nodes[from].stats.timeouts += 1;
                 return Ok(delivery);
             }
         }
@@ -886,6 +996,97 @@ mod tests {
         assert_eq!(t1, t2, "same seed, same trace");
         assert_eq!(e1.to_bits(), e2.to_bits(), "bit-identical energy");
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn dead_controller_turns_uplinks_into_probes_and_silences_downlink() {
+        let (mut net, mut bat, mut meter) = setup();
+        net.set_controller_down(true);
+        assert!(net.controller_down());
+        let d = net
+            .send_reliable(0, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(!d.delivered && !d.acked);
+        assert_eq!(d.attempts, 1, "one probe discovers the dead hub");
+        assert!(bat.used() > 0.0, "the probe still costs energy");
+        let d = net.send_downlink(0, Message::AlgorithmAssignment).unwrap();
+        assert!(!d.delivered && d.attempts == 0, "a dead hub sends nothing");
+        assert_eq!(net.downlink_stats().timeouts, 1);
+
+        net.set_controller_down(false);
+        let d = net
+            .send_reliable(0, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(d.delivered && d.acked, "hub recovery restores delivery");
+    }
+
+    #[test]
+    fn peer_send_charges_sender_and_skips_the_inbox() {
+        let (mut net, mut bat, mut meter) = setup();
+        let d = net
+            .send_peer(
+                1,
+                2,
+                Message::ControllerHandover { controller: 1 },
+                &mut bat,
+                &mut meter,
+            )
+            .unwrap();
+        assert!(d.delivered && d.acked);
+        assert_eq!(d.attempts, 1);
+        assert!(bat.used() > 0.0, "the announcer pays for the broadcast");
+        assert!(
+            net.drain_inbox().is_empty(),
+            "peer traffic never reaches the controller inbox"
+        );
+        assert_eq!(net.stats(1).unwrap().messages, 1);
+        assert!(matches!(
+            net.send_peer(0, 9, Message::DegradedFrame, &mut bat, &mut meter),
+            Err(NetError::UnknownNode(9))
+        ));
+    }
+
+    #[test]
+    fn peer_send_to_a_crashed_camera_burns_one_probe() {
+        let plan = FaultPlan::seeded(4).with_crash(2, 0, 5);
+        let mut net = Network::new(3, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(plan);
+        let mut bat = BatteryState::new(100.0).unwrap();
+        let mut meter = PowerMeter::new();
+        let d = net
+            .send_peer(
+                0,
+                2,
+                Message::ControllerHandover { controller: 0 },
+                &mut bat,
+                &mut meter,
+            )
+            .unwrap();
+        assert!(!d.delivered && !d.acked);
+        assert_eq!(d.attempts, 1);
+        assert!(bat.used() > 0.0);
+
+        // A crashed *sender* makes no attempt at all.
+        let mut bat2 = BatteryState::new(100.0).unwrap();
+        let d = net
+            .send_peer(
+                2,
+                0,
+                Message::ControllerHandover { controller: 2 },
+                &mut bat2,
+                &mut meter,
+            )
+            .unwrap();
+        assert_eq!(d.attempts, 0);
+        assert_eq!(bat2.used(), 0.0);
+    }
+
+    #[test]
+    fn loopback_delivery_is_free_and_acked() {
+        let d = Delivery::loopback();
+        assert!(d.delivered && d.acked);
+        assert_eq!(d.attempts, 0);
+        assert_eq!(d.backoff_s, 0.0);
     }
 
     #[test]

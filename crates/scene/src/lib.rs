@@ -17,7 +17,10 @@
 //!   fractions, plus the 3-D positions the real datasets annotate,
 //! * [`sequence`] — deterministic video feeds: `(dataset, camera, frame)`
 //!   uniquely determines the image, mirroring the pre-recorded videos
-//!   loaded onto the paper's phones.
+//!   loaded onto the paper's phones,
+//! * [`sensor_fault`] — seeded per-camera sensor degradation (noise,
+//!   blur, occlusion, exposure drift, stuck rows, frame drops) applied on
+//!   top of the rendered frames; `SensorFaultPlan::ideal()` is a no-op.
 //!
 //! Determinism matters: EECS compares *video items* across cameras and
 //! time, so frame `f` of camera `c` must be reproducible. All randomness is
@@ -27,11 +30,13 @@ pub mod dataset;
 pub mod ground_truth;
 pub mod render;
 pub mod rig;
+pub mod sensor_fault;
 pub mod sequence;
 pub mod world;
 
 pub use dataset::{DatasetId, DatasetProfile};
 pub use ground_truth::GtBox;
+pub use sensor_fault::{FrameImpairment, SensorFaultPlan, SensorImpairments};
 pub use sequence::{FrameData, VideoFeed};
 pub use world::World;
 

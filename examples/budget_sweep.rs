@@ -44,6 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_training_frames: 8,
             boost_every: 0,
             fault_plan: eecs::net::fault::FaultPlan::ideal(),
+            sensor_plan: eecs::scene::sensor_fault::SensorFaultPlan::ideal(),
+            controller_plan: eecs::net::fault::ControllerFaultPlan::none(),
             parallel: eecs::core::simulation::Parallelism::default(),
         },
     )?;

@@ -40,6 +40,8 @@ fn simulation(fault_plan: FaultPlan) -> Simulation {
             max_training_frames: 8,
             boost_every: 0,
             fault_plan,
+            sensor_plan: eecs::scene::sensor_fault::SensorFaultPlan::ideal(),
+            controller_plan: eecs::net::fault::ControllerFaultPlan::none(),
             parallel: eecs::core::simulation::Parallelism::default(),
         },
     )

@@ -8,8 +8,9 @@
 use eecs::core::config::EecsConfig;
 use eecs::core::simulation::{OperatingMode, Parallelism, Simulation, SimulationConfig};
 use eecs::detect::bank::DetectorBank;
-use eecs::net::fault::{FaultPlan, LinkFaults};
+use eecs::net::fault::{ControllerFaultPlan, FaultPlan, LinkFaults};
 use eecs::scene::dataset::{DatasetId, DatasetProfile};
+use eecs::scene::sensor_fault::{SensorFaultPlan, SensorImpairments};
 
 /// The camera whose device is crashed for the whole run.
 const CRASHED: usize = 3;
@@ -18,6 +19,14 @@ fn chaos_plan() -> FaultPlan {
     FaultPlan::seeded(42)
         .with_default_faults(LinkFaults::lossy(0.3))
         .with_crash(CRASHED, 0, usize::MAX)
+}
+
+fn sensor_plan() -> SensorFaultPlan {
+    // Sensor corruption happens serially before the worker fan-out, so
+    // degraded pixels (and dropped frames) must not break invariance.
+    SensorFaultPlan::seeded(7)
+        .with_default_impairments(SensorImpairments::harsh())
+        .with_occlusion(1, 40, 80, 0.25)
 }
 
 fn simulation(parallel: Parallelism) -> Simulation {
@@ -43,6 +52,8 @@ fn simulation(parallel: Parallelism) -> Simulation {
             max_training_frames: 8,
             boost_every: 0,
             fault_plan: chaos_plan(),
+            sensor_plan: sensor_plan(),
+            controller_plan: ControllerFaultPlan::none().with_crash(1, 2),
             parallel,
         },
     )

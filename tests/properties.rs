@@ -1,6 +1,8 @@
 //! Property-based tests over the core invariants, spanning crates.
 
 use eecs::core::accuracy::combined_probability;
+use eecs::core::controller::{QuarantineLedger, QuarantinePolicy};
+use eecs::detect::detection::AlgorithmId;
 use eecs::detect::detection::BBox;
 use eecs::detect::detection::Detection;
 use eecs::detect::nms::non_maximum_suppression;
@@ -12,6 +14,8 @@ use eecs::linalg::Mat;
 use eecs::manifold::gfk::GeodesicFlowKernel;
 use eecs::manifold::subspace::Subspace;
 use eecs::manifold::video::VideoItem;
+use eecs::scene::sensor_fault::{SensorFaultPlan, SensorImpairments};
+use eecs::vision::image::RgbImage;
 use proptest::prelude::*;
 
 fn bbox_strategy() -> impl Strategy<Value = BBox> {
@@ -135,4 +139,119 @@ proptest! {
             prop_assert!(bat.used() <= 10.0 + 1e-9);
         }
     }
+
+    #[test]
+    fn sensor_corruption_is_bit_identical_per_seed(
+        seed in 0..500u64,
+        camera in 0..4usize,
+        frame in 0..200usize,
+    ) {
+        let plan = || {
+            SensorFaultPlan::seeded(seed)
+                .with_default_impairments(SensorImpairments::harsh())
+                .with_occlusion(camera, 0, 1_000, 0.3)
+        };
+        let mut a = gradient_image(seed);
+        let mut b = gradient_image(seed);
+        let ia = plan().corrupt(camera, frame, &mut a);
+        let ib = plan().corrupt(camera, frame, &mut b);
+        prop_assert_eq!(ia, ib);
+        prop_assert_eq!(pixel_bits(&a), pixel_bits(&b));
+
+        // The ideal plan never touches a pixel.
+        let mut c = gradient_image(seed);
+        let ic = SensorFaultPlan::ideal().corrupt(camera, frame, &mut c);
+        prop_assert!(ic.is_clean());
+        prop_assert_eq!(pixel_bits(&c), pixel_bits(&gradient_image(seed)));
+    }
+
+    #[test]
+    fn quarantine_backoff_monotone_and_bounded(
+        base in 1..5usize,
+        factor in 1..5usize,
+        cap in 1..30usize,
+        strikes in 1..20u32,
+    ) {
+        let policy = QuarantinePolicy {
+            base_backoff_rounds: base,
+            backoff_factor: factor,
+            max_backoff_rounds: cap.max(base),
+        };
+        policy.validate().unwrap();
+        // Monotone in strikes, bounded by the cap.
+        let mut prev = 0usize;
+        for s in 1..=strikes {
+            let b = QuarantineLedger::backoff_rounds(&policy, s);
+            prop_assert!(b >= prev, "backoff shrank at strike {s}");
+            prop_assert!(b <= policy.max_backoff_rounds);
+            prop_assert!(b >= policy.base_backoff_rounds);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn quarantine_reprobe_is_always_scheduled(
+        rounds in prop::collection::vec(0..2u8, 1..24),
+        base in 1..4usize,
+        cap in 1..10usize,
+    ) {
+        let policy = QuarantinePolicy {
+            base_backoff_rounds: base,
+            backoff_factor: 2,
+            max_backoff_rounds: cap.max(base),
+        };
+        let mut ledger = QuarantineLedger::new();
+        let (cam, alg) = (1, AlgorithmId::Hog);
+        for (round, healthy) in rounds.iter().enumerate() {
+            if !ledger.allows(cam, alg, round) {
+                // While quarantined, the re-probe round is at most
+                // `1 + max_backoff` past the last strike — the pair can
+                // never be locked out forever.
+                let eligible_again = (round..)
+                    .take(policy.max_backoff_rounds + 2)
+                    .any(|r| ledger.allows(cam, alg, r));
+                prop_assert!(eligible_again, "re-probe unbounded at round {round}");
+                continue;
+            }
+            if *healthy == 1 {
+                ledger.report_healthy(cam, alg);
+                prop_assert!(ledger.allows(cam, alg, round + 1));
+            } else {
+                ledger.report_unhealthy(cam, alg, round, &policy);
+                // A strike always quarantines the next round…
+                prop_assert!(!ledger.allows(cam, alg, round + 1));
+                // …and re-admits exactly at round + 1 + backoff.
+                let backoff = QuarantineLedger::backoff_rounds(&policy, ledger.strikes(cam, alg));
+                prop_assert!(!ledger.allows(cam, alg, round + backoff));
+                prop_assert!(ledger.allows(cam, alg, round + 1 + backoff));
+            }
+        }
+    }
+}
+
+/// A deterministic test image whose content depends on the seed.
+fn gradient_image(seed: u64) -> RgbImage {
+    let mut img = RgbImage::new(32, 24);
+    for y in 0..24 {
+        for x in 0..32 {
+            let v = ((x as u64 * 31 + y as u64 * 17 + seed) % 97) as f32 / 96.0;
+            img.r.set(x, y, v);
+            img.g.set(x, y, (v * 0.5) + 0.1);
+            img.b.set(x, y, 1.0 - v);
+        }
+    }
+    img
+}
+
+/// Every channel value of every pixel, as raw bits.
+fn pixel_bits(img: &RgbImage) -> Vec<u32> {
+    let mut bits = Vec::new();
+    for y in 0..img.r.height() {
+        for x in 0..img.r.width() {
+            for c in [&img.r, &img.g, &img.b] {
+                bits.push(c.get(x, y).to_bits());
+            }
+        }
+    }
+    bits
 }
