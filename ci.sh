@@ -12,6 +12,23 @@ cargo build --release --workspace --all-targets
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> golden-master suite (telemetry + report snapshots)"
+# Byte-for-byte comparison of the three canonical runs against
+# tests/golden/*.json, under both serial and parallel execution.
+cargo test -q --test golden_report
+
+echo "==> golden bless-check (snapshots in sync with the code)"
+# Regenerate the goldens and fail if the checked-in files are stale —
+# i.e. someone changed behavior without re-blessing.
+EECS_BLESS=1 cargo test -q --test golden_report
+git diff --exit-code -- tests/golden \
+  || { echo "stale golden files: commit the regenerated tests/golden/*.json"; exit 1; }
+
+if [[ "${EECS_SOAK:-0}" == "1" ]]; then
+  echo "==> telemetry soak (EECS_SOAK=1)"
+  cargo test -q --workspace -- --ignored
+fi
+
 echo "==> cargo clippy"
 cargo clippy --all-targets -- -D warnings
 

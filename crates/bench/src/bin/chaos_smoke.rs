@@ -4,15 +4,23 @@
 //!
 //! ```bash
 //! cargo run --release -p eecs-bench --bin chaos_smoke -- 1 2 3
+//! cargo run --release -p eecs-bench --bin chaos_smoke -- --telemetry 7
 //! ```
 //!
 //! For every seed the run must complete, keep energy physical, record the
 //! scheduled controller failover, and replay bit-for-bit; any violation
-//! exits non-zero. This is the CI gate that keeps the self-healing
-//! runtime honest without paying for a full test suite.
+//! prints the flight-recorder tail around the failure — always including
+//! the failover round itself — and exits non-zero. With `--telemetry`
+//! each passing seed also prints the full summary table and the metrics
+//! registry. This is the CI gate that keeps the self-healing runtime
+//! honest without paying for a full test suite.
 
 use eecs_core::config::EecsConfig;
-use eecs_core::simulation::{OperatingMode, Parallelism, Simulation, SimulationConfig};
+use eecs_core::simulation::{
+    OperatingMode, Parallelism, Simulation, SimulationConfig, SimulationReport,
+};
+use eecs_core::telemetry::summary::render_summary;
+use eecs_core::telemetry::Telemetry;
 use eecs_detect::bank::DetectorBank;
 use eecs_net::fault::{ControllerFaultPlan, FaultPlan, LinkFaults};
 use eecs_scene::dataset::{DatasetId, DatasetProfile};
@@ -21,18 +29,137 @@ use eecs_scene::sensor_fault::{SensorFaultPlan, SensorImpairments};
 /// Round the controller dies at (the miniature run has two rounds).
 const CRASH_ROUND: usize = 1;
 
+/// Rounds of trace dumped on a failed check. `tail_rounds` is inclusive
+/// of the newest round, so two rounds always cover both the failover
+/// round and the final round of the miniature mission.
+const POSTMORTEM_ROUNDS: usize = 2;
+
+fn ensure(cond: bool, msg: impl FnOnce() -> String) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg())
+    }
+}
+
+/// All invariants a chaos run must satisfy. Returns the human-readable
+/// violation instead of panicking so the caller can attach the
+/// flight-recorder post-mortem before exiting.
+fn check_report(seed: u64, report: &SimulationReport) -> Result<(), String> {
+    ensure(!report.rounds.is_empty(), || {
+        format!("seed {seed}: no rounds")
+    })?;
+    ensure(report.rounds.iter().all(|r| !r.active.is_empty()), || {
+        format!("seed {seed}: a round lost every camera")
+    })?;
+    ensure(
+        report.total_energy_j.is_finite() && report.total_energy_j > 0.0,
+        || {
+            format!(
+                "seed {seed}: unphysical total energy {}",
+                report.total_energy_j
+            )
+        },
+    )?;
+    ensure(
+        report
+            .per_camera_energy
+            .iter()
+            .all(|e| e.is_finite() && *e >= 0.0),
+        || {
+            format!(
+                "seed {seed}: negative per-camera energy {:?}",
+                report.per_camera_energy
+            )
+        },
+    )?;
+    ensure(report.degraded_frames > 0, || {
+        format!("seed {seed}: sensor plan never fired")
+    })?;
+    ensure(report.failovers.len() == 1, || {
+        format!(
+            "seed {seed}: expected exactly one failover, got {:?}",
+            report.failovers
+        )
+    })?;
+    ensure(report.failovers[0].round == CRASH_ROUND, || {
+        format!("seed {seed}: failover in wrong round")
+    })?;
+    Ok(())
+}
+
+/// Runs one seed of the fault matrix; `Err` carries the violation text.
+fn check_seed(
+    base: &Simulation,
+    seed: u64,
+    tel: &Telemetry,
+    show_telemetry: bool,
+) -> Result<(), String> {
+    let sim = base.with_faults(
+        FaultPlan::seeded(seed).with_default_faults(LinkFaults::lossy(0.2)),
+        SensorFaultPlan::seeded(seed)
+            .with_default_impairments(SensorImpairments::harsh())
+            .with_occlusion(1, 40, 100, 0.25),
+        ControllerFaultPlan::none().with_crash(CRASH_ROUND, CRASH_ROUND + 1),
+    );
+    let report = sim
+        .with_telemetry(tel.clone())
+        .run()
+        .map_err(|e| format!("seed {seed}: chaos run failed: {e}"))?;
+    // The replay records into its own handle so the caller's stream stays
+    // a single run — and the two streams must match byte-for-byte.
+    let replay_tel = Telemetry::recording(8192);
+    let replay = sim
+        .with_telemetry(replay_tel.clone())
+        .run()
+        .map_err(|e| format!("seed {seed}: chaos replay failed: {e}"))?;
+    ensure(report == replay, || {
+        format!("seed {seed}: run is not deterministic")
+    })?;
+    ensure(
+        tel.trace_json().ok() == replay_tel.trace_json().ok()
+            && tel.metrics_json().ok() == replay_tel.metrics_json().ok(),
+        || format!("seed {seed}: telemetry stream is not deterministic"),
+    )?;
+    check_report(seed, &report)?;
+
+    let f = &report.failovers[0];
+    println!(
+        "seed {seed}: OK — found {}/{}, {:.2} J, degraded {} dropped {}, \
+         failover → camera {} (checkpoint round {}, {} acks)",
+        report.correctly_detected,
+        report.gt_objects,
+        report.total_energy_j,
+        report.degraded_frames,
+        report.dropped_frames,
+        f.elected,
+        f.checkpoint_round,
+        f.announced,
+    );
+    if show_telemetry {
+        println!("{}", render_summary(&report, tel));
+        println!(
+            "metrics: {}",
+            tel.metrics_json()
+                .map_err(|e| format!("seed {seed}: metrics dump failed: {e}"))?
+        );
+    }
+    Ok(())
+}
+
 fn main() {
-    let seeds: Vec<u64> = {
-        let args: Vec<u64> = std::env::args()
-            .skip(1)
-            .map(|a| a.parse().unwrap_or_else(|_| panic!("bad seed {a:?}")))
-            .collect();
-        if args.is_empty() {
-            vec![1, 2, 3]
+    let mut show_telemetry = false;
+    let mut seeds: Vec<u64> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--telemetry" {
+            show_telemetry = true;
         } else {
-            args
+            seeds.push(arg.parse().unwrap_or_else(|_| panic!("bad seed {arg:?}")));
         }
-    };
+    }
+    if seeds.is_empty() {
+        seeds = vec![1, 2, 3];
+    }
 
     let mut profile = DatasetProfile::miniature(DatasetId::Lab);
     profile.num_people = 4;
@@ -65,59 +192,21 @@ fn main() {
     eprintln!("prepared miniature mission; fault matrix over seeds {seeds:?}");
 
     for &seed in &seeds {
-        let sim = base.with_faults(
-            FaultPlan::seeded(seed).with_default_faults(LinkFaults::lossy(0.2)),
-            SensorFaultPlan::seeded(seed)
-                .with_default_impairments(SensorImpairments::harsh())
-                .with_occlusion(1, 40, 100, 0.25),
-            ControllerFaultPlan::none().with_crash(CRASH_ROUND, CRASH_ROUND + 1),
-        );
-        let report = sim.run().expect("chaos run completes");
-        let replay = sim.run().expect("chaos replay completes");
-        assert_eq!(report, replay, "seed {seed}: run is not deterministic");
-
-        assert!(!report.rounds.is_empty(), "seed {seed}: no rounds");
-        assert!(
-            report.rounds.iter().all(|r| !r.active.is_empty()),
-            "seed {seed}: a round lost every camera"
-        );
-        assert!(
-            report.total_energy_j.is_finite() && report.total_energy_j > 0.0,
-            "seed {seed}: unphysical total energy {}",
-            report.total_energy_j
-        );
-        assert!(
-            report
-                .per_camera_energy
-                .iter()
-                .all(|e| e.is_finite() && *e >= 0.0),
-            "seed {seed}: negative per-camera energy {:?}",
-            report.per_camera_energy
-        );
-        assert!(
-            report.degraded_frames > 0,
-            "seed {seed}: sensor plan never fired"
-        );
-        assert_eq!(
-            report.failovers.len(),
-            1,
-            "seed {seed}: expected exactly one failover, got {:?}",
-            report.failovers
-        );
-        let f = &report.failovers[0];
-        assert_eq!(f.round, CRASH_ROUND, "seed {seed}: failover in wrong round");
-        println!(
-            "seed {seed}: OK — found {}/{}, {:.2} J, degraded {} dropped {}, \
-             failover → camera {} (checkpoint round {}, {} acks)",
-            report.correctly_detected,
-            report.gt_objects,
-            report.total_energy_j,
-            report.degraded_frames,
-            report.dropped_frames,
-            f.elected,
-            f.checkpoint_round,
-            f.announced,
-        );
+        // Always record: on a failed check the flight recorder is the
+        // post-mortem, and the miniature mission is cheap to trace.
+        let tel = Telemetry::recording(8192);
+        if let Err(violation) = check_seed(&base, seed, &tel, show_telemetry) {
+            eprintln!("FAIL: {violation}");
+            eprintln!(
+                "flight recorder, last {POSTMORTEM_ROUNDS} rounds (includes the \
+                 failover round):"
+            );
+            match tel.tail_json(POSTMORTEM_ROUNDS) {
+                Ok(tail) => eprintln!("{tail}"),
+                Err(e) => eprintln!("(tail dump failed: {e})"),
+            }
+            std::process::exit(1);
+        }
     }
     println!("chaos smoke OK ({} seeds)", seeds.len());
 }

@@ -2,6 +2,7 @@
 
 use crate::controller::QuarantinePolicy;
 use crate::profile::DowngradeRule;
+use crate::telemetry::Telemetry;
 use crate::{EecsError, Result};
 use eecs_detect::eval::EvalConfig;
 use eecs_detect::health::HealthPolicy;
@@ -116,6 +117,12 @@ pub struct EecsConfig {
     /// `ControllerFaultPlan` is armed): a checkpoint is taken at the end
     /// of every round whose index is a multiple of this.
     pub checkpoint_every: usize,
+    /// Observability handle every layer of the hot path publishes into
+    /// (metrics + trace events). The default [`Telemetry::null`] records
+    /// nothing and keeps reports bit-identical to a build without the
+    /// telemetry layer; equality compares the sink configuration, not
+    /// recorded history.
+    pub telemetry: Telemetry,
 }
 
 impl Default for EecsConfig {
@@ -138,6 +145,7 @@ impl Default for EecsConfig {
             health: HealthPolicy::default(),
             quarantine: QuarantinePolicy::default(),
             checkpoint_every: 1,
+            telemetry: Telemetry::null(),
         }
     }
 }

@@ -464,7 +464,22 @@ impl Controller {
             .zip(live)
             .map(|(&b, &alive)| if alive { b } else { zero })
             .collect();
-        self.select(data, matched_record, &masked, reid, downgrade)
+        let outcome = self.select(data, matched_record, &masked, reid, downgrade)?;
+        let tel = &self.config.telemetry;
+        tel.counter_add("controller.selections", 1);
+        tel.counter_add(
+            "controller.masked_cameras",
+            live.iter().filter(|&&alive| !alive).count() as u64,
+        );
+        tel.gauge_set("controller.last_active", outcome.active.len() as f64);
+        Ok(outcome)
+    }
+
+    /// Replaces the telemetry handle in this controller's config copy.
+    /// `Simulation::with_telemetry` calls this so the controller and the
+    /// simulation publish into one shared stream.
+    pub fn set_telemetry(&mut self, telemetry: crate::telemetry::Telemetry) {
+        self.config.telemetry = telemetry;
     }
 }
 

@@ -79,6 +79,88 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Serializes this value back to JSON text.
+    ///
+    /// Numbers that are integral (and representable exactly as `i64`)
+    /// print without a fractional part; everything else uses `{:?}`,
+    /// Rust's shortest round-trip formatting. Either way
+    /// `parse(&v.write()?)` restores every `f64` bit-for-bit — including
+    /// `-0.0`, which keeps its sign and its `-0.0` spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on NaN or infinite numbers, which JSON cannot
+    /// represent; nothing in this module ever panics on data.
+    pub fn write(&self) -> Result<String, String> {
+        let mut out = String::new();
+        self.write_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Appends this value's JSON text to `out`. Same contract as
+    /// [`Json::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on NaN or infinite numbers; `out` may then hold a
+    /// partial document and should be discarded.
+    pub fn write_into(&self, out: &mut String) -> Result<(), String> {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(*n, out)?,
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out)?;
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(out, key);
+                    out.push_str("\":");
+                    value.write_into(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Largest `f64` below which every integral value is exactly one integer
+/// (2^53); above it the `{:?}` spelling is already canonical.
+const EXACT_INT_LIMIT: f64 = 9_007_199_254_740_992.0;
+
+fn write_num(n: f64, out: &mut String) -> Result<(), String> {
+    if !n.is_finite() {
+        return Err(format!("JSON cannot represent non-finite number {n}"));
+    }
+    // `-0.0` must keep the `{:?}` spelling: printing it as the integer
+    // `0` would drop the sign bit on the way back in.
+    if n.fract() == 0.0 && n.abs() < EXACT_INT_LIMIT && !(n == 0.0 && n.is_sign_negative()) {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n:?}");
+    }
+    Ok(())
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -293,6 +375,44 @@ mod tests {
         escape_into(&mut doc, nasty);
         doc.push('"');
         assert_eq!(parse(&doc).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn writer_round_trips_every_shape() {
+        let doc = r#"{"a":[1,-2500,"x\"y\n",null,true],"b":{},"c":-0.0,"d":0.125}"#;
+        let v = parse(doc).unwrap();
+        let text = v.write().unwrap();
+        assert_eq!(parse(&text).unwrap(), v);
+        // Encode → decode → encode is a fixed point.
+        assert_eq!(parse(&text).unwrap().write().unwrap(), text);
+    }
+
+    #[test]
+    fn writer_keeps_negative_zero_and_subnormals() {
+        for v in [-0.0f64, 5e-324, f64::MIN_POSITIVE, -f64::MIN_POSITIVE] {
+            let text = Json::Num(v).write().unwrap();
+            let back = parse(&text).unwrap().as_num().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn writer_prints_integral_values_without_fraction() {
+        assert_eq!(Json::Num(42.0).write().unwrap(), "42");
+        assert_eq!(Json::Num(-7.0).write().unwrap(), "-7");
+        assert_eq!(Json::Num(0.0).write().unwrap(), "0");
+        assert_eq!(Json::Num(-0.0).write().unwrap(), "-0.0");
+    }
+
+    #[test]
+    fn writer_rejects_non_finite_numbers() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(Json::Num(v).write().is_err(), "{v} must be rejected");
+            // A nested non-finite number poisons the whole document.
+            assert!(Json::Arr(vec![Json::Num(1.0), Json::Num(v)])
+                .write()
+                .is_err());
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod profile;
 pub mod reid;
 pub mod selection;
 pub mod simulation;
+pub mod telemetry;
 pub mod training;
 
 pub use accuracy::{DesiredAccuracy, GlobalAccuracy};
@@ -54,6 +55,7 @@ pub use metadata::{CameraReport, ObjectMetadata};
 pub use profile::{AlgorithmProfile, DowngradeRule, TrainingRecord};
 pub use reid::FusedObject;
 pub use simulation::{FailoverEvent, OperatingMode, Parallelism, SimulationReport};
+pub use telemetry::{FlightRecorder, MetricsRegistry, Telemetry, TelemetrySink, TraceEvent};
 
 use std::error::Error;
 use std::fmt;

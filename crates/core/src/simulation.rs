@@ -26,6 +26,7 @@ use crate::metadata::CameraReport;
 use crate::profile::TrainingRecord;
 use crate::reid::ReidConfig;
 use crate::selection::AssessmentData;
+use crate::telemetry::{Telemetry, TraceEvent};
 use crate::training::train_record;
 use crate::{EecsError, Result};
 use eecs_detect::bank::DetectorBank;
@@ -47,6 +48,12 @@ use std::collections::BTreeMap;
 /// Ground-distance tolerance when scoring fused objects against ground
 /// truth (meters).
 const GT_MATCH_GATE_M: f64 = 1.2;
+
+/// Telemetry histogram buckets for per-detection object counts.
+const DETECT_OBJECTS_BOUNDS: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Telemetry histogram buckets for per-round energy (J).
+const ROUND_ENERGY_BOUNDS: &[f64] = &[5.0, 10.0, 25.0, 50.0, 100.0, 250.0];
 
 /// Host-side execution settings: how the simulator schedules the pure
 /// detection work of a round. These knobs change wall-clock time only —
@@ -411,6 +418,17 @@ impl Simulation {
         sim
     }
 
+    /// A copy of this prepared simulation publishing into `telemetry`.
+    /// The simulation loop and the controller's config copy share the
+    /// handle, so one stream sees the whole run. Attach a *fresh* handle
+    /// per run when comparing executions — clones share recorded state.
+    pub fn with_telemetry(&self, telemetry: Telemetry) -> Simulation {
+        let mut sim = self.clone();
+        sim.config.eecs.telemetry = telemetry.clone();
+        sim.controller.set_telemetry(telemetry);
+        sim
+    }
+
     /// The trained per-camera records, in matched order (record `matched[j]`
     /// serves camera `j`).
     pub fn record_for_camera(&self, camera: usize) -> &TrainingRecord {
@@ -472,6 +490,15 @@ impl Simulation {
             .count();
         let dropped_frames = impairments.iter().flatten().filter(|i| i.dropped).count();
 
+        // Every publish below goes through this handle; with the default
+        // null sink each call is one branch and nothing else, keeping the
+        // run bit-identical to a build without the telemetry layer. All
+        // emission sites sit on the serial effect-replay path, so the
+        // stream is also bit-identical across `Parallelism` settings.
+        let tel = &self.config.eecs.telemetry;
+        tel.counter_add("sensor.degraded_frames", degraded_frames as u64);
+        tel.counter_add("sensor.dropped_frames", dropped_frames as u64);
+
         let per_round = (self.config.eecs.recalibration_interval / profile.gt_interval).max(1);
         let assess_len =
             (self.config.eecs.assessment_period / profile.gt_interval).clamp(1, per_round);
@@ -517,8 +544,10 @@ impl Simulation {
                 feature_dim: extractor_dim,
             };
             let (battery, meter) = node.radio_mut();
-            net.send_reliable(j, msg, battery, meter)
+            let d = net
+                .send_reliable(j, msg, battery, meter)
                 .map_err(EecsError::from)?;
+            tel.observe_delivery(0, j, &d);
         }
 
         let mut rounds = Vec::new();
@@ -538,6 +567,10 @@ impl Simulation {
             let energy_before: f64 = nodes.iter().map(|c| c.meter().total()).sum();
             let mut round_correct = 0usize;
             let mut round_gt = 0usize;
+            tel.event(|| TraceEvent::RoundStart {
+                round: round_index,
+                first_frame: frames[0][start].frame,
+            });
 
             // ---- assessment + selection ----
             let (assignment, active): (BTreeMap<usize, AlgorithmId>, Vec<usize>) = match self
@@ -583,8 +616,10 @@ impl Simulation {
                                 continue;
                             }
                             let (battery, meter) = node.radio_mut();
-                            net.send_reliable(j, Message::EnergyReport, battery, meter)
+                            let d = net
+                                .send_reliable(j, Message::EnergyReport, battery, meter)
                                 .map_err(EecsError::from)?;
+                            tel.observe_delivery(round_index, j, &d);
                         }
                         let mut elected: Option<(usize, f64)> = None;
                         for (j, node) in nodes.iter().enumerate() {
@@ -620,15 +655,24 @@ impl Simulation {
                                 let d = net
                                     .send_peer(new_seat, peer, msg, battery, meter)
                                     .map_err(EecsError::from)?;
+                                tel.observe_delivery(round_index, new_seat, &d);
                                 if d.delivered {
                                     announced += 1;
                                 }
                             }
                             seat = Some(new_seat);
+                            let checkpoint_round = ckpt.round;
                             failovers.push(FailoverEvent {
                                 round: round_index,
                                 elected: new_seat,
-                                checkpoint_round: ckpt.round,
+                                checkpoint_round,
+                                announced,
+                            });
+                            tel.counter_add("failover.count", 1);
+                            tel.event(|| TraceEvent::Failover {
+                                round: round_index,
+                                elected: new_seat,
+                                checkpoint_round,
                                 announced,
                             });
                         }
@@ -645,7 +689,14 @@ impl Simulation {
                             let d =
                                 uplink(&mut net, seat, j, Message::EnergyReport, battery, meter)
                                     .map_err(EecsError::from)?;
-                            if d.delivered && d.delayed_rounds == 0 {
+                            let heard = d.delivered && d.delayed_rounds == 0;
+                            tel.observe_delivery(round_index, j, &d);
+                            tel.event(|| TraceEvent::Probe {
+                                round: round_index,
+                                camera: j,
+                                delivered: heard,
+                            });
+                            if heard {
                                 cache.mark_heard(j, round_index);
                             }
                         }
@@ -734,6 +785,8 @@ impl Simulation {
                             let d =
                                 uplink(&mut net, seat, j, Message::DegradedFrame, battery, meter)
                                     .map_err(EecsError::from)?;
+                            tel.observe_delivery(round_index, j, &d);
+                            tel.counter_add("sensor.gap_reports", 1);
                             if d.delivered && d.delayed_rounds == 0 {
                                 cache.mark_heard(j, round_index);
                             }
@@ -754,9 +807,10 @@ impl Simulation {
                                     continue;
                                 }
                                 let output = outputs[cam_task_start[j] + pos_of[fi]][ai].clone();
-                                let healthy =
-                                    DetectorHealth::check(alg, &output, &self.config.eecs.health)
-                                        .is_healthy();
+                                let ops = output.ops;
+                                let health =
+                                    DetectorHealth::check(alg, &output, &self.config.eecs.health);
+                                let healthy = health.is_healthy();
                                 let mut report = nodes[j].ingest_detection(
                                     &fd.image,
                                     output,
@@ -772,6 +826,15 @@ impl Simulation {
                                         objects: Vec::new(),
                                     };
                                 }
+                                publish_detection(
+                                    tel,
+                                    round_index,
+                                    j,
+                                    fd.frame,
+                                    &health,
+                                    ops,
+                                    report.len(),
+                                );
                                 let msg = Message::DetectionMetadata {
                                     objects: report.len(),
                                 };
@@ -779,6 +842,7 @@ impl Simulation {
                                 let (battery, meter) = nodes[j].radio_mut();
                                 let d = uplink(&mut net, seat, j, msg, battery, meter)
                                     .map_err(EecsError::from)?;
+                                tel.observe_delivery(round_index, j, &d);
                                 if d.delivered && d.delayed_rounds == 0 {
                                     delivered_any[j] = true;
                                     cache.mark_heard(j, round_index);
@@ -792,6 +856,14 @@ impl Simulation {
                                             &self.config.eecs.quarantine,
                                         );
                                         quarantine_strikes += 1;
+                                        tel.counter_add("quarantine.strikes", 1);
+                                        let strikes = quarantine.strikes(j, alg);
+                                        tel.event(|| TraceEvent::QuarantineStrike {
+                                            round: round_index,
+                                            camera: j,
+                                            algorithm: alg,
+                                            strikes,
+                                        });
                                     }
                                     series.push(report);
                                 } else {
@@ -932,6 +1004,12 @@ impl Simulation {
                             }
                             None => net.send_downlink(j, msg).map_err(EecsError::from)?,
                         };
+                        tel.event(|| TraceEvent::Assignment {
+                            round: round_index,
+                            camera: j,
+                            algorithm: intended,
+                            delivered: d.delivered,
+                        });
                         if d.delivered {
                             nodes[j].set_assignment(intended);
                         }
@@ -987,8 +1065,10 @@ impl Simulation {
                     if impairments[j][f].dropped {
                         // Sensor gap: no detection ran; report the gap.
                         let (battery, meter) = nodes[j].radio_mut();
-                        uplink(&mut net, seat, j, Message::DegradedFrame, battery, meter)
+                        let d = uplink(&mut net, seat, j, Message::DegradedFrame, battery, meter)
                             .map_err(EecsError::from)?;
+                        tel.observe_delivery(round_index, j, &d);
+                        tel.counter_add("sensor.gap_reports", 1);
                         continue;
                     }
                     let profile_a = self
@@ -998,8 +1078,9 @@ impl Simulation {
                     debug_assert_eq!(op_tasks[op_cursor], (f, j, alg));
                     let output = op_outputs[op_cursor].clone();
                     op_cursor += 1;
-                    let healthy =
-                        DetectorHealth::check(alg, &output, &self.config.eecs.health).is_healthy();
+                    let ops = output.ops;
+                    let health = DetectorHealth::check(alg, &output, &self.config.eecs.health);
+                    let healthy = health.is_healthy();
                     let mut report = nodes[j].ingest_detection(
                         &frames[j][f].image,
                         output,
@@ -1011,6 +1092,15 @@ impl Simulation {
                             objects: Vec::new(),
                         };
                     }
+                    publish_detection(
+                        tel,
+                        round_index,
+                        j,
+                        frames[j][f].frame,
+                        &health,
+                        ops,
+                        report.len(),
+                    );
                     // Metadata + cropped object images (Section VI).
                     let crop_bytes: u64 = report
                         .objects
@@ -1024,6 +1114,7 @@ impl Simulation {
                     let (battery, meter) = nodes[j].radio_mut();
                     let d =
                         uplink(&mut net, seat, j, msg, battery, meter).map_err(EecsError::from)?;
+                    tel.observe_delivery(round_index, j, &d);
                     if d.delivered && d.delayed_rounds == 0 {
                         if !healthy {
                             quarantine.report_unhealthy(
@@ -1033,6 +1124,14 @@ impl Simulation {
                                 &self.config.eecs.quarantine,
                             );
                             quarantine_strikes += 1;
+                            tel.counter_add("quarantine.strikes", 1);
+                            let strikes = quarantine.strikes(j, alg);
+                            tel.event(|| TraceEvent::QuarantineStrike {
+                                round: round_index,
+                                camera: j,
+                                algorithm: alg,
+                                strikes,
+                            });
                         }
                         reports.push(report);
                     }
@@ -1043,18 +1142,27 @@ impl Simulation {
             }
 
             let energy_after: f64 = nodes.iter().map(|c| c.meter().total()).sum();
+            let round_energy = energy_after - energy_before;
             last_plan = (assignment.clone(), active.clone());
             rounds.push(RoundRecord {
                 first_frame: frames[0][start].frame,
                 last_frame: frames[0][end - 1].frame,
                 active,
                 assignment,
-                energy_j: energy_after - energy_before,
+                energy_j: round_energy,
                 correct: round_correct,
                 gt: round_gt,
             });
             total_correct += round_correct;
             total_gt += round_gt;
+            tel.counter_add("rounds.completed", 1);
+            tel.histogram_record("round.energy_j", ROUND_ENERGY_BOUNDS, round_energy);
+            tel.event(|| TraceEvent::RoundEnd {
+                round: round_index,
+                energy_j: round_energy,
+                correct: round_correct,
+                gt: round_gt,
+            });
 
             // Checkpoint the controller's volatile state so the next
             // failover loses at most `checkpoint_every` rounds of it.
@@ -1073,12 +1181,35 @@ impl Simulation {
                     quarantine: quarantine.export(),
                 }
                 .to_json();
+                tel.counter_add("checkpoint.taken", 1);
+                tel.event(|| TraceEvent::Checkpoint { round: round_index });
             }
 
             start = end;
             round_index += 1;
             net.advance_round();
             let _ = net.drain_inbox();
+        }
+
+        // Final scrape: per-camera energy meters and the transport
+        // statistics, as gauges/counters. Guarded so the null sink never
+        // pays for the metric-name formatting.
+        if tel.enabled() {
+            for (j, node) in nodes.iter().enumerate() {
+                tel.observe_meter(&format!("camera.{j}"), node.meter());
+            }
+            for j in 0..cams {
+                if let Ok(stats) = net.stats(j) {
+                    tel.observe_transport(&format!("transport.cam{j}"), &stats);
+                }
+            }
+            tel.observe_transport("transport.downlink", &net.downlink_stats());
+            tel.gauge_set(
+                "run.total_energy_j",
+                nodes.iter().map(|c| c.meter().total()).sum(),
+            );
+            tel.counter_add("run.correct", total_correct as u64);
+            tel.counter_add("run.gt_objects", total_gt as u64);
         }
 
         Ok(SimulationReport {
@@ -1126,6 +1257,43 @@ impl Simulation {
         let positions: Vec<_> = gt_positions.values().copied().collect();
         let correct = crate::accuracy::count_correct(&fused, &positions, GT_MATCH_GATE_M);
         (correct, positions.len())
+    }
+}
+
+/// Publishes one detector execution: the structured trace event, the
+/// per-algorithm run/op counters, per-issue health counters, and the
+/// object-count histogram. One branch and out on the null sink — nothing
+/// below allocates unless telemetry is recording.
+fn publish_detection(
+    tel: &Telemetry,
+    round: usize,
+    camera: usize,
+    frame: usize,
+    health: &DetectorHealth,
+    ops: u64,
+    objects: usize,
+) {
+    if !tel.enabled() {
+        return;
+    }
+    let alg = health.algorithm;
+    let healthy = health.is_healthy();
+    tel.event(|| TraceEvent::Detection {
+        round,
+        camera,
+        frame,
+        algorithm: alg,
+        objects,
+        healthy,
+    });
+    tel.counter_add(&format!("detect.runs.{}", alg.name()), 1);
+    tel.counter_add(&format!("detect.ops.{}", alg.name()), ops);
+    tel.histogram_record("detect.objects", DETECT_OBJECTS_BOUNDS, objects as f64);
+    if !healthy {
+        tel.counter_add(&format!("health.unhealthy.{}", alg.name()), 1);
+        for issue in &health.issues {
+            tel.counter_add(&format!("health.issue.{}", issue.kind()), 1);
+        }
     }
 }
 

@@ -1,0 +1,251 @@
+//! A deterministic metrics registry: named counters, gauges and
+//! fixed-bucket histograms.
+//!
+//! Everything here is engineered for bit-stable output: counters and
+//! histogram buckets are integers, gauges carry the exact `f64` the
+//! publisher handed in, and every dump iterates `BTreeMap`s — so two runs
+//! that perform the same operations in the same order produce
+//! byte-identical JSON, which is what the golden-master suite in
+//! `tests/golden_report.rs` compares against.
+
+use crate::jsonio::Json;
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram with integer counts.
+///
+/// `bounds` are inclusive upper bounds in ascending order; one extra
+/// overflow bucket catches everything above the last bound. Values are
+/// only ever *counted*, never summed as floats, so the dump is bit-stable
+/// by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending, finite bucket bounds.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        debug_assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bounds must be finite"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        }
+    }
+
+    /// Counts `value` into its bucket (NaN lands in the overflow bucket).
+    pub fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The inclusive upper bounds the buckets were built with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "bounds".into(),
+                Json::Arr(self.bounds.iter().map(|&b| Json::Num(b)).collect()),
+            ),
+            (
+                "counts".into(),
+                Json::Arr(self.counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Named counters, gauges and histograms, dumped in sorted-key order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// The counter's current value (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// The gauge's current value, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Counts `value` into the named histogram, creating it with `bounds`
+    /// on first use. Later calls ignore `bounds` — a metric's buckets are
+    /// fixed for the life of the registry.
+    pub fn histogram_record(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    }
+
+    /// The named histogram, if anything was recorded into it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing at all has been published.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Number of (counter, gauge, histogram) entries.
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        (
+            self.counters.len(),
+            self.gauges.len(),
+            self.histograms.len(),
+        )
+    }
+
+    /// Iterates counters in sorted-name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates gauges in sorted-name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// The whole registry as a JSON value tree (sorted keys throughout).
+    pub fn to_json_value(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+            ("histograms".into(), Json::Obj(histograms)),
+        ])
+    }
+
+    /// The whole registry as a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a gauge holds a non-finite value (JSON cannot
+    /// represent it).
+    pub fn to_json(&self) -> Result<String, String> {
+        self.to_json_value().write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.counter_add("x", 2);
+        m.counter_add("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn gauges_keep_the_last_value() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.gauge("g"), None);
+        m.gauge_set("g", 1.5);
+        m.gauge_set("g", -0.25);
+        assert_eq!(m.gauge("g"), Some(-0.25));
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_with_overflow() {
+        let mut h = Histogram::new(&[1.0, 2.0, 5.0]);
+        for v in [0.0, 1.0, 1.5, 2.0, 4.9, 5.0, 5.1, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn dump_is_sorted_and_deterministic() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        // Same operations, different insertion order.
+        a.counter_add("zulu", 1);
+        a.counter_add("alpha", 2);
+        a.gauge_set("g", 0.5);
+        b.gauge_set("g", 0.5);
+        b.counter_add("alpha", 2);
+        b.counter_add("zulu", 1);
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+        let text = a.to_json().unwrap();
+        assert!(text.find("alpha").unwrap() < text.find("zulu").unwrap());
+    }
+
+    #[test]
+    fn dump_parses_back_through_jsonio() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("c", 7);
+        m.gauge_set("g", 0.1);
+        m.histogram_record("h", &[1.0, 10.0], 3.0);
+        let v = crate::jsonio::parse(&m.to_json().unwrap()).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("c"))
+                .and_then(Json::as_num),
+            Some(7.0)
+        );
+        let h = v.get("histograms").and_then(|h| h.get("h")).unwrap();
+        assert_eq!(h.get("counts").and_then(Json::as_arr).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,285 @@
+//! Human- and machine-readable sinks over a finished run: a fixed-width
+//! summary table for the examples, and the JSON "golden document" the
+//! snapshot suite in `tests/golden_report.rs` compares byte-for-byte.
+
+use super::Telemetry;
+use crate::jsonio::Json;
+use crate::simulation::{RoundRecord, SimulationReport};
+use eecs_net::transport::TransportStats;
+use std::fmt::Write as _;
+
+fn transport_to_json(stats: &TransportStats) -> Json {
+    let mut members = Vec::new();
+    for (field, value) in stats.counter_fields() {
+        members.push((field.to_string(), Json::Num(value as f64)));
+    }
+    for (field, value) in stats.gauge_fields() {
+        members.push((field.to_string(), Json::Num(value)));
+    }
+    Json::Obj(members)
+}
+
+fn round_to_json(r: &RoundRecord) -> Json {
+    let n = |v: usize| Json::Num(v as f64);
+    Json::Obj(vec![
+        ("first_frame".into(), n(r.first_frame)),
+        ("last_frame".into(), n(r.last_frame)),
+        (
+            "active".into(),
+            Json::Arr(r.active.iter().map(|&j| n(j)).collect()),
+        ),
+        (
+            "assignment".into(),
+            Json::Obj(
+                r.assignment
+                    .iter()
+                    .map(|(j, alg)| (j.to_string(), Json::Str(alg.to_string())))
+                    .collect(),
+            ),
+        ),
+        ("energy_j".into(), Json::Num(r.energy_j)),
+        ("correct".into(), n(r.correct)),
+        ("gt".into(), n(r.gt)),
+    ])
+}
+
+/// A [`SimulationReport`] as a JSON value tree, every `f64` bit-exact
+/// through [`crate::jsonio`].
+pub fn report_to_json(report: &SimulationReport) -> Json {
+    let n = |v: usize| Json::Num(v as f64);
+    Json::Obj(vec![
+        ("mode".into(), Json::Str(format!("{:?}", report.mode))),
+        ("total_energy_j".into(), Json::Num(report.total_energy_j)),
+        ("correctly_detected".into(), n(report.correctly_detected)),
+        ("gt_objects".into(), n(report.gt_objects)),
+        (
+            "per_camera_energy".into(),
+            Json::Arr(
+                report
+                    .per_camera_energy
+                    .iter()
+                    .map(|&e| Json::Num(e))
+                    .collect(),
+            ),
+        ),
+        ("degraded_frames".into(), n(report.degraded_frames)),
+        ("dropped_frames".into(), n(report.dropped_frames)),
+        ("quarantine_strikes".into(), n(report.quarantine_strikes)),
+        (
+            "failovers".into(),
+            Json::Arr(
+                report
+                    .failovers
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("round".into(), n(f.round)),
+                            ("elected".into(), n(f.elected)),
+                            ("checkpoint_round".into(), n(f.checkpoint_round)),
+                            ("announced".into(), n(f.announced)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "transport".into(),
+            Json::Arr(report.transport.iter().map(transport_to_json).collect()),
+        ),
+        ("downlink".into(), transport_to_json(&report.downlink)),
+        (
+            "rounds".into(),
+            Json::Arr(report.rounds.iter().map(round_to_json).collect()),
+        ),
+    ])
+}
+
+/// Schema tag of the golden document format.
+pub const GOLDEN_SCHEMA: &str = "eecs-golden/1";
+
+/// The golden-master document: the report plus the final metrics dump,
+/// as one byte-stable JSON string.
+///
+/// # Errors
+///
+/// Returns an error if the report or a gauge holds a non-finite number.
+pub fn golden_document(
+    scenario: &str,
+    report: &SimulationReport,
+    telemetry: &Telemetry,
+) -> Result<String, String> {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(GOLDEN_SCHEMA.into())),
+        ("scenario".into(), Json::Str(scenario.into())),
+        ("report".into(), report_to_json(report)),
+        ("metrics".into(), telemetry.metrics().to_json_value()),
+    ])
+    .write()
+}
+
+/// Renders a fixed-width summary table of a finished run — the examples'
+/// shared sink. With a recording [`Telemetry`] handle the footer also
+/// reports what the registry and flight recorder captured.
+pub fn render_summary(report: &SimulationReport, telemetry: &Telemetry) -> String {
+    let mut out = String::new();
+    let pct = if report.gt_objects > 0 {
+        100.0 * report.correctly_detected as f64 / report.gt_objects as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "mode {:?} · {} rounds · {}/{} detected ({pct:.1}%) · {:.3} J total",
+        report.mode,
+        report.rounds.len(),
+        report.correctly_detected,
+        report.gt_objects,
+        report.total_energy_j,
+    );
+    let _ = writeln!(
+        out,
+        "degraded {} · dropped {} · quarantine strikes {} · failovers {}",
+        report.degraded_frames,
+        report.dropped_frames,
+        report.quarantine_strikes,
+        report.failovers.len(),
+    );
+
+    let _ = writeln!(
+        out,
+        "\n{:>5}  {:<11} {:<10} {:<22} {:>10}  {:>9}",
+        "round", "frames", "active", "assignment", "energy J", "detected"
+    );
+    for (i, r) in report.rounds.iter().enumerate() {
+        let active = r
+            .active
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let assignment = r
+            .assignment
+            .iter()
+            .map(|(j, alg)| format!("{j}:{alg}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "{i:>5}  {:<11} {active:<10} {assignment:<22} {:>10.3}  {:>9}",
+            format!("{}-{}", r.first_frame, r.last_frame),
+            r.energy_j,
+            format!("{}/{}", r.correct, r.gt),
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\n{:>6}  {:>10}  {:>6}  {:>8}  {:>5}  {:>7}  {:>8}",
+        "camera", "energy J", "msgs", "attempts", "drops", "retries", "timeouts"
+    );
+    for (j, stats) in report.transport.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{j:>6}  {:>10.3}  {:>6}  {:>8}  {:>5}  {:>7}  {:>8}",
+            report.per_camera_energy.get(j).copied().unwrap_or(0.0),
+            stats.messages,
+            stats.attempts,
+            stats.drops,
+            stats.retries,
+            stats.timeouts,
+        );
+    }
+    let d = &report.downlink;
+    let _ = writeln!(
+        out,
+        "downlink: {} msgs · {} attempts · {} drops · {} timeouts",
+        d.messages, d.attempts, d.drops, d.timeouts
+    );
+
+    if telemetry.enabled() {
+        let (counters, gauges, histograms) = telemetry.metrics().sizes();
+        let _ = writeln!(
+            out,
+            "telemetry: {counters} counters · {gauges} gauges · {histograms} histograms · \
+             {} trace events ({} evicted)",
+            telemetry.events().len(),
+            telemetry.trace_evicted(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::OperatingMode;
+    use eecs_detect::detection::AlgorithmId;
+    use std::collections::BTreeMap;
+
+    fn tiny_report() -> SimulationReport {
+        let mut assignment = BTreeMap::new();
+        assignment.insert(0, AlgorithmId::Acf);
+        SimulationReport {
+            mode: OperatingMode::FullEecs,
+            rounds: vec![RoundRecord {
+                first_frame: 40,
+                last_frame: 65,
+                active: vec![0],
+                assignment,
+                energy_j: 12.5,
+                correct: 3,
+                gt: 4,
+            }],
+            total_energy_j: 12.5,
+            correctly_detected: 3,
+            gt_objects: 4,
+            per_camera_energy: vec![12.5],
+            transport: vec![TransportStats::default()],
+            downlink: TransportStats::default(),
+            failovers: Vec::new(),
+            degraded_frames: 0,
+            dropped_frames: 0,
+            quarantine_strikes: 0,
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_and_is_stable() {
+        let report = tiny_report();
+        let text = report_to_json(&report).write().unwrap();
+        let v = crate::jsonio::parse(&text).unwrap();
+        assert_eq!(v.get("mode").and_then(Json::as_str), Some("FullEecs"));
+        assert_eq!(v.get("total_energy_j").and_then(Json::as_num), Some(12.5));
+        // Encode → decode → encode is a fixed point.
+        assert_eq!(crate::jsonio::parse(&text).unwrap().write().unwrap(), text);
+    }
+
+    #[test]
+    fn golden_document_carries_schema_and_metrics() {
+        let tel = Telemetry::recording(8);
+        tel.counter_add("x", 1);
+        let doc = golden_document("ideal", &tiny_report(), &tel).unwrap();
+        let v = crate::jsonio::parse(&doc).unwrap();
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some(GOLDEN_SCHEMA));
+        assert_eq!(v.get("scenario").and_then(Json::as_str), Some("ideal"));
+        assert_eq!(
+            v.get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("x"))
+                .and_then(Json::as_num),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn summary_renders_rounds_and_footer() {
+        let tel = Telemetry::recording(8);
+        let text = render_summary(&tiny_report(), &tel);
+        assert!(text.contains("FullEecs"));
+        assert!(text.contains("0:ACF"));
+        assert!(text.contains("telemetry:"));
+        // The null sink renders the same table without the footer.
+        let null_text = render_summary(&tiny_report(), &Telemetry::null());
+        assert!(!null_text.contains("telemetry:"));
+    }
+}

@@ -1,0 +1,422 @@
+//! The structured trace stream: one [`TraceEvent`] per interesting moment
+//! of a run, recorded into a bounded [`FlightRecorder`] ring buffer.
+//!
+//! Events carry span-style scoping — every event knows its round, most
+//! know their camera — so a dump can be sliced per round or per camera
+//! after the fact. The recorder is sized in events, not rounds; when it
+//! overflows, the oldest events fall off and `evicted` counts them, so a
+//! long soak run holds memory constant while the tail stays intact.
+
+use crate::jsonio::Json;
+use eecs_detect::detection::AlgorithmId;
+use std::collections::VecDeque;
+
+/// One structured moment of a simulation run.
+///
+/// Every event is scoped to the round it happened in; camera-specific
+/// events also name the camera. The variants mirror the stages of the
+/// EECS loop: probing, assessment, selection downlink, operation, plus
+/// the self-healing machinery (quarantine, failover, checkpoint).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A recalibration round began.
+    RoundStart {
+        /// Round index.
+        round: usize,
+        /// First annotated frame of the round.
+        first_frame: usize,
+    },
+    /// A recalibration round finished.
+    RoundEnd {
+        /// Round index.
+        round: usize,
+        /// Energy all cameras spent this round (J).
+        energy_j: f64,
+        /// Correctly detected humans this round.
+        correct: usize,
+        /// Ground-truth humans present this round.
+        gt: usize,
+    },
+    /// The controller probed a camera for liveness.
+    Probe {
+        /// Round index.
+        round: usize,
+        /// Camera probed.
+        camera: usize,
+        /// Whether the probe reply arrived within the round.
+        delivered: bool,
+    },
+    /// The controller downlinked an assignment (or deactivation) to a
+    /// camera.
+    Assignment {
+        /// Round index.
+        round: usize,
+        /// Camera addressed.
+        camera: usize,
+        /// The algorithm assigned; `None` deactivates the camera.
+        algorithm: Option<AlgorithmId>,
+        /// Whether the downlink arrived (a miss leaves the camera on its
+        /// previous assignment).
+        delivered: bool,
+    },
+    /// A detector ran on one frame (assessment or operation phase).
+    Detection {
+        /// Round index.
+        round: usize,
+        /// Camera that ran the detector.
+        camera: usize,
+        /// Frame number in the feed.
+        frame: usize,
+        /// Algorithm that ran.
+        algorithm: AlgorithmId,
+        /// Objects in the (health-screened) report.
+        objects: usize,
+        /// Whether the output passed the detector-health checks.
+        healthy: bool,
+    },
+    /// A (camera, algorithm) pair earned a quarantine strike.
+    QuarantineStrike {
+        /// Round index.
+        round: usize,
+        /// Camera whose detector misbehaved.
+        camera: usize,
+        /// The misbehaving algorithm.
+        algorithm: AlgorithmId,
+        /// Strike count for the pair after this one.
+        strikes: u32,
+    },
+    /// The controller crashed and a camera was elected to the seat.
+    Failover {
+        /// Round the crash opened at.
+        round: usize,
+        /// Camera elected as replacement controller.
+        elected: usize,
+        /// Round of the checkpoint the new seat restored.
+        checkpoint_round: usize,
+        /// Peers that acknowledged the handover.
+        announced: usize,
+    },
+    /// A reliable send needed more than one attempt.
+    Retransmit {
+        /// Round index.
+        round: usize,
+        /// Sending camera.
+        camera: usize,
+        /// Total attempts the delivery took.
+        attempts: u32,
+    },
+    /// The controller checkpointed its volatile state.
+    Checkpoint {
+        /// Round the checkpoint covers.
+        round: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The round this event is scoped to.
+    pub fn round(&self) -> usize {
+        match *self {
+            TraceEvent::RoundStart { round, .. }
+            | TraceEvent::RoundEnd { round, .. }
+            | TraceEvent::Probe { round, .. }
+            | TraceEvent::Assignment { round, .. }
+            | TraceEvent::Detection { round, .. }
+            | TraceEvent::QuarantineStrike { round, .. }
+            | TraceEvent::Failover { round, .. }
+            | TraceEvent::Retransmit { round, .. }
+            | TraceEvent::Checkpoint { round } => round,
+        }
+    }
+
+    /// The camera this event is scoped to, when it has one.
+    pub fn camera(&self) -> Option<usize> {
+        match *self {
+            TraceEvent::Probe { camera, .. }
+            | TraceEvent::Assignment { camera, .. }
+            | TraceEvent::Detection { camera, .. }
+            | TraceEvent::QuarantineStrike { camera, .. }
+            | TraceEvent::Retransmit { camera, .. } => Some(camera),
+            TraceEvent::Failover { elected, .. } => Some(elected),
+            TraceEvent::RoundStart { .. }
+            | TraceEvent::RoundEnd { .. }
+            | TraceEvent::Checkpoint { .. } => None,
+        }
+    }
+
+    /// A stable kind label, used as the JSON `"event"` discriminator.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RoundStart { .. } => "round_start",
+            TraceEvent::RoundEnd { .. } => "round_end",
+            TraceEvent::Probe { .. } => "probe",
+            TraceEvent::Assignment { .. } => "assignment",
+            TraceEvent::Detection { .. } => "detection",
+            TraceEvent::QuarantineStrike { .. } => "quarantine_strike",
+            TraceEvent::Failover { .. } => "failover",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
+        }
+    }
+
+    /// This event as a flat JSON object (`event` + `round` first, then
+    /// the variant's own fields in declaration order).
+    pub fn to_json_value(&self) -> Json {
+        let n = |v: usize| Json::Num(v as f64);
+        let mut members = vec![
+            ("event".to_string(), Json::Str(self.kind().into())),
+            ("round".to_string(), n(self.round())),
+        ];
+        match *self {
+            TraceEvent::RoundStart { first_frame, .. } => {
+                members.push(("first_frame".into(), n(first_frame)));
+            }
+            TraceEvent::RoundEnd {
+                energy_j,
+                correct,
+                gt,
+                ..
+            } => {
+                members.push(("energy_j".into(), Json::Num(energy_j)));
+                members.push(("correct".into(), n(correct)));
+                members.push(("gt".into(), n(gt)));
+            }
+            TraceEvent::Probe {
+                camera, delivered, ..
+            } => {
+                members.push(("camera".into(), n(camera)));
+                members.push(("delivered".into(), Json::Bool(delivered)));
+            }
+            TraceEvent::Assignment {
+                camera,
+                algorithm,
+                delivered,
+                ..
+            } => {
+                members.push(("camera".into(), n(camera)));
+                members.push((
+                    "algorithm".into(),
+                    match algorithm {
+                        Some(a) => Json::Str(a.to_string()),
+                        None => Json::Null,
+                    },
+                ));
+                members.push(("delivered".into(), Json::Bool(delivered)));
+            }
+            TraceEvent::Detection {
+                camera,
+                frame,
+                algorithm,
+                objects,
+                healthy,
+                ..
+            } => {
+                members.push(("camera".into(), n(camera)));
+                members.push(("frame".into(), n(frame)));
+                members.push(("algorithm".into(), Json::Str(algorithm.to_string())));
+                members.push(("objects".into(), n(objects)));
+                members.push(("healthy".into(), Json::Bool(healthy)));
+            }
+            TraceEvent::QuarantineStrike {
+                camera,
+                algorithm,
+                strikes,
+                ..
+            } => {
+                members.push(("camera".into(), n(camera)));
+                members.push(("algorithm".into(), Json::Str(algorithm.to_string())));
+                members.push(("strikes".into(), n(strikes as usize)));
+            }
+            TraceEvent::Failover {
+                elected,
+                checkpoint_round,
+                announced,
+                ..
+            } => {
+                members.push(("elected".into(), n(elected)));
+                members.push(("checkpoint_round".into(), n(checkpoint_round)));
+                members.push(("announced".into(), n(announced)));
+            }
+            TraceEvent::Retransmit {
+                camera, attempts, ..
+            } => {
+                members.push(("camera".into(), n(camera)));
+                members.push(("attempts".into(), n(attempts as usize)));
+            }
+            TraceEvent::Checkpoint { .. } => {}
+        }
+        Json::Obj(members)
+    }
+}
+
+/// A bounded in-memory ring buffer of [`TraceEvent`]s.
+///
+/// Rounds are recorded in nondecreasing order (the simulation emits
+/// serially), so the newest retained event's round is the run's latest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    evicted: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Appends one event, evicting the oldest if the buffer is full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events have fallen off the front.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// The round of the newest retained event.
+    pub fn last_round(&self) -> Option<usize> {
+        self.events.back().map(TraceEvent::round)
+    }
+
+    /// The events of the last `n` rounds — *including* the newest round
+    /// itself, so a post-mortem slice after a failure at round `r` always
+    /// contains round `r`'s own events (`tail_rounds(1)` is exactly the
+    /// final round).
+    pub fn tail_rounds(&self, n: usize) -> Vec<TraceEvent> {
+        let Some(last) = self.last_round() else {
+            return Vec::new();
+        };
+        let cutoff = (last + 1).saturating_sub(n.max(1));
+        self.events
+            .iter()
+            .filter(|e| e.round() >= cutoff)
+            .cloned()
+            .collect()
+    }
+
+    /// The full retained stream as a JSON array.
+    pub fn to_json_value(&self) -> Json {
+        Json::Arr(self.events.iter().map(TraceEvent::to_json_value).collect())
+    }
+
+    /// The last-`n`-rounds slice as a JSON array.
+    pub fn tail_json_value(&self, n: usize) -> Json {
+        Json::Arr(
+            self.tail_rounds(n)
+                .iter()
+                .map(TraceEvent::to_json_value)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(round: usize, camera: usize) -> TraceEvent {
+        TraceEvent::Probe {
+            round,
+            camera,
+            delivered: true,
+        }
+    }
+
+    #[test]
+    fn scoping_accessors_cover_every_variant() {
+        let e = TraceEvent::Failover {
+            round: 3,
+            elected: 1,
+            checkpoint_round: 2,
+            announced: 2,
+        };
+        assert_eq!(e.round(), 3);
+        assert_eq!(e.camera(), Some(1));
+        assert_eq!(e.kind(), "failover");
+        assert_eq!(TraceEvent::Checkpoint { round: 5 }.camera(), None);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts() {
+        let mut rec = FlightRecorder::new(3);
+        for r in 0..5 {
+            rec.record(probe(r, 0));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.evicted(), 2);
+        let rounds: Vec<usize> = rec.events().map(TraceEvent::round).collect();
+        assert_eq!(rounds, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn tail_includes_the_newest_round_itself() {
+        let mut rec = FlightRecorder::new(100);
+        for r in 0..4 {
+            rec.record(TraceEvent::RoundStart {
+                round: r,
+                first_frame: r * 10,
+            });
+            rec.record(probe(r, 0));
+        }
+        // The failure round (3) must be in every non-empty tail.
+        let tail1 = rec.tail_rounds(1);
+        assert!(tail1.iter().all(|e| e.round() == 3));
+        assert_eq!(tail1.len(), 2);
+        let tail2 = rec.tail_rounds(2);
+        assert!(tail2.iter().any(|e| e.round() == 2));
+        assert!(tail2.iter().any(|e| e.round() == 3));
+        // Asking for more rounds than exist returns everything.
+        assert_eq!(rec.tail_rounds(100).len(), 8);
+        // n = 0 is clamped to the newest round, never an empty slice.
+        assert!(!rec.tail_rounds(0).is_empty());
+    }
+
+    #[test]
+    fn json_dump_is_parseable_and_flat() {
+        let mut rec = FlightRecorder::new(10);
+        rec.record(TraceEvent::Detection {
+            round: 0,
+            camera: 2,
+            frame: 45,
+            algorithm: AlgorithmId::Acf,
+            objects: 3,
+            healthy: true,
+        });
+        let text = rec.to_json_value().write().unwrap();
+        let v = crate::jsonio::parse(&text).unwrap();
+        let e = &v.as_arr().unwrap()[0];
+        assert_eq!(e.get("event").and_then(Json::as_str), Some("detection"));
+        assert_eq!(e.get("algorithm").and_then(Json::as_str), Some("ACF"));
+        assert_eq!(e.get("frame").and_then(Json::as_num), Some(45.0));
+    }
+}

@@ -23,6 +23,17 @@ impl AlgorithmId {
         AlgorithmId::C4,
         AlgorithmId::Lsvm,
     ];
+
+    /// A stable lowercase label, used as a metric-name component
+    /// (`detect.runs.acf` and friends) without going through `Display`.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmId::Hog => "hog",
+            AlgorithmId::Acf => "acf",
+            AlgorithmId::C4 => "c4",
+            AlgorithmId::Lsvm => "lsvm",
+        }
+    }
 }
 
 impl fmt::Display for AlgorithmId {

@@ -103,6 +103,19 @@ pub enum HealthIssue {
     },
 }
 
+impl HealthIssue {
+    /// A stable kind label, used as a metric-name component
+    /// (`health.issue.count_explosion` and friends).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthIssue::NonFiniteScore { .. } => "non_finite_score",
+            HealthIssue::NonFiniteBox { .. } => "non_finite_box",
+            HealthIssue::CountExplosion { .. } => "count_explosion",
+            HealthIssue::ScoreCollapse { .. } => "score_collapse",
+        }
+    }
+}
+
 impl fmt::Display for HealthIssue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

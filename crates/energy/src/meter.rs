@@ -13,6 +13,24 @@ pub enum EnergyCategory {
     Overhead,
 }
 
+impl EnergyCategory {
+    /// All categories, in accounting order.
+    pub const ALL: [EnergyCategory; 3] = [
+        EnergyCategory::Processing,
+        EnergyCategory::Communication,
+        EnergyCategory::Overhead,
+    ];
+
+    /// A stable lowercase label, used as a metric-name component.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnergyCategory::Processing => "processing",
+            EnergyCategory::Communication => "communication",
+            EnergyCategory::Overhead => "overhead",
+        }
+    }
+}
+
 /// Accumulates Joules by category — the reproduction's PowerTutor.
 #[derive(Debug, Clone, Default)]
 pub struct PowerMeter {
@@ -53,6 +71,12 @@ impl PowerMeter {
     /// Number of record events.
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Per-category totals with stable labels, in accounting order — the
+    /// shape a metrics registry scrapes into gauges.
+    pub fn snapshot(&self) -> [(&'static str, f64); 3] {
+        EnergyCategory::ALL.map(|c| (c.name(), self.by_category(c)))
     }
 
     /// Merges another meter into this one.

@@ -76,6 +76,31 @@ impl TransportStats {
         self.duplicates += other.duplicates;
         self.backoff_s += other.backoff_s;
     }
+
+    /// The integer fields with stable names, in declaration order — the
+    /// shape a metrics registry scrapes into counters.
+    pub fn counter_fields(&self) -> [(&'static str, u64); 7] {
+        [
+            ("messages", self.messages),
+            ("bytes", self.bytes),
+            ("attempts", self.attempts),
+            ("drops", self.drops),
+            ("retries", self.retries),
+            ("timeouts", self.timeouts),
+            ("duplicates", self.duplicates),
+        ]
+    }
+
+    /// The float fields (Joules, seconds) with stable names, in
+    /// declaration order — the shape a metrics registry scrapes into
+    /// gauges.
+    pub fn gauge_fields(&self) -> [(&'static str, f64); 3] {
+        [
+            ("energy_j", self.energy_j),
+            ("airtime_s", self.airtime_s),
+            ("backoff_s", self.backoff_s),
+        ]
+    }
 }
 
 /// One camera's attachment point.

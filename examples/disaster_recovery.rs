@@ -18,6 +18,7 @@
 
 use eecs::core::config::EecsConfig;
 use eecs::core::simulation::{OperatingMode, Simulation, SimulationConfig, SimulationReport};
+use eecs::core::telemetry::Telemetry;
 use eecs::detect::bank::DetectorBank;
 use eecs::energy::budget::EnergyBudget;
 use eecs::net::fault::{ControllerFaultPlan, FaultPlan, LinkFaults};
@@ -97,8 +98,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n--- mission outcomes ---");
     let clean = base.run()?;
     summarize("clean conditions", &clean);
+    // The disaster run flies with the black box on: a flight recorder
+    // capturing every probe, retransmit, detection and failover.
+    let telemetry = Telemetry::recording(4096);
     let chaos = base
         .with_faults(net_chaos, sensor_chaos, controller_chaos)
+        .with_telemetry(telemetry.clone())
         .run()?;
     summarize("full disaster", &chaos);
 
@@ -139,5 +144,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "detections degraded gracefully: {}/{} under full disaster vs {}/{} clean.",
         chaos.correctly_detected, chaos.gt_objects, clean.correctly_detected, clean.gt_objects
     );
+
+    // Post-mortem: dump the flight-recorder slice around the crash — the
+    // tail is inclusive, so the failover round itself is always in it.
+    println!("\n--- black box: last 2 rounds of the disaster ---");
+    let metrics = telemetry.metrics();
+    println!(
+        "net: {} attempts, {} retransmits, {} undelivered · {} quarantine strikes",
+        metrics.counter("net.attempts"),
+        metrics.counter("net.retransmits"),
+        metrics.counter("net.undelivered"),
+        metrics.counter("quarantine.strikes"),
+    );
+    println!("{}", telemetry.tail_json(2)?);
     Ok(())
 }

@@ -11,6 +11,7 @@
 
 use eecs::core::config::EecsConfig;
 use eecs::core::simulation::{OperatingMode, Simulation, SimulationConfig};
+use eecs::core::telemetry::{summary::render_summary, Telemetry};
 use eecs::detect::bank::DetectorBank;
 use eecs::scene::dataset::{DatasetId, DatasetProfile};
 
@@ -54,32 +55,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    // 4. Run the closed loop.
-    let report = sim.run()?;
+    // 4. Run the closed loop with an in-memory telemetry recorder
+    //    attached, then render the standard summary table from it.
+    let telemetry = Telemetry::recording(4096);
+    let report = sim.with_telemetry(telemetry.clone()).run()?;
     println!("\n=== EECS run ===");
+    println!("{}", render_summary(&report, &telemetry));
     println!(
-        "detected {} of {} ground-truth appearances",
-        report.correctly_detected, report.gt_objects
+        "detector runs: {} HOG · {} ACF · {} C4 · {} LSVM",
+        telemetry.metrics().counter("detect.runs.hog"),
+        telemetry.metrics().counter("detect.runs.acf"),
+        telemetry.metrics().counter("detect.runs.c4"),
+        telemetry.metrics().counter("detect.runs.lsvm"),
     );
-    println!("total energy: {:.2} J", report.total_energy_j);
-    for (j, e) in report.per_camera_energy.iter().enumerate() {
-        println!("  camera {j}: {e:.2} J");
-    }
-    for round in &report.rounds {
-        let assignment: Vec<String> = round
-            .assignment
-            .iter()
-            .map(|(cam, alg)| format!("cam{cam}→{alg}"))
-            .collect();
-        println!(
-            "round frames {:>3}-{:>3}: {} | {:.2} J | {}/{} detected",
-            round.first_frame,
-            round.last_frame,
-            assignment.join(" "),
-            round.energy_j,
-            round.correct,
-            round.gt
-        );
-    }
     Ok(())
 }

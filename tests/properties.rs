@@ -2,6 +2,8 @@
 
 use eecs::core::accuracy::combined_probability;
 use eecs::core::controller::{QuarantineLedger, QuarantinePolicy};
+use eecs::core::jsonio::{self, Json};
+use eecs::core::telemetry::{FlightRecorder, MetricsRegistry, TraceEvent};
 use eecs::detect::detection::AlgorithmId;
 use eecs::detect::detection::BBox;
 use eecs::detect::detection::Detection;
@@ -226,6 +228,109 @@ proptest! {
                 prop_assert!(ledger.allows(cam, alg, round + 1 + backoff));
             }
         }
+    }
+
+    #[test]
+    fn json_number_roundtrip_is_bit_exact(bits in 0..u64::MAX) {
+        let n = f64::from_bits(bits);
+        if n.is_finite() {
+            // encode → decode → encode: bit-exact value, fixed-point text.
+            let text = Json::Num(n).write().unwrap();
+            let back = jsonio::parse(&text).unwrap();
+            let m = back.as_num().unwrap();
+            prop_assert_eq!(m.to_bits(), n.to_bits());
+            prop_assert_eq!(back.write().unwrap(), text);
+        } else {
+            // NaN / ±∞ are unrepresentable: a clean error, never a panic,
+            // no matter how deep the value hides.
+            prop_assert!(Json::Num(n).write().is_err());
+            let nested = Json::Obj(vec![("x".into(), Json::Arr(vec![Json::Num(n)]))]);
+            prop_assert!(nested.write().is_err());
+        }
+    }
+
+    #[test]
+    fn json_string_escapes_roundtrip(codes in prop::collection::vec(0..0x250u32, 0..24)) {
+        // The range covers ASCII controls, quotes, backslashes, and a slab
+        // of non-ASCII — every escaping path in the writer.
+        let s: String = codes.iter().filter_map(|&c| char::from_u32(c)).collect();
+        let text = Json::Str(s.clone()).write().unwrap();
+        let back = jsonio::parse(&text).unwrap();
+        prop_assert_eq!(back.as_str().unwrap(), s.as_str());
+        prop_assert_eq!(back.write().unwrap(), text);
+    }
+
+    #[test]
+    fn json_deep_nesting_roundtrips(depth in 0..48usize, n in -1e6..1e6f64) {
+        let mut v = Json::Num(n);
+        for level in 0..depth {
+            v = if level % 2 == 0 {
+                Json::Arr(vec![v])
+            } else {
+                Json::Obj(vec![("k".into(), v), ("flag".into(), Json::Bool(true))])
+            };
+        }
+        let text = v.write().unwrap();
+        let back = jsonio::parse(&text).unwrap();
+        prop_assert_eq!(back.write().unwrap(), text);
+    }
+
+    #[test]
+    fn json_parser_never_panics(raw in prop::collection::vec(0..256u32, 0..48)) {
+        // Arbitrary bytes (lossily decoded) and truncated prefixes of a
+        // valid document: `parse` may reject, it must never panic.
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let _ = jsonio::parse(&String::from_utf8_lossy(&bytes));
+
+        let valid = r#"{"a":[1,-0.5,"x\n"],"b":{"c":null,"d":[true,false]}}"#;
+        let cut = raw.first().map_or(0, |&b| b as usize % (valid.len() + 1));
+        let _ = jsonio::parse(&valid[..cut]);
+    }
+
+    #[test]
+    fn flight_recorder_bounded_with_inclusive_tail(
+        capacity in 1..64usize,
+        per_round in prop::collection::vec(1..5usize, 1..24),
+        tail in 1..8usize,
+    ) {
+        let mut rec = FlightRecorder::new(capacity);
+        let mut total = 0u64;
+        for (round, &events) in per_round.iter().enumerate() {
+            for _ in 0..events {
+                rec.record(TraceEvent::Checkpoint { round });
+                total += 1;
+            }
+        }
+        let last = per_round.len() - 1;
+        // Bounded memory, exact eviction accounting.
+        prop_assert!(rec.len() <= capacity);
+        prop_assert_eq!(rec.evicted(), total.saturating_sub(capacity as u64));
+        prop_assert_eq!(rec.last_round(), Some(last));
+        // The tail slice always includes the newest round itself and never
+        // reaches further back than `tail` rounds.
+        let cutoff = (last + 1).saturating_sub(tail);
+        let slice = rec.tail_rounds(tail);
+        prop_assert!(slice.iter().any(|e| e.round() == last));
+        prop_assert!(slice.iter().all(|e| e.round() >= cutoff));
+    }
+
+    #[test]
+    fn metrics_registry_is_order_independent(
+        ops in prop::collection::vec((0..5usize, 1..100u64), 0..40),
+    ) {
+        const NAMES: [&str; 5] = ["net.attempts", "detect.runs.hog", "a", "z.z", "mid"];
+        const BOUNDS: [f64; 3] = [10.0, 50.0, 90.0];
+        let apply = |registry: &mut MetricsRegistry, &(name, delta): &(usize, u64)| {
+            registry.counter_add(NAMES[name], delta);
+            registry.histogram_record("values", &BOUNDS, delta as f64);
+        };
+        let mut forward = MetricsRegistry::new();
+        let mut reverse = MetricsRegistry::new();
+        ops.iter().for_each(|op| apply(&mut forward, op));
+        ops.iter().rev().for_each(|op| apply(&mut reverse, op));
+        // Counter and histogram publishes commute, and the dump is sorted:
+        // any arrival order yields the same bytes.
+        prop_assert_eq!(forward.to_json().unwrap(), reverse.to_json().unwrap());
     }
 }
 
