@@ -41,6 +41,12 @@ echo "==> bench smoke (pipeline trajectory)"
 EECS_BENCH_ITERS=1 cargo bench -q -p eecs-bench --bench pipeline -- --bench
 cargo run -q --release -p eecs-bench --bin check_bench
 
+echo "==> sweep smoke (2 workers, kill after 2 cells, resume)"
+# Tiny budget × fault-seed grid through the sweep engine: a 2-worker run
+# aborted mid-sweep and resumed from its manifest must merge to bytes
+# identical to an uninterrupted run, with no completed cell re-executing.
+cargo run -q --release -p eecs-bench --bin sweep_smoke
+
 echo "==> fault-matrix smoke (sensor + network + controller chaos)"
 # One combined-chaos mission per seed: must complete, stay physical,
 # record the scheduled failover, and replay bit-for-bit.

@@ -29,6 +29,10 @@ fn main() -> ExitCode {
                 "  round speedup (serial/parallel): {:.2}x",
                 summary.round_speedup
             );
+            println!(
+                "  sweep speedup (1 worker / 4 workers): {:.2}x",
+                summary.sweep_speedup
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

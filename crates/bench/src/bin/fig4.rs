@@ -7,160 +7,17 @@
 //! The paper's point: 2HOG+2ACF consumes ≈ 54% of 4HOG's energy while
 //! detecting 85% vs 92% of the people — a 7-point accuracy hit for nearly
 //! half the energy.
+//!
+//! Runs on the sweep engine: `--workers N` fans the six mixes over a
+//! worker pool, a kill resumes from `SWEEP_fig4.manifest.jsonl`, and the
+//! merged grid lands in `SWEEP_fig4.json`.
 
-use eecs_bench::{
-    experiment_bank, experiment_config, experiment_extractor, fmt3, print_row, record_for, Scale,
-};
-use eecs_core::accuracy::count_correct;
-use eecs_core::metadata::{CameraReport, ObjectMetadata};
-use eecs_core::profile::TrainingRecord;
-use eecs_core::reid::{fuse_reports, ReidConfig};
-use eecs_detect::bank::DetectorBank;
-use eecs_detect::detection::AlgorithmId;
-use eecs_energy::comm::{metadata_bytes, LinkModel};
-use eecs_geometry::calibration::GroundCalibration;
-use eecs_geometry::point::Point2;
-use eecs_scene::dataset::DatasetProfile;
-use eecs_scene::rig::{camera_rig, rig_calibrations};
-use eecs_scene::sequence::FrameData;
-use eecs_vision::color::mean_color_feature;
-use std::collections::BTreeMap;
-
-const GT_GATE_M: f64 = 1.2;
+use eecs_bench::artifacts::Artifacts;
+use eecs_bench::scenarios::{self, fig4};
+use eecs_bench::Scale;
 
 fn main() {
-    let scale = Scale::from_args();
-    let bank = experiment_bank();
-    let config = experiment_config(&bank);
-    let profile = DatasetProfile::lab();
-
-    let extractor = experiment_extractor(scale, 24);
-    let records: Vec<TrainingRecord> = (0..4)
-        .map(|cam| record_for(&profile, cam, &bank, &extractor, &config, scale))
-        .collect();
-    let rig = camera_rig(&profile);
-    let calibrations = rig_calibrations(&profile, &rig);
-    let frames: Vec<Vec<FrameData>> = (0..4)
-        .map(|cam| eecs_bench::test_frames(&profile, cam, scale))
-        .collect();
-    eprintln!("prepared {} test frames x 4 cameras", frames[0].len());
-
-    use AlgorithmId::{Acf, Hog};
-    let configs: Vec<(&str, Vec<(usize, AlgorithmId)>)> = vec![
-        ("2ACF", vec![(0, Acf), (1, Acf)]),
-        ("HOG+ACF", vec![(0, Hog), (1, Acf)]),
-        ("2HOG", vec![(0, Hog), (1, Hog)]),
-        ("4ACF", vec![(0, Acf), (1, Acf), (2, Acf), (3, Acf)]),
-        ("2HOG+2ACF", vec![(0, Hog), (1, Hog), (2, Acf), (3, Acf)]),
-        ("4HOG", vec![(0, Hog), (1, Hog), (2, Hog), (3, Hog)]),
-    ];
-
-    println!("== Fig. 4: accuracy vs energy, dataset #1 ==");
-    let widths = [11usize, 10, 10, 10, 12];
-    print_row(
-        &[
-            "config".into(),
-            "detected".into(),
-            "gt".into(),
-            "recall".into(),
-            "energy (J)".into(),
-        ],
-        &widths,
-    );
-
-    let reid = ReidConfig {
-        ground_gate_m: config.reid_ground_gate_m,
-        color_gate: config.reid_color_gate,
-        color_metric: None,
-    };
-    for (name, assignment) in &configs {
-        let (correct, gt, energy) = run_config(
-            assignment,
-            &bank,
-            &records,
-            &calibrations,
-            &frames,
-            &config.device,
-            &config.link,
-            &reid,
-            config.eval.min_visibility,
-        );
-        print_row(
-            &[
-                (*name).into(),
-                correct.to_string(),
-                gt.to_string(),
-                fmt3(correct as f64 / gt.max(1) as f64),
-                fmt3(energy),
-            ],
-            &widths,
-        );
-    }
-}
-
-/// Runs one fixed configuration over all test frames; returns
-/// `(correct, gt_total, energy_j)`.
-#[allow(clippy::too_many_arguments)]
-fn run_config(
-    assignment: &[(usize, AlgorithmId)],
-    bank: &DetectorBank,
-    records: &[TrainingRecord],
-    calibrations: &[GroundCalibration],
-    frames: &[Vec<FrameData>],
-    device: &eecs_energy::model::DeviceEnergyModel,
-    link: &LinkModel,
-    reid: &ReidConfig,
-    min_visibility: f64,
-) -> (usize, usize, f64) {
-    let n = frames[0].len();
-    let mut correct = 0usize;
-    let mut gt_total = 0usize;
-    let mut energy = 0.0f64;
-    for f in 0..n {
-        let mut reports = Vec::new();
-        for &(cam, alg) in assignment {
-            let frame = &frames[cam][f];
-            let p = records[cam].profile(alg).expect("algorithm profiled");
-            let out = bank.detector(alg).detect(&frame.image);
-            energy += device.processing_energy(out.ops);
-            let mut objects = Vec::new();
-            for det in out.detections.iter().filter(|d| d.score >= p.threshold) {
-                let color = clip_color(&frame.image, det.bbox);
-                objects.push(ObjectMetadata {
-                    camera: cam,
-                    bbox: det.bbox,
-                    probability: p.calibration.probability(det.score),
-                    color,
-                });
-            }
-            energy += link.transmit_energy(metadata_bytes(objects.len()) + 16, device);
-            reports.push(CameraReport { objects });
-        }
-        let fused = fuse_reports(&reports, calibrations, reid);
-        // Ground truth: union over the *participating* cameras.
-        let mut gt: BTreeMap<usize, Point2> = BTreeMap::new();
-        for &(cam, _) in assignment {
-            for g in &frames[cam][f].gt {
-                if g.visibility >= min_visibility {
-                    gt.entry(g.human_id).or_insert(g.ground);
-                }
-            }
-        }
-        let positions: Vec<Point2> = gt.values().copied().collect();
-        correct += count_correct(&fused, &positions, GT_GATE_M);
-        gt_total += positions.len();
-    }
-    (correct, gt_total, energy)
-}
-
-fn clip_color(img: &eecs_vision::image::RgbImage, bbox: eecs_detect::detection::BBox) -> Vec<f64> {
-    let x0 = bbox.x0.max(0.0) as usize;
-    let y0 = bbox.y0.max(0.0) as usize;
-    let x1 = (bbox.x1.min(img.width() as f64) as usize).min(img.width());
-    let y1 = (bbox.y1.min(img.height() as f64) as usize).min(img.height());
-    if x1 <= x0 + 1 || y1 <= y0 + 1 {
-        return vec![0.0; eecs_vision::color::MEAN_COLOR_DIM];
-    }
-    mean_color_feature(img, x0, y0, x1 - x0, y1 - y0)
-        .unwrap_or_else(|_| vec![0.0; eecs_vision::color::MEAN_COLOR_DIM])
+    let artifacts = Artifacts::new(Scale::from_args());
+    let shard = fig4::shard(&artifacts);
+    scenarios::run_bin(&shard, "SWEEP_fig4", fig4::format).expect("fig4 sweep");
 }

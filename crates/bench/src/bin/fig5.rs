@@ -9,115 +9,18 @@
 //! EECS can both drop cameras *and* downgrade some to ACF.
 //! Fig. 5b: budget ∈ [cost(ACF), cost(HOG)) → only ACF is feasible and the
 //! savings come from the camera subset alone.
+//!
+//! Runs on the sweep engine: `--workers N` fans the six (regime, strategy)
+//! cells over a worker pool, a kill resumes from
+//! `SWEEP_fig5.manifest.jsonl`, and the merged grid lands in
+//! `SWEEP_fig5.json`.
 
-use eecs_bench::{experiment_bank, experiment_config, fmt3, print_row, Scale};
-use eecs_core::simulation::{OperatingMode, Simulation, SimulationConfig};
-use eecs_detect::detection::AlgorithmId;
-use eecs_scene::dataset::DatasetProfile;
+use eecs_bench::artifacts::Artifacts;
+use eecs_bench::scenarios::{self, fig5};
+use eecs_bench::Scale;
 
 fn main() {
-    let scale = Scale::from_args();
-    let bank = experiment_bank();
-    let eecs = experiment_config(&bank);
-    let profile = DatasetProfile::lab();
-    let (start, end) = scale.bounds(&profile);
-
-    let base = Simulation::prepare(
-        bank,
-        SimulationConfig {
-            profile,
-            cameras: 4,
-            start_frame: start,
-            end_frame: end,
-            budget_j_per_frame: f64::MAX, // replaced per regime below
-            mode: OperatingMode::AllBest,
-            eecs,
-            feature_words: 24,
-            max_training_frames: if scale == Scale::Paper { 40 } else { 8 },
-            boost_every: 0,
-            fault_plan: eecs_net::fault::FaultPlan::ideal(),
-            sensor_plan: eecs_scene::sensor_fault::SensorFaultPlan::ideal(),
-            controller_plan: eecs_net::fault::ControllerFaultPlan::none(),
-            parallel: eecs_core::simulation::Parallelism::default(),
-        },
-    )
-    .expect("simulation preparation");
-    eprintln!("prepared simulation (records + matching)");
-
-    // Budgets derived from the *measured* profiles, as the paper derives
-    // them from PowerTutor measurements.
-    let record = base.record_for_camera(0);
-    let hog = record
-        .profile(AlgorithmId::Hog)
-        .expect("HOG profiled")
-        .energy_per_frame_j;
-    let acf = record
-        .profile(AlgorithmId::Acf)
-        .expect("ACF profiled")
-        .energy_per_frame_j;
-    let budget_a = hog * 1.10;
-    let budget_b = acf + (hog - acf) * 0.3;
-    println!(
-        "measured per-frame cost: HOG {} J, ACF {} J",
-        fmt3(hog),
-        fmt3(acf)
-    );
-
-    for (label, budget) in [
-        ("Fig 5a: budget >= cost(HOG)", budget_a),
-        ("Fig 5b: budget in [ACF, HOG)", budget_b),
-    ] {
-        println!("\n== {label} (B = {} J/frame) ==", fmt3(budget));
-        let widths = [24usize, 10, 12, 12, 12];
-        print_row(
-            &[
-                "strategy".into(),
-                "detected".into(),
-                "% of base".into(),
-                "energy (J)".into(),
-                "% of base".into(),
-            ],
-            &widths,
-        );
-        let mut baseline: Option<(usize, f64)> = None;
-        for (name, mode) in [
-            ("all cameras, best alg", OperatingMode::AllBest),
-            ("EECS camera subset", OperatingMode::CameraSubset),
-            ("EECS full", OperatingMode::FullEecs),
-        ] {
-            let sim = base
-                .with_budget(budget)
-                .expect("valid budget")
-                .with_mode(mode);
-            let report = sim.run().expect("simulation run");
-            let (base_detected, base_energy) =
-                *baseline.get_or_insert((report.correctly_detected, report.total_energy_j));
-            print_row(
-                &[
-                    name.into(),
-                    report.correctly_detected.to_string(),
-                    format!(
-                        "{:.0}%",
-                        100.0 * report.correctly_detected as f64 / base_detected.max(1) as f64
-                    ),
-                    fmt3(report.total_energy_j),
-                    format!(
-                        "{:.0}%",
-                        100.0 * report.total_energy_j / base_energy.max(1e-9)
-                    ),
-                ],
-                &widths,
-            );
-            // Per-round assignments give the flavor of the adaptation.
-            if mode == OperatingMode::FullEecs {
-                let round = &report.rounds[0];
-                let assign: Vec<String> = round
-                    .assignment
-                    .iter()
-                    .map(|(cam, alg)| format!("cam{cam}:{alg}"))
-                    .collect();
-                println!("    first-round assignment: {}", assign.join(" "));
-            }
-        }
-    }
+    let artifacts = Artifacts::new(Scale::from_args());
+    let shard = fig5::shard(&artifacts);
+    scenarios::run_bin(&shard, "SWEEP_fig5", fig5::format).expect("fig5 sweep");
 }

@@ -1,12 +1,46 @@
-//! Runs every table/figure harness in sequence and tees the combined
-//! output to `EXPERIMENTS-report.txt` in the current directory.
+//! Runs every table/figure harness as ONE sharded sweep and tees the
+//! combined output to `EXPERIMENTS-report.txt` in the current directory.
 //!
-//! Flags are forwarded (e.g. `--quick`).
+//! Table V, Fig. 4 and Fig. 5 run in-process over shared, memoized
+//! training artifacts (the detector bank, vocabulary and per-feed records
+//! are built once, not once per figure); the remaining harnesses run as
+//! single-cell child-process shards. `--workers N` sets the pool size,
+//! `--quick` (and other flags) are forwarded to the children, and a
+//! killed run resumes from `SWEEP_run_all.manifest.jsonl` without
+//! re-executing completed cells. The merged grid lands in
+//! `SWEEP_run_all.json`.
 
+use eecs_bench::artifacts::Artifacts;
+use eecs_bench::scenarios::{fig4, fig5, shard_cells, table5, workers_from_args};
+use eecs_bench::sweep::{run_shards, Shard, SweepOptions, SweepSpec};
+use eecs_bench::Scale;
+use eecs_core::jsonio::Json;
 use std::io::Write;
+use std::path::PathBuf;
 use std::process::Command;
 
-const BINARIES: [&str; 6] = ["table2_3_4", "table5", "fig3", "fig4", "fig5", "fig6"];
+/// Report sections, in the original `run_all` order. The sweep executes
+/// them concurrently; the report renders them in this order regardless.
+const SECTIONS: [&str; 6] = ["table2_3_4", "table5", "fig3", "fig4", "fig5", "fig6"];
+
+fn child_shard(bin: &'static str, exe_dir: PathBuf, args: Vec<String>) -> Shard<'static> {
+    let spec = SweepSpec::new(bin).axis("run", ["all"]);
+    Shard::new(spec, move |_job| {
+        let output = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .output()
+            .map_err(|e| format!("failed to launch {bin}: {e}"))?;
+        if !output.status.success() {
+            return Err(format!(
+                "{bin} FAILED:\n{}",
+                String::from_utf8_lossy(&output.stderr)
+            ));
+        }
+        Ok(Json::Str(
+            String::from_utf8_lossy(&output.stdout).into_owned(),
+        ))
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,26 +49,59 @@ fn main() {
         .parent()
         .expect("binary directory")
         .to_path_buf();
-    let mut report = String::new();
 
-    for bin in BINARIES {
-        println!("\n########## {bin} ##########");
-        report.push_str(&format!("\n########## {bin} ##########\n"));
-        let output = Command::new(exe_dir.join(bin))
-            .args(&args)
-            .output()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        let stdout = String::from_utf8_lossy(&output.stdout);
-        print!("{stdout}");
-        report.push_str(&stdout);
-        if !output.status.success() {
-            let stderr = String::from_utf8_lossy(&output.stderr);
-            eprintln!("{bin} FAILED:\n{stderr}");
-            report.push_str(&format!("{bin} FAILED:\n{stderr}\n"));
+    let artifacts = Artifacts::new(Scale::from_args());
+    let shards = vec![
+        child_shard("table2_3_4", exe_dir.clone(), args.clone()),
+        table5::shard(&artifacts, false),
+        child_shard("fig3", exe_dir.clone(), args.clone()),
+        fig4::shard(&artifacts),
+        fig5::shard(&artifacts),
+        child_shard("fig6", exe_dir, args),
+    ];
+
+    let manifest = PathBuf::from("SWEEP_run_all.manifest.jsonl");
+    let opts = SweepOptions {
+        workers: workers_from_args(),
+        manifest_path: Some(manifest.clone()),
+        progress: true,
+        ..Default::default()
+    };
+    let outcome = run_shards("run_all", &shards, &opts).expect("run_all sweep");
+    if outcome.skipped > 0 {
+        eprintln!(
+            "resumed from {}: skipped {} completed cell(s)",
+            manifest.display(),
+            outcome.skipped
+        );
+    }
+    let merged = outcome.merged.expect("sweep completed");
+    std::fs::write("SWEEP_run_all.json", &merged).expect("writable cwd");
+    let doc = eecs_core::jsonio::parse(&merged).expect("merged sweep parses");
+
+    let mut report = String::new();
+    for section in SECTIONS {
+        report.push_str(&format!("\n########## {section} ##########\n"));
+        let text = match section {
+            "table5" => table5::format(&doc, false),
+            "fig4" => fig4::format(&doc),
+            "fig5" => fig5::format(&doc),
+            child => shard_cells(&doc, child).and_then(|cells| {
+                cells[0]
+                    .1
+                    .as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("{child} cell is not captured output"))
+            }),
         }
+        .unwrap_or_else(|e| panic!("rendering {section}: {e}"));
+        report.push_str(&text);
     }
 
+    print!("{report}");
     let mut file = std::fs::File::create("EXPERIMENTS-report.txt").expect("writable cwd");
     file.write_all(report.as_bytes()).expect("report written");
-    println!("\nreport written to EXPERIMENTS-report.txt");
+    let _ = std::fs::remove_file(&manifest);
+    println!("\nmerged sweep written to SWEEP_run_all.json");
+    println!("report written to EXPERIMENTS-report.txt");
 }

@@ -9,158 +9,24 @@
 //!
 //! Pass `--naive` for the DESIGN.md §5 ablation: plain Euclidean distance
 //! between mean feature vectors instead of the geodesic flow kernel.
+//!
+//! Runs on the sweep engine: `--workers N` fans the twelve matrix rows
+//! over a worker pool, a kill resumes from the manifest, and the merged
+//! grid lands in `SWEEP_table5.json` (`SWEEP_table5_naive.json` for the
+//! ablation).
 
-use eecs_bench::{experiment_extractor, Scale};
-use eecs_core::features::FeatureExtractor;
-use eecs_learn::split::sample_windows;
-use eecs_manifold::similarity::{video_similarity, SimilarityConfig};
-use eecs_manifold::video::VideoItem;
-use eecs_scene::dataset::{DatasetId, DatasetProfile};
-use eecs_scene::sequence::VideoFeed;
+use eecs_bench::artifacts::Artifacts;
+use eecs_bench::scenarios::{self, table5};
+use eecs_bench::Scale;
 
 fn main() {
-    let scale = Scale::from_args();
     let naive = std::env::args().any(|a| a == "--naive");
-    let (window, repeats, stride) = match scale {
-        Scale::Paper => (60usize, 3usize, 2usize),
-        Scale::Quick => (16, 1, 2),
-    };
-    let extractor = experiment_extractor(scale, 24);
-    let sim_cfg = SimilarityConfig {
-        beta: 8,
-        scale: 1.0,
-    };
-
-    // Extract train and test items per (dataset, camera, repeat).
-    let mut names = Vec::new();
-    let mut trains: Vec<Vec<VideoItem>> = Vec::new();
-    let mut tests: Vec<Vec<VideoItem>> = Vec::new();
-    for id in DatasetId::ALL {
-        let profile = DatasetProfile::for_id(id);
-        let (train_end, test_end) = scale.bounds(&profile);
-        for cam in 0..4 {
-            let feed = VideoFeed::open(profile.clone(), cam);
-            names.push(format!("{}.{}", id.number(), cam + 1));
-            trains.push(sample_items(
-                &feed,
-                &extractor,
-                0,
-                train_end,
-                window,
-                repeats,
-                stride,
-                7 + cam as u64,
-            ));
-            tests.push(sample_items(
-                &feed,
-                &extractor,
-                train_end,
-                test_end,
-                window,
-                repeats,
-                stride,
-                1000 + cam as u64,
-            ));
-            eprintln!("featurized {} (train+test)", names.last().unwrap());
-        }
-    }
-
-    // Similarity matrix: rows = train items, columns = test items.
-    let n = names.len();
-    let mut matrix = vec![vec![0.0f64; n]; n];
-    for (ti, train_set) in trains.iter().enumerate() {
-        for (vi, test_set) in tests.iter().enumerate() {
-            let mut total = 0.0;
-            let mut count = 0usize;
-            for (t, v) in train_set.iter().zip(test_set) {
-                let s = if naive {
-                    naive_similarity(t, v)
-                } else {
-                    video_similarity(t, v, &sim_cfg).unwrap_or(0.0)
-                };
-                total += s;
-                count += 1;
-            }
-            matrix[ti][vi] = total / count.max(1) as f64;
-        }
-    }
-
-    let mode = if naive {
-        "naive Euclidean"
+    let artifacts = Artifacts::new(Scale::from_args());
+    let shard = table5::shard(&artifacts, naive);
+    let stem = if naive {
+        "SWEEP_table5_naive"
     } else {
-        "manifold (GFK)"
+        "SWEEP_table5"
     };
-    println!("== Table V: video similarities, {mode} ==");
-    print!("{:>8}", "T\\V");
-    for name in &names {
-        print!("{name:>7}");
-    }
-    println!();
-    for (ti, name) in names.iter().enumerate() {
-        print!("{name:>8}");
-        for vi in 0..n {
-            print!("{:>7.2}", matrix[ti][vi]);
-        }
-        println!();
-    }
-
-    // The paper's headline property: every test item matches the training
-    // item of the same dataset and camera (argmax per column = diagonal).
-    let mut correct = 0;
-    for vi in 0..n {
-        let best = (0..n)
-            .max_by(|&a, &b| matrix[a][vi].partial_cmp(&matrix[b][vi]).unwrap())
-            .unwrap();
-        if best == vi {
-            correct += 1;
-        } else {
-            println!("MISMATCH: V_{} best matched T_{}", names[vi], names[best]);
-        }
-    }
-    println!("\ndiagonal matches: {correct}/{n}");
-}
-
-/// Extracts `repeats` video items of `window` frames (stride-subsampled)
-/// from random positions in `[start, end)`.
-fn sample_items(
-    feed: &VideoFeed,
-    extractor: &FeatureExtractor,
-    start: usize,
-    end: usize,
-    window: usize,
-    repeats: usize,
-    stride: usize,
-    seed: u64,
-) -> Vec<VideoItem> {
-    let span = window * stride;
-    let starts = sample_windows(start..end, span, repeats, seed).expect("range fits window");
-    starts
-        .into_iter()
-        .enumerate()
-        .map(|(r, s)| {
-            let frames = feed.frames(s, s + span, stride);
-            let images: Vec<_> = frames.into_iter().map(|f| f.image).collect();
-            extractor
-                .extract_video(format!("{}-r{}", feed.camera_index(), r), &images)
-                .expect("feature extraction on simulator frames")
-        })
-        .collect()
-}
-
-/// The ablation comparator: similarity from the Euclidean distance between
-/// mean feature vectors (no manifold projection).
-fn naive_similarity(t: &VideoItem, v: &VideoItem) -> f64 {
-    let mean = |item: &VideoItem| -> Vec<f64> {
-        let k = item.num_frames() as f64;
-        let mut m = vec![0.0; item.feature_dim()];
-        for row in item.features().iter_rows() {
-            for (acc, &x) in m.iter_mut().zip(row) {
-                *acc += x;
-            }
-        }
-        m.iter().map(|x| x / k).collect()
-    };
-    let (mt, mv) = (mean(t), mean(v));
-    let d2: f64 = mt.iter().zip(&mv).map(|(a, b)| (a - b) * (a - b)).sum();
-    (-d2.sqrt()).exp()
+    scenarios::run_bin(&shard, stem, |doc| table5::format(doc, naive)).expect("table5 sweep");
 }

@@ -18,7 +18,10 @@
 //! This crate also hosts the Criterion benches (`benches/`) that back the
 //! energy/time columns and the DESIGN.md §5 ablations.
 
+pub mod artifacts;
 pub mod report;
+pub mod scenarios;
+pub mod sweep;
 
 use eecs_core::config::EecsConfig;
 use eecs_core::features::FeatureExtractor;

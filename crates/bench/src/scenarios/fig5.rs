@@ -1,0 +1,191 @@
+//! Fig. 5 as a sweep: detected humans vs energy on dataset #1 under two
+//! budget regimes × three strategies — one cell per (regime, strategy),
+//! all six derived from a single lazily prepared base [`Simulation`].
+
+use crate::artifacts::Artifacts;
+use crate::scenarios::{cell_num, row, shard_cells};
+use crate::sweep::{Shard, SweepSpec};
+use crate::{fmt3, Scale};
+use eecs_core::jsonio::Json;
+use eecs_core::simulation::{OperatingMode, Parallelism, Simulation, SimulationConfig};
+use eecs_detect::detection::AlgorithmId;
+use eecs_scene::dataset::DatasetProfile;
+use std::sync::OnceLock;
+
+/// The Fig. 5 grid: budget regime × strategy.
+pub fn spec() -> SweepSpec {
+    SweepSpec::new("fig5")
+        .axis("regime", ["5a", "5b"])
+        .axis("strategy", ["all_best", "camera_subset", "full_eecs"])
+}
+
+/// The prepared base simulation plus the measured budget anchors.
+struct Ctx {
+    base: Simulation,
+    hog_j: f64,
+    acf_j: f64,
+    budget_a: f64,
+    budget_b: f64,
+}
+
+fn build_ctx(artifacts: &Artifacts) -> Result<Ctx, String> {
+    let scale = artifacts.scale();
+    let profile = DatasetProfile::lab();
+    let (start, end) = scale.bounds(&profile);
+    let base = Simulation::prepare(
+        (*artifacts.bank()).clone(),
+        SimulationConfig {
+            profile,
+            cameras: 4,
+            start_frame: start,
+            end_frame: end,
+            budget_j_per_frame: f64::MAX, // replaced per regime below
+            mode: OperatingMode::AllBest,
+            eecs: (*artifacts.config()).clone(),
+            feature_words: 24,
+            max_training_frames: if scale == Scale::Paper { 40 } else { 8 },
+            boost_every: 0,
+            fault_plan: eecs_net::fault::FaultPlan::ideal(),
+            sensor_plan: eecs_scene::sensor_fault::SensorFaultPlan::ideal(),
+            controller_plan: eecs_net::fault::ControllerFaultPlan::none(),
+            // Cells are the unit of parallelism; each runs its rounds
+            // serially so one live simulation per worker bounds memory.
+            parallel: Parallelism::serial(),
+        },
+    )
+    .map_err(|e| format!("Fig. 5 simulation preparation: {e}"))?;
+
+    // Budgets derived from the *measured* profiles, as the paper derives
+    // them from PowerTutor measurements.
+    let record = base.record_for_camera(0);
+    let hog_j = record
+        .profile(AlgorithmId::Hog)
+        .ok_or("HOG not profiled")?
+        .energy_per_frame_j;
+    let acf_j = record
+        .profile(AlgorithmId::Acf)
+        .ok_or("ACF not profiled")?
+        .energy_per_frame_j;
+    Ok(Ctx {
+        base,
+        hog_j,
+        acf_j,
+        budget_a: hog_j * 1.10,
+        budget_b: acf_j + (hog_j - acf_j) * 0.3,
+    })
+}
+
+/// The Fig. 5 shard over shared artifacts.
+pub fn shard(artifacts: &Artifacts) -> Shard<'_> {
+    let ctx: OnceLock<Result<Ctx, String>> = OnceLock::new();
+    Shard::new(spec(), move |job| {
+        let ctx = ctx
+            .get_or_init(|| build_ctx(artifacts))
+            .as_ref()
+            .map_err(Clone::clone)?;
+        let budget = match job.value("regime") {
+            Some("5a") => ctx.budget_a,
+            Some("5b") => ctx.budget_b,
+            other => return Err(format!("unknown Fig. 5 regime {other:?}")),
+        };
+        let mode = match job.value("strategy") {
+            Some("all_best") => OperatingMode::AllBest,
+            Some("camera_subset") => OperatingMode::CameraSubset,
+            Some("full_eecs") => OperatingMode::FullEecs,
+            other => return Err(format!("unknown Fig. 5 strategy {other:?}")),
+        };
+        let report = ctx
+            .base
+            .with_budget(budget)
+            .map_err(|e| format!("budget {budget}: {e}"))?
+            .with_mode(mode)
+            .run()
+            .map_err(|e| format!("Fig. 5 cell run: {e}"))?;
+        let mut data = vec![
+            ("budget_j".into(), Json::Num(budget)),
+            ("hog_j".into(), Json::Num(ctx.hog_j)),
+            ("acf_j".into(), Json::Num(ctx.acf_j)),
+            (
+                "detected".into(),
+                Json::Num(report.correctly_detected as f64),
+            ),
+            ("energy_j".into(), Json::Num(report.total_energy_j)),
+        ];
+        if mode == OperatingMode::FullEecs {
+            // The first-round assignment gives the flavor of the adaptation.
+            let assign = report.rounds[0]
+                .assignment
+                .iter()
+                .map(|(cam, alg)| Json::Str(format!("cam{cam}:{alg}")))
+                .collect();
+            data.push(("first_assignment".into(), Json::Arr(assign)));
+        }
+        Ok(Json::Obj(data))
+    })
+}
+
+/// Renders the two regime tables from a merged sweep document.
+///
+/// # Errors
+///
+/// Returns an error when the document lacks the Fig. 5 shard or a field.
+pub fn format(doc: &Json) -> Result<String, String> {
+    let cells = shard_cells(doc, "fig5")?;
+    if cells.len() != 6 {
+        return Err(format!("Fig. 5 expects 6 cells, found {}", cells.len()));
+    }
+    let mut out = format!(
+        "measured per-frame cost: HOG {} J, ACF {} J\n",
+        fmt3(cell_num(cells[0].1, "hog_j")?),
+        fmt3(cell_num(cells[0].1, "acf_j")?),
+    );
+    let strategies = ["all cameras, best alg", "EECS camera subset", "EECS full"];
+    let widths = [24usize, 10, 12, 12, 12];
+    for (r, label) in [
+        "Fig 5a: budget >= cost(HOG)",
+        "Fig 5b: budget in [ACF, HOG)",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let regime = &cells[3 * r..3 * r + 3];
+        out.push_str(&format!(
+            "\n== {label} (B = {} J/frame) ==\n",
+            fmt3(cell_num(regime[0].1, "budget_j")?)
+        ));
+        out.push_str(&row(
+            &[
+                "strategy".into(),
+                "detected".into(),
+                "% of base".into(),
+                "energy (J)".into(),
+                "% of base".into(),
+            ],
+            &widths,
+        ));
+        let base_detected = cell_num(regime[0].1, "detected")?;
+        let base_energy = cell_num(regime[0].1, "energy_j")?;
+        for (name, (_, data)) in strategies.iter().zip(regime) {
+            let detected = cell_num(data, "detected")?;
+            let energy = cell_num(data, "energy_j")?;
+            out.push_str(&row(
+                &[
+                    (*name).into(),
+                    format!("{detected}"),
+                    format!("{:.0}%", 100.0 * detected / base_detected.max(1.0)),
+                    fmt3(energy),
+                    format!("{:.0}%", 100.0 * energy / base_energy.max(1e-9)),
+                ],
+                &widths,
+            ));
+            if let Some(assign) = data.get("first_assignment").and_then(Json::as_arr) {
+                let parts: Vec<&str> = assign.iter().filter_map(Json::as_str).collect();
+                out.push_str(&format!(
+                    "    first-round assignment: {}\n",
+                    parts.join(" ")
+                ));
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,118 @@
+//! Sweep-engine ports of the figure/table harnesses.
+//!
+//! Each scenario module exposes the same three-piece shape:
+//!
+//! * `spec()` — the declarative [`crate::sweep::SweepSpec`] grid,
+//! * `shard(&Artifacts)` — a [`crate::sweep::Shard`] whose runner computes
+//!   one cell from shared, memoized training artifacts (expensive context
+//!   is built lazily, once, on first cell), and
+//! * `format(&Json)` — the human-readable report rendered from the merged
+//!   sweep document, byte-for-byte in canonical cell order.
+//!
+//! The binaries in `src/bin/` are thin wrappers: build artifacts, run the
+//! shard (with a resumable manifest), write `SWEEP_<name>.json`, print the
+//! formatted report.
+
+pub mod fig4;
+pub mod fig5;
+pub mod table5;
+
+use eecs_core::jsonio::Json;
+
+/// Parses `--workers N` from the process arguments (`0` = auto).
+pub fn workers_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--workers" {
+            return args
+                .next()
+                .and_then(|n| n.parse().ok())
+                .expect("--workers takes a count");
+        }
+    }
+    0
+}
+
+/// Fixed-width table row as a string (the `String` twin of
+/// [`crate::print_row`], so formatters can build reports offline).
+pub(crate) fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut line = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>width$}  "));
+    }
+    format!("{}\n", line.trim_end())
+}
+
+/// Runs one scenario shard the way the figure binaries do: resumable
+/// manifest at `<stem>.manifest.jsonl`, merged document written to
+/// `<stem>.json`, formatted report printed to stdout. The manifest is a
+/// crash journal, not a cache — it is deleted once the sweep completes,
+/// so a finished binary always recomputes from scratch on its next run
+/// while a killed one resumes.
+///
+/// # Errors
+///
+/// Returns sweep-engine, formatting, or I/O failures.
+pub fn run_bin(
+    shard: &crate::sweep::Shard<'_>,
+    stem: &str,
+    format: impl Fn(&Json) -> Result<String, String>,
+) -> Result<(), String> {
+    let manifest = std::path::PathBuf::from(format!("{stem}.manifest.jsonl"));
+    let opts = crate::sweep::SweepOptions {
+        workers: workers_from_args(),
+        manifest_path: Some(manifest.clone()),
+        progress: true,
+        ..Default::default()
+    };
+    let outcome = crate::sweep::run_sweep(shard, &opts)?;
+    if outcome.skipped > 0 {
+        eprintln!(
+            "resumed from {}: skipped {} completed cell(s)",
+            manifest.display(),
+            outcome.skipped
+        );
+    }
+    let merged = outcome.merged.ok_or("sweep did not complete")?;
+    let out = std::path::PathBuf::from(format!("{stem}.json"));
+    std::fs::write(&out, &merged).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    let doc = eecs_core::jsonio::parse(&merged)?;
+    print!("{}", format(&doc)?);
+    eprintln!("merged sweep written to {}", out.display());
+    let _ = std::fs::remove_file(&manifest);
+    Ok(())
+}
+
+/// Extracts one shard's `(cell id, data)` pairs, in canonical job order,
+/// from a merged sweep document.
+pub fn shard_cells<'a>(doc: &'a Json, shard: &str) -> Result<Vec<(&'a str, &'a Json)>, String> {
+    let shards = doc
+        .get("shards")
+        .and_then(Json::as_arr)
+        .ok_or("merged sweep document has no \"shards\"")?;
+    let section = shards
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some(shard))
+        .ok_or_else(|| format!("merged sweep document has no shard {shard:?}"))?;
+    section
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("shard {shard:?} has no cells"))?
+        .iter()
+        .map(|c| {
+            let id = c
+                .get("cell")
+                .and_then(Json::as_str)
+                .ok_or("cell without an id")?;
+            let data = c.get("data").ok_or("cell without data")?;
+            Ok((id, data))
+        })
+        .collect()
+}
+
+/// Reads a required numeric field of a cell.
+pub(crate) fn cell_num(data: &Json, key: &str) -> Result<f64, String> {
+    data.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("cell is missing numeric field {key:?}"))
+}

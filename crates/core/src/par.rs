@@ -57,6 +57,74 @@ where
         .collect()
 }
 
+/// Applies `f` to every index in `0..n` on a pool of `workers` scoped
+/// threads (`0` = auto) and streams each result to `sink` **on the calling
+/// thread**, in completion order.
+///
+/// This is the nested-pool primitive behind the scenario-sweep engine:
+/// the outer pool claims whole jobs dynamically, each job may itself fan
+/// out via [`par_map_indexed`] (scoped threads nest freely), and the sink
+/// — which appends to a manifest file — runs serially without any locking
+/// discipline on the caller's side.
+///
+/// `sink` returns `true` to keep going; returning `false` stops the pool
+/// from claiming further indices (an orderly abort: items already in
+/// flight are finished and discarded, and `sink` is not called again).
+/// With one worker (or one item) everything runs inline on the calling
+/// thread and the early-stop is exact: no extra `f` call is made.
+pub fn par_map_streamed<T, F, S>(n: usize, workers: usize, f: F, mut sink: S)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    S: FnMut(usize, T) -> bool,
+{
+    let workers = resolve_workers(workers, n);
+    if workers <= 1 || n <= 1 {
+        for i in 0..n {
+            if !sink(i, f(i)) {
+                return;
+            }
+        }
+        return;
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (next, stop, f) = (&next, &stop, &f);
+            s.spawn(move |_| loop {
+                if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                if tx.send((i, v)).is_err() {
+                    break;
+                }
+            });
+        }
+        // The workers hold the remaining senders; once each exits, the
+        // channel closes and the drain loop below ends.
+        drop(tx);
+        let mut draining = false;
+        for (i, v) in rx {
+            if draining {
+                continue; // in-flight stragglers after an abort
+            }
+            if !sink(i, v) {
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                draining = true;
+            }
+        }
+    })
+    .expect("pool workers do not panic");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +146,60 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<usize> = par_map_indexed(0, 4, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn streamed_covers_every_index_exactly_once() {
+        for workers in [1, 2, 8] {
+            let mut seen = vec![0usize; 50];
+            par_map_streamed(
+                50,
+                workers,
+                |i| i * 2,
+                |i, v| {
+                    assert_eq!(v, i * 2);
+                    seen[i] += 1;
+                    true
+                },
+            );
+            assert!(seen.iter().all(|&c| c == 1), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn streamed_early_stop_claims_no_more_after_false() {
+        // Serial path: the stop is exact.
+        let mut got = Vec::new();
+        par_map_streamed(
+            100,
+            1,
+            |i| i,
+            |i, _| {
+                got.push(i);
+                got.len() < 3
+            },
+        );
+        assert_eq!(got, vec![0, 1, 2]);
+
+        // Parallel path: the sink never fires again after returning false
+        // (how many items the workers still *compute* before observing the
+        // stop flag is scheduling-dependent; the delivery contract is not).
+        let mut delivered = 0usize;
+        par_map_streamed(
+            10_000,
+            4,
+            |i| i,
+            |_, _| {
+                delivered += 1;
+                delivered < 5
+            },
+        );
+        assert_eq!(delivered, 5);
+    }
+
+    #[test]
+    fn streamed_empty_input_is_fine() {
+        par_map_streamed(0, 4, |i| i, |_, _| panic!("no items, no sink calls"));
     }
 
     #[test]

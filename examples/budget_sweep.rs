@@ -1,5 +1,6 @@
 //! Budget sweep: how EECS's choices change as the per-frame energy budget
-//! shrinks (the knob between Fig. 5a and Fig. 5b of the paper).
+//! shrinks (the knob between Fig. 5a and Fig. 5b of the paper) — run as a
+//! declarative grid on the `eecs_bench::sweep` engine, two workers wide.
 //!
 //! ```bash
 //! cargo run --release --example budget_sweep
@@ -8,13 +9,16 @@
 //! At generous budgets every algorithm is feasible and EECS picks the most
 //! accurate, downgrading where the views overlap; as the budget tightens,
 //! expensive algorithms drop out one by one until only ACF remains; below
-//! ACF's cost the node cannot operate at all.
+//! ACF's cost the node cannot operate at all — those cells record
+//! `infeasible` instead of failing the sweep.
 
 use eecs::core::config::EecsConfig;
+use eecs::core::jsonio::Json;
 use eecs::core::simulation::{OperatingMode, Simulation, SimulationConfig};
 use eecs::core::EecsError;
 use eecs::detect::bank::DetectorBank;
 use eecs::scene::dataset::{DatasetId, DatasetProfile};
+use eecs_bench::sweep::{run_sweep, Shard, SweepOptions, SweepSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training detector bank…");
@@ -46,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fault_plan: eecs::net::fault::FaultPlan::ideal(),
             sensor_plan: eecs::scene::sensor_fault::SensorFaultPlan::ideal(),
             controller_plan: eecs::net::fault::ControllerFaultPlan::none(),
-            parallel: eecs::core::simulation::Parallelism::default(),
+            parallel: eecs::core::simulation::Parallelism::serial(),
         },
     )?;
 
@@ -61,47 +65,93 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.f_score
         );
     }
-    let min_cost = record
+    let costs: Vec<f64> = record
         .ranked()
         .iter()
         .map(|p| p.energy_per_frame_j)
-        .fold(f64::INFINITY, f64::min);
-    let max_cost = record
-        .ranked()
-        .iter()
-        .map(|p| p.energy_per_frame_j)
-        .fold(0.0f64, f64::max);
+        .collect();
+    let min_cost = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_cost = costs.iter().copied().fold(0.0f64, f64::max);
+
+    // Geometric budget ladder → one sweep axis of stable labels (the
+    // labels ARE the budgets, so every cell is a pure function of its
+    // coordinates).
+    let mut budgets = Vec::new();
+    let mut budget = max_cost * 1.5;
+    while budget > min_cost * 0.4 {
+        budgets.push(format!("{budget:.4}"));
+        budget /= 2.2;
+    }
+    let spec = SweepSpec::new("budget_sweep").axis("budget", budgets.clone());
+
+    let shard = Shard::new(spec, |job| {
+        let budget: f64 = job
+            .value("budget")
+            .and_then(|b| b.parse().ok())
+            .ok_or("budget axis is not numeric")?;
+        let sim = base.with_budget(budget).map_err(|e| e.to_string())?;
+        match sim.run() {
+            Ok(report) => {
+                let assignment = report.rounds[0]
+                    .assignment
+                    .iter()
+                    .map(|(cam, alg)| Json::Str(format!("cam{cam}→{alg}")))
+                    .collect();
+                Ok(Json::Obj(vec![
+                    ("found".into(), Json::Num(report.correctly_detected as f64)),
+                    ("gt".into(), Json::Num(report.gt_objects as f64)),
+                    ("energy_j".into(), Json::Num(report.total_energy_j)),
+                    ("assignment".into(), Json::Arr(assignment)),
+                ]))
+            }
+            Err(EecsError::Infeasible(_)) => {
+                Ok(Json::Obj(vec![("infeasible".into(), Json::Bool(true))]))
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    });
+
+    let outcome = run_sweep(
+        &shard,
+        &SweepOptions {
+            workers: 2,
+            ..Default::default()
+        },
+    )?;
+    let doc = eecs::core::jsonio::parse(&outcome.merged.ok_or("sweep incomplete")?)?;
+    let cells = doc.get("shards").and_then(Json::as_arr).unwrap()[0]
+        .get("cells")
+        .and_then(Json::as_arr)
+        .unwrap();
 
     println!(
         "\n{:>12}{:>12}{:>14}{:>30}",
         "budget J/fr", "found", "energy (J)", "round-1 assignment"
     );
-    let mut budget = max_cost * 1.5;
-    while budget > min_cost * 0.4 {
-        match base.with_budget(budget)?.run() {
-            Ok(report) => {
-                let assignment: Vec<String> = report.rounds[0]
-                    .assignment
-                    .iter()
-                    .map(|(cam, alg)| format!("cam{cam}→{alg}"))
-                    .collect();
-                println!(
-                    "{budget:>12.3}{:>9}/{:<3}{:>13.2}{:>30}",
-                    report.correctly_detected,
-                    report.gt_objects,
-                    report.total_energy_j,
-                    assignment.join(" ")
-                );
-            }
-            Err(EecsError::Infeasible(_)) => {
-                println!(
-                    "{budget:>12.3}{:>12}{:>14}{:>30}",
-                    "-", "-", "infeasible: budget below ACF"
-                );
-            }
-            Err(e) => return Err(e.into()),
+    for (label, cell) in budgets.iter().zip(cells) {
+        let data = cell.get("data").unwrap();
+        let budget: f64 = label.parse().unwrap();
+        if data.get("infeasible").is_some() {
+            println!(
+                "{budget:>12.3}{:>12}{:>14}{:>30}",
+                "-", "-", "infeasible: budget below ACF"
+            );
+            continue;
         }
-        budget /= 2.2;
+        let assignment: Vec<&str> = data
+            .get("assignment")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        println!(
+            "{budget:>12.3}{:>9}/{:<3}{:>13.2}{:>30}",
+            data.get("found").and_then(Json::as_num).unwrap(),
+            data.get("gt").and_then(Json::as_num).unwrap(),
+            data.get("energy_j").and_then(Json::as_num).unwrap(),
+            assignment.join(" ")
+        );
     }
     Ok(())
 }

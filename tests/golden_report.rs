@@ -147,6 +147,86 @@ fn golden_reports_match_byte_for_byte() {
     }
 }
 
+/// The 3×2 (fault-seed × budget) micro-sweep behind `sweep_tiny.json`.
+fn tiny_sweep_shard() -> eecs_bench::sweep::Shard<'static> {
+    use eecs::core::jsonio::Json;
+    let spec = eecs_bench::sweep::SweepSpec::new("sweep_tiny")
+        .axis("fault_seed", ["1", "2", "3"])
+        .axis("budget", ["9.0", "12.0"]);
+    eecs_bench::sweep::Shard::new(spec, |job| {
+        let seed: u64 = job.value("fault_seed").unwrap().parse().unwrap();
+        let budget: f64 = job.value("budget").unwrap().parse().unwrap();
+        let report = base_simulation()
+            .with_budget(budget)
+            .map_err(|e| e.to_string())?
+            .with_faults(
+                FaultPlan::seeded(seed).with_default_faults(LinkFaults::lossy(0.25)),
+                SensorFaultPlan::ideal(),
+                ControllerFaultPlan::none(),
+            )
+            .with_parallelism(Parallelism::serial())
+            .run()
+            .map_err(|e| e.to_string())?;
+        Ok(Json::Obj(vec![
+            (
+                "detected".into(),
+                Json::Num(report.correctly_detected as f64),
+            ),
+            ("gt".into(), Json::Num(report.gt_objects as f64)),
+            ("energy_j".into(), Json::Num(report.total_energy_j)),
+            (
+                "retries".into(),
+                Json::Num(report.total_transport().retries as f64),
+            ),
+        ]))
+    })
+}
+
+#[test]
+fn golden_sweep_tiny_matches_byte_for_byte() {
+    use eecs_bench::sweep::{run_sweep, SweepOptions};
+    let shard = tiny_sweep_shard();
+    let sweep = |workers: usize| {
+        run_sweep(
+            &shard,
+            &SweepOptions {
+                workers,
+                ..Default::default()
+            },
+        )
+        .expect("tiny sweep")
+        .merged
+        .expect("tiny sweep merge")
+    };
+    let serial = sweep(1);
+    assert_eq!(
+        serial,
+        sweep(2),
+        "sweep_tiny: one and two workers must merge to the same bytes"
+    );
+    // The merged document is real JSON and re-encoding it is a fixed point.
+    let reparsed = eecs::core::jsonio::parse(&serial).expect("valid JSON");
+    assert_eq!(reparsed.write().expect("re-encode"), serial);
+
+    let path = golden_path("sweep_tiny");
+    if std::env::var_os("EECS_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, &serial).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `EECS_BLESS=1 cargo test --test golden_report` to generate",
+            path.display()
+        )
+    });
+    assert_eq!(
+        serial, expected,
+        "sweep_tiny: golden mismatch — if the change is intentional, re-bless with \
+         EECS_BLESS=1 cargo test --test golden_report"
+    );
+}
+
 #[test]
 fn null_telemetry_is_bit_identical_to_untelemetered_runs() {
     // The base simulation carries the default `Telemetry::null()` — the

@@ -334,6 +334,135 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sweep-engine invariants: the pure merge algebra behind the byte-identity
+// guarantee of `eecs_bench::sweep` (see tests/sweep_determinism.rs for the
+// end-to-end form).
+// ---------------------------------------------------------------------------
+
+/// The canonical cell of index `i`: data is a pure function of the index,
+/// exactly as sweep runners are required to be.
+fn sweep_cell(i: usize) -> eecs_bench::sweep::CellRecord {
+    let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    eecs_bench::sweep::CellRecord {
+        index: i,
+        cell: format!("p:axis={i}"),
+        data: Json::Obj(vec![
+            ("value".into(), Json::Num(f64::from_bits(x >> 12))),
+            ("index".into(), Json::Num(i as f64)),
+        ]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sweep_combine_is_order_independent_and_associative(
+        a in prop::collection::vec(0..40usize, 0..20),
+        b in prop::collection::vec(0..40usize, 0..20),
+        c in prop::collection::vec(0..40usize, 0..20),
+    ) {
+        use eecs_bench::sweep::combine;
+        let cells = |s: &[usize]| -> Vec<_> {
+            let set: std::collections::BTreeSet<usize> = s.iter().copied().collect();
+            set.into_iter().map(sweep_cell).collect()
+        };
+        let (a, b, c) = (cells(&a), cells(&b), cells(&c));
+        // Commutative and associative on consistent inputs…
+        prop_assert_eq!(combine(&a, &b), combine(&b, &a));
+        prop_assert_eq!(
+            combine(&combine(&a, &b), &c),
+            combine(&a, &combine(&b, &c))
+        );
+        // …and idempotent: merging a set with itself changes nothing.
+        prop_assert_eq!(combine(&a, &a), combine(&a, &[]));
+        // The result is sorted and duplicate-free.
+        let merged = combine(&a, &b);
+        prop_assert!(merged.windows(2).all(|w| w[0].index < w[1].index));
+    }
+
+    #[test]
+    fn sweep_cell_counts_conserved_under_any_partition(
+        rows in 1..4usize,
+        cols in 1..5usize,
+        cuts in prop::collection::vec(0..100usize, 0..4),
+        order_seed in 0..u64::MAX,
+    ) {
+        use eecs_bench::sweep::{combine, merge_cells, CellRecord, SweepSpec};
+        let spec = SweepSpec::new("p")
+            .axis("r", (0..rows).map(|r| r.to_string()))
+            .axis("c", (0..cols).map(|c| c.to_string()));
+        let jobs = spec.jobs();
+        let all: Vec<CellRecord> = jobs
+            .iter()
+            .map(|j| CellRecord {
+                index: j.index,
+                cell: j.cell_id(),
+                data: Json::Num(j.index as f64),
+            })
+            .collect();
+
+        // Split the job list at arbitrary points, then merge the parts
+        // back in an arbitrary order.
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (all.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(all.len());
+        bounds.sort_unstable();
+        let mut parts: Vec<&[CellRecord]> =
+            bounds.windows(2).map(|w| &all[w[0]..w[1]]).collect();
+        if order_seed % 2 == 0 {
+            parts.reverse();
+        }
+        let k = (order_seed as usize) % parts.len().max(1);
+        parts.rotate_left(k);
+
+        let mut merged: Vec<CellRecord> = Vec::new();
+        for part in parts {
+            merged = combine(&merged, part);
+        }
+        // Conservation: every cell exactly once, nothing invented.
+        prop_assert_eq!(merged.len(), jobs.len());
+        prop_assert!(merged.iter().enumerate().all(|(i, r)| r.index == i));
+        // And the merged document equals the in-order merge byte for byte.
+        let specs = [&spec];
+        prop_assert_eq!(
+            merge_cells("p", &specs, &merged).unwrap(),
+            merge_cells("p", &specs, &all).unwrap()
+        );
+    }
+
+    #[test]
+    fn sweep_manifest_record_roundtrips_bit_exactly(
+        index in 0..100_000usize,
+        raw in prop::collection::vec(0..u64::MAX, 0..8),
+    ) {
+        use eecs_bench::sweep::CellRecord;
+        let nums: Vec<Json> = raw
+            .iter()
+            .map(|&b| {
+                let v = f64::from_bits(b);
+                Json::Num(if v.is_finite() { v } else { b as f64 })
+            })
+            .collect();
+        let rec = CellRecord {
+            index,
+            cell: format!("p:axis={index}"),
+            data: Json::Arr(nums),
+        };
+        // render → parse → rebuild → render: a fixed point, bit for bit.
+        let line = rec.to_json().write().unwrap();
+        let back = CellRecord::from_json(&jsonio::parse(&line).unwrap()).unwrap();
+        prop_assert_eq!(back.index, rec.index);
+        prop_assert_eq!(&back.cell, &rec.cell);
+        let bits = |v: &Json| -> Vec<u64> {
+            v.as_arr().unwrap().iter().map(|n| n.as_num().unwrap().to_bits()).collect()
+        };
+        prop_assert_eq!(bits(&back.data), bits(&rec.data));
+        prop_assert_eq!(back.to_json().write().unwrap(), line);
+    }
+}
+
 /// A deterministic test image whose content depends on the seed.
 fn gradient_image(seed: u64) -> RgbImage {
     let mut img = RgbImage::new(32, 24);
