@@ -52,4 +52,10 @@ echo "==> fault-matrix smoke (sensor + network + controller chaos)"
 # record the scheduled failover, and replay bit-for-bit.
 cargo run -q --release -p eecs-bench --bin chaos_smoke -- 1 2 3
 
+echo "==> partition smoke (islands, split-brain election, heal reconcile)"
+# Per seed, a clean two-island split and a flapping split over lossy
+# links: each must elect an acting seat, reconcile on heal, record no
+# crash failover, and replay bit-for-bit.
+cargo run -q --release -p eecs-bench --bin chaos_smoke -- --partition 1 2 3
+
 echo "CI OK"

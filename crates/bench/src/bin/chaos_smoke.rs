@@ -5,6 +5,7 @@
 //! ```bash
 //! cargo run --release -p eecs-bench --bin chaos_smoke -- 1 2 3
 //! cargo run --release -p eecs-bench --bin chaos_smoke -- --telemetry 7
+//! cargo run --release -p eecs-bench --bin chaos_smoke -- --partition 1 2 3
 //! ```
 //!
 //! For every seed the run must complete, keep energy physical, record the
@@ -14,6 +15,11 @@
 //! each passing seed also prints the full summary table and the metrics
 //! registry. This is the CI gate that keeps the self-healing runtime
 //! honest without paying for a full test suite.
+//!
+//! `--partition` swaps the controller-crash matrix for a partition
+//! matrix: per seed, a clean two-island split and a flapping split each
+//! run on top of lossy links, and must elect, heal, reconcile, and
+//! replay bit-for-bit.
 
 use eecs_core::config::EecsConfig;
 use eecs_core::simulation::{
@@ -22,7 +28,7 @@ use eecs_core::simulation::{
 use eecs_core::telemetry::summary::render_summary;
 use eecs_core::telemetry::Telemetry;
 use eecs_detect::bank::DetectorBank;
-use eecs_net::fault::{ControllerFaultPlan, FaultPlan, LinkFaults};
+use eecs_net::fault::{ControllerFaultPlan, Endpoint, FaultPlan, LinkFaults, PartitionPlan};
 use eecs_scene::dataset::{DatasetId, DatasetProfile};
 use eecs_scene::sensor_fault::{SensorFaultPlan, SensorImpairments};
 
@@ -147,12 +153,154 @@ fn check_seed(
     Ok(())
 }
 
+/// The two network islands of the partition matrix: the hub keeps
+/// cameras 0 and 1, cameras 2 and 3 go dark together.
+fn two_islands() -> Vec<Vec<Endpoint>> {
+    vec![
+        vec![Endpoint::Hub, Endpoint::Camera(0), Endpoint::Camera(1)],
+        vec![Endpoint::Camera(2), Endpoint::Camera(3)],
+    ]
+}
+
+/// Invariants a partitioned run must satisfy: the mission never stops,
+/// energy stays physical, the orphaned island elects, the heal
+/// reconciles, and no crash failover is ever recorded.
+fn check_partition_report(
+    seed: u64,
+    scenario: &str,
+    report: &SimulationReport,
+) -> Result<(), String> {
+    ensure(!report.rounds.is_empty(), || {
+        format!("seed {seed} [{scenario}]: no rounds")
+    })?;
+    ensure(report.rounds.iter().all(|r| !r.active.is_empty()), || {
+        format!("seed {seed} [{scenario}]: a round lost every camera")
+    })?;
+    ensure(
+        report.total_energy_j.is_finite() && report.total_energy_j > 0.0,
+        || {
+            format!(
+                "seed {seed} [{scenario}]: unphysical total energy {}",
+                report.total_energy_j
+            )
+        },
+    )?;
+    ensure(report.partitions >= 1, || {
+        format!("seed {seed} [{scenario}]: partition plan never fired")
+    })?;
+    ensure(report.elections >= 1, || {
+        format!("seed {seed} [{scenario}]: no island ever elected an acting seat")
+    })?;
+    ensure(report.reconciliations >= 1, || {
+        format!("seed {seed} [{scenario}]: no heal ever reconciled")
+    })?;
+    ensure(report.split_brain_rounds >= 1, || {
+        format!("seed {seed} [{scenario}]: no split-brain round recorded")
+    })?;
+    ensure(report.failovers.is_empty(), || {
+        format!(
+            "seed {seed} [{scenario}]: island election leaked a crash failover {:?}",
+            report.failovers
+        )
+    })?;
+    Ok(())
+}
+
+/// Runs the partition matrix for one seed: a clean split and a flapping
+/// split, each over lossy links, each replayed bit-for-bit. On violation
+/// the flight-recorder tail is folded into the error text.
+fn check_partition_seed(base: &Simulation, seed: u64, show_telemetry: bool) -> Result<(), String> {
+    let scenarios: [(&str, PartitionPlan); 2] = [
+        (
+            "split",
+            PartitionPlan::none().with_split(two_islands(), 1, 3),
+        ),
+        (
+            "flapping",
+            PartitionPlan::none().with_flapping(two_islands(), 1, 4, 1),
+        ),
+    ];
+    for (scenario, plan) in scenarios {
+        let tel = Telemetry::recording(8192);
+        if let Err(violation) =
+            check_partition_scenario(base, seed, scenario, plan, &tel, show_telemetry)
+        {
+            let tail = tel
+                .tail_json(POSTMORTEM_ROUNDS)
+                .unwrap_or_else(|e| format!("(tail dump failed: {e})"));
+            return Err(format!(
+                "{violation}\nflight recorder, last {POSTMORTEM_ROUNDS} rounds:\n{tail}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_partition_scenario(
+    base: &Simulation,
+    seed: u64,
+    scenario: &str,
+    plan: PartitionPlan,
+    tel: &Telemetry,
+    show_telemetry: bool,
+) -> Result<(), String> {
+    let sim = base.with_faults(
+        FaultPlan::seeded(seed)
+            .with_default_faults(LinkFaults::lossy(0.2))
+            .with_partition(plan),
+        SensorFaultPlan::ideal(),
+        ControllerFaultPlan::none(),
+    );
+    let report = sim
+        .with_telemetry(tel.clone())
+        .run()
+        .map_err(|e| format!("seed {seed} [{scenario}]: partition run failed: {e}"))?;
+    let replay_tel = Telemetry::recording(8192);
+    let replay = sim
+        .with_telemetry(replay_tel.clone())
+        .run()
+        .map_err(|e| format!("seed {seed} [{scenario}]: partition replay failed: {e}"))?;
+    ensure(report == replay, || {
+        format!("seed {seed} [{scenario}]: run is not deterministic")
+    })?;
+    ensure(
+        tel.trace_json().ok() == replay_tel.trace_json().ok()
+            && tel.metrics_json().ok() == replay_tel.metrics_json().ok(),
+        || format!("seed {seed} [{scenario}]: telemetry stream is not deterministic"),
+    )?;
+    check_partition_report(seed, scenario, &report)?;
+
+    println!(
+        "seed {seed} [{scenario}]: OK — found {}/{}, {:.2} J, partitions {} \
+         elections {} reconciliations {} split-brain rounds {}",
+        report.correctly_detected,
+        report.gt_objects,
+        report.total_energy_j,
+        report.partitions,
+        report.elections,
+        report.reconciliations,
+        report.split_brain_rounds,
+    );
+    if show_telemetry {
+        println!("{}", render_summary(&report, tel));
+        println!(
+            "metrics: {}",
+            tel.metrics_json()
+                .map_err(|e| format!("seed {seed} [{scenario}]: metrics dump failed: {e}"))?
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     let mut show_telemetry = false;
+    let mut partition = false;
     let mut seeds: Vec<u64> = Vec::new();
     for arg in std::env::args().skip(1) {
         if arg == "--telemetry" {
             show_telemetry = true;
+        } else if arg == "--partition" {
+            partition = true;
         } else {
             seeds.push(arg.parse().unwrap_or_else(|_| panic!("bad seed {arg:?}")));
         }
@@ -175,7 +323,9 @@ fn main() {
             profile,
             cameras: 4,
             start_frame: 40,
-            end_frame: 100,
+            // The partition matrix needs four rounds: split, two rounds
+            // of darkness, heal. The crash matrix keeps its two.
+            end_frame: if partition { 160 } else { 100 },
             budget_j_per_frame: 5.0,
             mode: OperatingMode::FullEecs,
             eecs,
@@ -189,7 +339,19 @@ fn main() {
         },
     )
     .expect("prepare");
-    eprintln!("prepared miniature mission; fault matrix over seeds {seeds:?}");
+    let matrix = if partition { "partition" } else { "fault" };
+    eprintln!("prepared miniature mission; {matrix} matrix over seeds {seeds:?}");
+
+    if partition {
+        for &seed in &seeds {
+            if let Err(violation) = check_partition_seed(&base, seed, show_telemetry) {
+                eprintln!("FAIL: {violation}");
+                std::process::exit(1);
+            }
+        }
+        println!("partition smoke OK ({} seeds x 2 scenarios)", seeds.len());
+        return;
+    }
 
     for &seed in &seeds {
         // Always record: on a failed check the flight recorder is the

@@ -24,11 +24,14 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema tag stamped into every checkpoint document.
-pub const SCHEMA: &str = "eecs-checkpoint/1";
+pub const SCHEMA: &str = "eecs-checkpoint/2";
 
 /// One camera's slot in the serialized assessment cache.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CacheSlot {
+    /// Seat epoch the slot was last written under; reconciliation
+    /// prefers the (epoch, round)-freshest slot when islands merge.
+    pub epoch: u64,
     /// Round the camera was last heard from.
     pub heard: Option<usize>,
     /// `(round gathered, reports)` as cached by the controller.
@@ -41,6 +44,10 @@ pub struct CacheSlot {
 pub struct SimulationCheckpoint {
     /// Round index the snapshot was taken at the end of.
     pub round: usize,
+    /// Fencing epoch of the seat that took the snapshot. A controller
+    /// elected after a crash or partition restores this and announces
+    /// `epoch + 1`, so stale seats can always be recognized.
+    pub epoch: u64,
     /// The standing algorithm assignment (camera → algorithm).
     pub assignment: BTreeMap<usize, AlgorithmId>,
     /// The standing active-camera set.
@@ -61,6 +68,7 @@ impl SimulationCheckpoint {
     pub fn initial(cameras: usize) -> SimulationCheckpoint {
         SimulationCheckpoint {
             round: 0,
+            epoch: 0,
             assignment: BTreeMap::new(),
             active: Vec::new(),
             battery_used_j: vec![0.0; cameras],
@@ -74,6 +82,7 @@ impl SimulationCheckpoint {
     pub fn capture_cache(cache: &AssessmentCache, cameras: usize) -> Vec<CacheSlot> {
         (0..cameras)
             .map(|j| CacheSlot {
+                epoch: 0,
                 heard: cache.heard_round(j),
                 entry: cache.entry(j).map(|(r, a)| (r, a.clone())),
             })
@@ -94,7 +103,11 @@ impl SimulationCheckpoint {
         let mut out = String::new();
         out.push_str("{\"schema\": \"");
         out.push_str(SCHEMA);
-        let _ = write!(out, "\", \"round\": {}", self.round);
+        let _ = write!(
+            out,
+            "\", \"round\": {}, \"epoch\": {}",
+            self.round, self.epoch
+        );
 
         out.push_str(", \"assignment\": [");
         for (i, (cam, alg)) in self.assignment.iter().enumerate() {
@@ -159,6 +172,7 @@ impl SimulationCheckpoint {
             return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
         }
         let round = get_usize(&doc, "round")?;
+        let epoch = get_usize(&doc, "epoch")? as u64;
 
         let mut assignment = BTreeMap::new();
         for pair in get_arr(&doc, "assignment")? {
@@ -208,6 +222,7 @@ impl SimulationCheckpoint {
 
         Ok(SimulationCheckpoint {
             round,
+            epoch,
             assignment,
             active,
             battery_used_j,
@@ -219,6 +234,7 @@ impl SimulationCheckpoint {
 
 fn write_slot(out: &mut String, slot: &CacheSlot) {
     out.push('{');
+    let _ = write!(out, "\"epoch\": {}, ", slot.epoch);
     match slot.heard {
         Some(r) => {
             let _ = write!(out, "\"heard\": {r}");
@@ -272,6 +288,7 @@ fn write_report(out: &mut String, report: &CameraReport) {
 }
 
 fn parse_slot(v: &Json) -> Result<CacheSlot, String> {
+    let epoch = get_usize(v, "epoch")? as u64;
     let heard = match v.get("heard") {
         Some(Json::Null) | None => None,
         Some(n) => Some(as_usize(n)?),
@@ -298,7 +315,11 @@ fn parse_slot(v: &Json) -> Result<CacheSlot, String> {
             Some((round, reports))
         }
     };
-    Ok(CacheSlot { heard, entry })
+    Ok(CacheSlot {
+        epoch,
+        heard,
+        entry,
+    })
 }
 
 fn parse_report(v: &Json) -> Result<CameraReport, String> {
@@ -388,16 +409,19 @@ mod tests {
         reports.insert(AlgorithmId::C4, vec![report]);
         SimulationCheckpoint {
             round: 7,
+            epoch: 3,
             assignment: [(0, AlgorithmId::Hog), (2, AlgorithmId::Lsvm)].into(),
             active: vec![0, 2],
             battery_used_j: vec![1.5, 0.1 + 0.2, 0.0],
             cache: vec![
                 CacheSlot {
+                    epoch: 2,
                     heard: Some(7),
                     entry: Some((6, reports)),
                 },
                 CacheSlot::default(),
                 CacheSlot {
+                    epoch: 3,
                     heard: Some(5),
                     entry: None,
                 },
@@ -427,6 +451,7 @@ mod tests {
     fn initial_checkpoint_is_empty() {
         let ckpt = SimulationCheckpoint::initial(3);
         assert_eq!(ckpt.round, 0);
+        assert_eq!(ckpt.epoch, 0);
         assert!(ckpt.assignment.is_empty() && ckpt.active.is_empty());
         assert_eq!(ckpt.battery_used_j, vec![0.0; 3]);
         assert_eq!(ckpt.cache.len(), 3);

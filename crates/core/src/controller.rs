@@ -237,6 +237,25 @@ impl QuarantineLedger {
         self.entries.remove(&(camera, algorithm));
     }
 
+    /// Defers every re-probe of `camera` that is due at `round` to
+    /// `round + 1`, without touching strike counts. Called when the
+    /// camera is unreachable (crashed, in outage, or partitioned away
+    /// from its seat): the scheduled re-probe cannot physically happen,
+    /// and letting the due round slip by would silently burn it — the
+    /// pair must get its health check the moment the camera returns, at
+    /// its current strike level, not an escalated one. Returns how many
+    /// probes were deferred.
+    pub fn defer_probes(&mut self, camera: usize, round: usize) -> usize {
+        let mut deferred = 0;
+        for (&(cam, _), entry) in self.entries.iter_mut() {
+            if cam == camera && entry.1 <= round {
+                entry.1 = round + 1;
+                deferred += 1;
+            }
+        }
+        deferred
+    }
+
     /// Whether `(camera, algorithm)` may be assessed in `round`. A pair
     /// struck in round `s` with backoff `b` is excluded from rounds
     /// `s+1 ..= s+b` and re-probed from round `s+1+b` on.
@@ -703,6 +722,41 @@ mod tests {
         assert_eq!(ledger.strikes(pair.0, pair.1), 0);
         assert!(ledger.allows(pair.0, pair.1, 6));
         assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn quarantine_defer_probe_postpones_without_escalating() {
+        let policy = QuarantinePolicy::default();
+        let mut ledger = QuarantineLedger::new();
+        let pair = (1, AlgorithmId::Acf);
+        // Strike in round 3 ⇒ re-probe due at round 5.
+        ledger.report_unhealthy(pair.0, pair.1, 3, &policy);
+        assert!(ledger.allows(pair.0, pair.1, 5));
+
+        // Camera unreachable in round 5: the re-probe slides to 6, the
+        // strike count does not move.
+        assert_eq!(ledger.defer_probes(1, 5), 1);
+        assert!(!ledger.allows(pair.0, pair.1, 5));
+        assert!(ledger.allows(pair.0, pair.1, 6));
+        assert_eq!(ledger.strikes(pair.0, pair.1), 1, "no escalation");
+
+        // Deferring again in the same round is idempotent (the probe
+        // already slid past it), and other cameras are never affected.
+        ledger.report_unhealthy(2, AlgorithmId::Hog, 5, &policy);
+        let until_before = !ledger.allows(2, AlgorithmId::Hog, 6);
+        assert_eq!(ledger.defer_probes(1, 5), 0, "already deferred");
+        assert_eq!(!ledger.allows(2, AlgorithmId::Hog, 6), until_before);
+
+        // Still unreachable next round: the probe slides once more.
+        assert_eq!(ledger.defer_probes(1, 6), 1);
+        assert!(ledger.allows(pair.0, pair.1, 7));
+
+        // No entries for a camera ⇒ a no-op.
+        assert_eq!(ledger.defer_probes(3, 9), 0);
+
+        // The deferred re-probe still clears on a healthy result.
+        ledger.report_healthy(pair.0, pair.1);
+        assert!(ledger.allows(pair.0, pair.1, 6) && ledger.strikes(pair.0, pair.1) == 0);
     }
 
     #[test]

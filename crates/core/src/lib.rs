@@ -39,6 +39,7 @@ pub mod jsonio;
 pub mod metadata;
 pub mod par;
 pub mod profile;
+pub mod reconcile;
 pub mod reid;
 pub mod selection;
 pub mod simulation;
@@ -53,6 +54,7 @@ pub use controller::{Controller, QuarantineLedger, QuarantinePolicy};
 pub use features::FeatureExtractor;
 pub use metadata::{CameraReport, ObjectMetadata};
 pub use profile::{AlgorithmProfile, DowngradeRule, TrainingRecord};
+pub use reconcile::SeatSnapshot;
 pub use reid::FusedObject;
 pub use simulation::{FailoverEvent, OperatingMode, Parallelism, SimulationReport};
 pub use telemetry::{FlightRecorder, MetricsRegistry, Telemetry, TelemetrySink, TraceEvent};

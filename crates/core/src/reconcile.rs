@@ -1,0 +1,206 @@
+//! Deterministic state reconciliation for healing network partitions.
+//!
+//! While a partition is up, each island runs its own acting controller:
+//! an epoch-numbered seat with a private assessment cache, quarantine
+//! ledger, and standing plan. When islands see each other again, their
+//! seats must collapse back into one — and the merged state must not
+//! depend on *which* seat merges first, or the healed run would not
+//! replay deterministically.
+//!
+//! [`reconcile`] is therefore a pure join on [`SeatSnapshot`]s with the
+//! usual CRDT algebra — commutative, associative, idempotent (see
+//! `tests/properties.rs`):
+//!
+//! * the **epoch** of the merge is the max of the inputs — fencing
+//!   never regresses;
+//! * the **plan** (seat, plan round, assignment, active set) is adopted
+//!   wholesale from the seat with the highest `(epoch, plan_round)`,
+//!   ties broken toward the hub and then the lowest camera index —
+//!   a total order, so every merge order elects the same winner;
+//! * **assessment cache** slots merge per camera by `(epoch, entry
+//!   round, heard round)` recency;
+//! * **quarantine** entries union per `(camera, algorithm)` pair,
+//!   keeping the max strike count and the latest eligibility round —
+//!   a camera never escapes quarantine by switching islands.
+//!
+//! Cache-slot ties rely on a system invariant: a seat at a given epoch
+//! records each camera's assessment for a given round exactly once, so
+//! two slots with identical `(epoch, entry round, heard round)` keys
+//! carry identical payloads and either may win.
+
+use crate::checkpoint::CacheSlot;
+use eecs_detect::detection::AlgorithmId;
+use std::collections::BTreeMap;
+
+/// Everything one controller seat contributes to a reconciliation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SeatSnapshot {
+    /// The seat's fencing epoch.
+    pub epoch: u64,
+    /// Where the seat runs: `None` for the mains hub, `Some(j)` for an
+    /// acting camera controller.
+    pub seat: Option<usize>,
+    /// Round the seat last produced a fresh plan in.
+    pub plan_round: usize,
+    /// The standing camera → algorithm assignment.
+    pub assignment: BTreeMap<usize, AlgorithmId>,
+    /// The standing active-camera set.
+    pub active: Vec<usize>,
+    /// Per-camera assessment-cache slots, each stamped with the epoch it
+    /// was last written under.
+    pub cache: Vec<CacheSlot>,
+    /// Quarantine entries `(camera, algorithm, strikes, eligible_round)`.
+    pub quarantine: Vec<(usize, AlgorithmId, u32, usize)>,
+}
+
+/// The plan-adoption priority of a snapshot: higher wins. Total order —
+/// the hub outranks cameras at equal `(epoch, plan_round)`, and lower
+/// camera indices outrank higher ones.
+fn plan_priority(s: &SeatSnapshot) -> (u64, usize, usize) {
+    let seat_rank = match s.seat {
+        None => usize::MAX,
+        Some(j) => usize::MAX - 1 - j,
+    };
+    (s.epoch, s.plan_round, seat_rank)
+}
+
+/// The per-camera cache recency key: later epochs beat earlier ones,
+/// then fresher entries, then fresher heard-rounds. Empty slots rank
+/// below everything that holds data at the same epoch.
+fn slot_key(slot: &CacheSlot) -> (u64, usize, usize) {
+    (
+        slot.epoch,
+        slot.entry.as_ref().map_or(0, |(r, _)| r + 1),
+        slot.heard.map_or(0, |r| r + 1),
+    )
+}
+
+/// Joins two seat states into the state the surviving seat carries on
+/// with. Pure, commutative, associative, and idempotent; the merged
+/// epoch is exactly `max(a.epoch, b.epoch)`.
+pub fn reconcile(a: &SeatSnapshot, b: &SeatSnapshot) -> SeatSnapshot {
+    let winner = if plan_priority(b) > plan_priority(a) {
+        b
+    } else {
+        a
+    };
+
+    let cams = a.cache.len().max(b.cache.len());
+    let empty = CacheSlot::default();
+    let cache = (0..cams)
+        .map(|j| {
+            let sa = a.cache.get(j).unwrap_or(&empty);
+            let sb = b.cache.get(j).unwrap_or(&empty);
+            if slot_key(sb) > slot_key(sa) {
+                sb.clone()
+            } else {
+                sa.clone()
+            }
+        })
+        .collect();
+
+    let mut quarantine: BTreeMap<(usize, AlgorithmId), (u32, usize)> = BTreeMap::new();
+    for &(cam, alg, strikes, until) in a.quarantine.iter().chain(&b.quarantine) {
+        let entry = quarantine.entry((cam, alg)).or_insert((0, 0));
+        entry.0 = entry.0.max(strikes);
+        entry.1 = entry.1.max(until);
+    }
+
+    SeatSnapshot {
+        epoch: a.epoch.max(b.epoch),
+        seat: winner.seat,
+        plan_round: winner.plan_round,
+        assignment: winner.assignment.clone(),
+        active: winner.active.clone(),
+        cache,
+        quarantine: quarantine
+            .into_iter()
+            .map(|((cam, alg), (strikes, until))| (cam, alg, strikes, until))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(epoch: u64, seat: Option<usize>, plan_round: usize) -> SeatSnapshot {
+        SeatSnapshot {
+            epoch,
+            seat,
+            plan_round,
+            assignment: [(0, AlgorithmId::Hog)].into(),
+            active: vec![0],
+            cache: vec![CacheSlot::default(); 2],
+            quarantine: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn highest_epoch_plan_wins_and_epoch_is_max() {
+        let hub = snap(1, None, 5);
+        let acting = snap(2, Some(3), 4);
+        let merged = reconcile(&hub, &acting);
+        assert_eq!(merged.epoch, 2);
+        assert_eq!(merged.seat, Some(3), "the fenced-ahead seat keeps it");
+        assert_eq!(merged.plan_round, 4);
+        assert_eq!(reconcile(&acting, &hub), merged, "order-independent");
+    }
+
+    #[test]
+    fn ties_break_toward_hub_then_lowest_camera() {
+        let hub = snap(1, None, 5);
+        let cam = snap(1, Some(0), 5);
+        assert_eq!(reconcile(&hub, &cam).seat, None);
+        let c1 = snap(1, Some(1), 5);
+        let c2 = snap(1, Some(2), 5);
+        assert_eq!(reconcile(&c2, &c1).seat, Some(1));
+    }
+
+    #[test]
+    fn cache_slots_merge_by_epoch_round_recency() {
+        let mut a = snap(1, None, 0);
+        let mut b = snap(2, Some(0), 0);
+        // Camera 0: a heard it later but at a lower epoch — b wins.
+        a.cache[0] = CacheSlot {
+            epoch: 1,
+            heard: Some(9),
+            entry: None,
+        };
+        b.cache[0] = CacheSlot {
+            epoch: 2,
+            heard: Some(4),
+            entry: None,
+        };
+        // Camera 1: same epoch, a has the fresher entry round.
+        a.cache[1] = CacheSlot {
+            epoch: 2,
+            heard: Some(6),
+            entry: Some((6, BTreeMap::new())),
+        };
+        b.cache[1] = CacheSlot {
+            epoch: 2,
+            heard: Some(5),
+            entry: Some((5, BTreeMap::new())),
+        };
+        let merged = reconcile(&a, &b);
+        assert_eq!(merged.cache[0].heard, Some(4));
+        assert_eq!(merged.cache[1].heard, Some(6));
+        assert_eq!(reconcile(&b, &a), merged);
+    }
+
+    #[test]
+    fn quarantine_unions_keep_the_worst_of_both() {
+        let mut a = snap(1, None, 0);
+        let mut b = snap(1, Some(0), 0);
+        a.quarantine = vec![(0, AlgorithmId::Acf, 2, 7), (1, AlgorithmId::Hog, 1, 3)];
+        b.quarantine = vec![(0, AlgorithmId::Acf, 1, 9)];
+        let merged = reconcile(&a, &b);
+        assert_eq!(
+            merged.quarantine,
+            vec![(0, AlgorithmId::Acf, 2, 9), (1, AlgorithmId::Hog, 1, 3)]
+        );
+        assert_eq!(reconcile(&b, &a), merged);
+        assert_eq!(reconcile(&merged, &merged), merged, "idempotent");
+    }
+}

@@ -24,6 +24,7 @@ use crate::controller::{AssessmentCache, CameraAssessment, Controller, Quarantin
 use crate::features::FeatureExtractor;
 use crate::metadata::CameraReport;
 use crate::profile::TrainingRecord;
+use crate::reconcile::{reconcile, SeatSnapshot};
 use crate::reid::ReidConfig;
 use crate::selection::AssessmentData;
 use crate::telemetry::{Telemetry, TraceEvent};
@@ -35,7 +36,7 @@ use eecs_detect::health::DetectorHealth;
 use eecs_energy::budget::{BatteryState, EnergyBudget};
 use eecs_energy::comm::JPEG_BYTES_PER_PIXEL;
 use eecs_energy::meter::PowerMeter;
-use eecs_net::fault::{ControllerFaultPlan, FaultPlan};
+use eecs_net::fault::{ControllerFaultPlan, Endpoint, FaultPlan, PartitionPlan};
 use eecs_net::message::Message;
 use eecs_net::reliable::Delivery;
 use eecs_net::transport::{Network, TransportStats};
@@ -250,6 +251,17 @@ pub struct SimulationReport {
     /// quarantined or extended the quarantine of a (camera, algorithm)
     /// pair).
     pub quarantine_strikes: usize,
+    /// Network partitions that opened during the run (a contiguous span
+    /// of partitioned rounds counts once). Zero without a
+    /// [`PartitionPlan`].
+    pub partitions: usize,
+    /// Acting controllers elected by orphaned islands (epoch-fenced;
+    /// does not count [`Self::failovers`] from controller crashes).
+    pub elections: usize,
+    /// Deterministic seat merges performed when islands healed.
+    pub reconciliations: usize,
+    /// Rounds that planned with more than one controller seat alive.
+    pub split_brain_rounds: usize,
 }
 
 impl SimulationReport {
@@ -522,17 +534,30 @@ impl Simulation {
             Network::with_nodes(vec![(self.config.eecs.link, self.config.eecs.device); cams])
                 .with_fault_plan(self.config.fault_plan.clone())
                 .with_retry_policy(self.config.eecs.retry);
-        let mut cache = AssessmentCache::new(cams);
-
-        // Self-healing state. The quarantine ledger tracks (camera,
-        // algorithm) pairs whose detector output failed the health checks;
-        // the seat is the camera acting as controller after a failover
-        // (`None` = the mains-powered hub). Both stay inert — and the run
-        // bit-identical to pre-chaos — under ideal plans.
+        // Self-healing state. Each controller seat owns a quarantine
+        // ledger (tracking (camera, algorithm) pairs whose detector
+        // output failed the health checks) and an assessment cache;
+        // `seats[0]` is the official seat — the mains hub, or its
+        // crash-failover replacement. Partitions can temporarily grow the
+        // vector with acting island controllers; `route[j]` names the
+        // seat camera `j` currently reports to, and `fenced[j]` the
+        // highest handover epoch it has accepted. Everything stays inert
+        // — and the run bit-identical to pre-chaos — under ideal plans.
         let controller_chaos = self.config.controller_plan.enabled();
-        let mut quarantine = QuarantineLedger::new();
+        let partition_chaos = self.config.fault_plan.partition().enabled();
+        let election_timeout = self.config.eecs.partition.election_timeout_rounds;
+        let max_epoch_skew = self.config.eecs.partition.max_epoch_skew;
         let mut quarantine_strikes = 0usize;
-        let mut seat: Option<usize> = None;
+        let mut seats: Vec<SeatState> = vec![SeatState::hub(cams)];
+        let mut route: Vec<usize> = vec![0; cams];
+        let mut fenced: Vec<u64> = vec![0; cams];
+        let mut orphan_age: Vec<usize> = vec![0; cams];
+        let mut was_partitioned = false;
+        let mut prev_islands = 1usize;
+        let mut partitions = 0usize;
+        let mut elections = 0usize;
+        let mut reconciliations = 0usize;
+        let mut split_brain_rounds = 0usize;
         let mut failovers: Vec<FailoverEvent> = Vec::new();
         let mut checkpoint = SimulationCheckpoint::initial(cams).to_json();
 
@@ -557,8 +582,6 @@ impl Simulation {
         let mut start = 0usize;
         let mut round_index = 0usize;
         let mut reid = self.controller.reid_config(None);
-        // Sticky fallback for rounds where every camera is silent.
-        let mut last_plan: (BTreeMap<usize, AlgorithmId>, Vec<usize>) = Default::default();
         while start < n {
             let end = (start + per_round).min(n);
             let boost_round = self.config.boost_every > 0
@@ -600,6 +623,191 @@ impl Simulation {
                 OperatingMode::CameraSubset | OperatingMode::FullEecs => {
                     let assess_end = (start + assess_len).min(end);
 
+                    // ---- partition control plane ----
+                    // Pure function of the round number: island layout,
+                    // heal-time reconciliation, camera → seat routing and
+                    // orphan elections. Skipped entirely (and `route`
+                    // stays all-zero) without a partition plan.
+                    if partition_chaos {
+                        let partition = self.config.fault_plan.partition();
+                        let island = partition_islands(partition, cams, round_index);
+                        let n_islands = {
+                            let mut ids = island.clone();
+                            ids.sort_unstable();
+                            ids.dedup();
+                            ids.len()
+                        };
+                        let now_partitioned = partition.is_partitioned(round_index);
+                        if now_partitioned && !was_partitioned {
+                            partitions += 1;
+                            tel.counter_add("partition.starts", 1);
+                            tel.event(|| TraceEvent::PartitionStart {
+                                round: round_index,
+                                islands: n_islands,
+                            });
+                        } else if !now_partitioned && was_partitioned {
+                            tel.counter_add("partition.heals", 1);
+                            tel.event(|| TraceEvent::PartitionHeal {
+                                round: round_index,
+                                islands: prev_islands,
+                            });
+                        }
+                        was_partitioned = now_partitioned;
+                        prev_islands = n_islands;
+                        tel.gauge_set("partition.islands", n_islands as f64);
+
+                        // Heal: seats that can see each other again merge
+                        // into one via the commutative/associative
+                        // reconcile join — the merged state is the same
+                        // whichever side heals first.
+                        let isl_of = |loc: Option<usize>| island[loc.map_or(cams, |s| s)];
+                        if seats.len() > 1 {
+                            let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                            for (k, st) in seats.iter().enumerate() {
+                                groups.entry(isl_of(st.location)).or_default().push(k);
+                            }
+                            if groups.values().any(|g| g.len() > 1) {
+                                let mut old: Vec<Option<SeatState>> =
+                                    seats.drain(..).map(Some).collect();
+                                let mut groups: Vec<Vec<usize>> = groups.into_values().collect();
+                                groups.sort_by_key(|g| g[0]);
+                                for g in groups {
+                                    if g.len() == 1 {
+                                        seats.push(old[g[0]].take().expect("seat taken once"));
+                                        continue;
+                                    }
+                                    let states: Vec<SeatState> = g
+                                        .iter()
+                                        .map(|&k| old[k].take().expect("seat taken once"))
+                                        .collect();
+                                    let mut snap = states[0].snapshot(cams);
+                                    for st in &states[1..] {
+                                        snap = reconcile(&snap, &st.snapshot(cams));
+                                    }
+                                    reconciliations += 1;
+                                    tel.counter_add("reconcile.count", 1);
+                                    let (epoch, demoted) = (snap.epoch, g.len() - 1);
+                                    tel.event(|| TraceEvent::Reconcile {
+                                        round: round_index,
+                                        epoch,
+                                        demoted,
+                                    });
+                                    seats.push(SeatState::from_snapshot(&snap, cams));
+                                }
+                            }
+                        }
+
+                        // Route every camera to the seat sharing its
+                        // island; cameras on seatless islands fall back to
+                        // the official seat (their sends die at the radio,
+                        // which is exactly the probe-burn that starts an
+                        // election clock).
+                        for j in 0..cams {
+                            route[j] = seats
+                                .iter()
+                                .position(|st| isl_of(st.location) == island[j])
+                                .unwrap_or(0);
+                        }
+
+                        // Orphan elections: an island that has lost sight
+                        // of every seat for `election_timeout` rounds
+                        // elects its least-drained member as an acting
+                        // controller at a fenced, strictly higher epoch.
+                        let mut orphans: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                        for j in 0..cams {
+                            if seats.iter().any(|st| isl_of(st.location) == island[j]) {
+                                orphan_age[j] = 0;
+                            } else {
+                                orphan_age[j] += 1;
+                                orphans.entry(island[j]).or_default().push(j);
+                            }
+                        }
+                        for members in orphans.into_values() {
+                            let ripe = members.iter().map(|&j| orphan_age[j]).max().unwrap_or(0)
+                                >= election_timeout;
+                            if !ripe {
+                                continue;
+                            }
+                            let mut elected: Option<(usize, f64)> = None;
+                            for &j in &members {
+                                if net.is_camera_down(j) {
+                                    continue;
+                                }
+                                let used = nodes[j].meter().total();
+                                if elected.is_none_or(|(_, best)| used < best) {
+                                    elected = Some((j, used));
+                                }
+                            }
+                            let Some((new_seat, _)) = elected else {
+                                continue;
+                            };
+                            let ckpt =
+                                SimulationCheckpoint::from_json(&checkpoint).map_err(|m| {
+                                    EecsError::Subsystem(format!("checkpoint restore: {m}"))
+                                })?;
+                            let epoch = members
+                                .iter()
+                                .map(|&j| fenced[j])
+                                .max()
+                                .unwrap_or(0)
+                                .max(ckpt.epoch)
+                                + 1;
+                            let st = SeatState::from_snapshot(
+                                &SeatSnapshot {
+                                    epoch,
+                                    seat: Some(new_seat),
+                                    plan_round: ckpt.round,
+                                    assignment: ckpt.assignment.clone(),
+                                    active: ckpt.active.clone(),
+                                    cache: ckpt.cache.clone(),
+                                    quarantine: ckpt.quarantine.clone(),
+                                },
+                                cams,
+                            );
+                            let mut announced = 0usize;
+                            for &peer in &members {
+                                if peer == new_seat || net.is_camera_down(peer) {
+                                    continue;
+                                }
+                                let msg = Message::ControllerHandover {
+                                    controller: new_seat,
+                                    epoch,
+                                };
+                                let (battery, meter) = nodes[new_seat].radio_mut();
+                                let d = net
+                                    .send_peer(new_seat, peer, msg, battery, meter)
+                                    .map_err(EecsError::from)?;
+                                tel.observe_delivery(round_index, new_seat, &d);
+                                // Epoch fencing: a peer accepts only a
+                                // strictly newer seat, and never one
+                                // implausibly far ahead of what it has
+                                // witnessed.
+                                if d.delivered
+                                    && epoch > fenced[peer]
+                                    && epoch <= fenced[peer] + max_epoch_skew
+                                {
+                                    fenced[peer] = epoch;
+                                    announced += 1;
+                                }
+                            }
+                            fenced[new_seat] = fenced[new_seat].max(epoch);
+                            elections += 1;
+                            tel.counter_add("election.count", 1);
+                            tel.event(|| TraceEvent::Election {
+                                round: round_index,
+                                elected: new_seat,
+                                epoch,
+                                announced,
+                            });
+                            let k = seats.len();
+                            seats.push(st);
+                            for &j in &members {
+                                route[j] = k;
+                                orphan_age[j] = 0;
+                            }
+                        }
+                    }
+
                     // Controller crash: the hub (or the camera currently
                     // holding the seat) goes dark at the start of this
                     // round. Every survivor burns one failed probe
@@ -609,8 +817,8 @@ impl Simulation {
                     // again.
                     if controller_chaos && self.config.controller_plan.crash_starts(round_index) {
                         net.set_controller_down(true);
-                        let failed_seat = seat;
-                        seat = None;
+                        let failed_seat = seats[0].location;
+                        seats[0].location = None;
                         for (j, node) in nodes.iter_mut().enumerate() {
                             if net.is_camera_down(j) || failed_seat == Some(j) {
                                 continue;
@@ -640,27 +848,44 @@ impl Simulation {
                                 SimulationCheckpoint::from_json(&checkpoint).map_err(|m| {
                                     EecsError::Subsystem(format!("checkpoint restore: {m}"))
                                 })?;
-                            cache = ckpt.restore_cache();
-                            quarantine = QuarantineLedger::from_entries(ckpt.quarantine.clone());
-                            last_plan = (ckpt.assignment.clone(), ckpt.active.clone());
+                            // The replacement restores the checkpoint and
+                            // announces the next fencing epoch; peers
+                            // accept it only if it is strictly newer than
+                            // anything they have already acknowledged.
+                            let epoch = ckpt.epoch + 1;
+                            seats[0] = SeatState::from_snapshot(
+                                &SeatSnapshot {
+                                    epoch,
+                                    seat: Some(new_seat),
+                                    plan_round: ckpt.round,
+                                    assignment: ckpt.assignment.clone(),
+                                    active: ckpt.active.clone(),
+                                    cache: ckpt.cache.clone(),
+                                    quarantine: ckpt.quarantine.clone(),
+                                },
+                                cams,
+                            );
                             let mut announced = 0usize;
-                            for peer in 0..cams {
+                            for (peer, fence) in fenced.iter_mut().enumerate() {
                                 if peer == new_seat || net.is_camera_down(peer) {
                                     continue;
                                 }
                                 let msg = Message::ControllerHandover {
                                     controller: new_seat,
+                                    epoch,
                                 };
                                 let (battery, meter) = nodes[new_seat].radio_mut();
                                 let d = net
                                     .send_peer(new_seat, peer, msg, battery, meter)
                                     .map_err(EecsError::from)?;
                                 tel.observe_delivery(round_index, new_seat, &d);
-                                if d.delivered {
+                                if d.delivered && epoch > *fence && epoch <= *fence + max_epoch_skew
+                                {
+                                    *fence = epoch;
                                     announced += 1;
                                 }
                             }
-                            seat = Some(new_seat);
+                            fenced[new_seat] = fenced[new_seat].max(epoch);
                             let checkpoint_round = ckpt.round;
                             failovers.push(FailoverEvent {
                                 round: round_index,
@@ -683,8 +908,13 @@ impl Simulation {
                     // network silence is impossible, so the probe (and
                     // its energy) is elided and the idealized accounting
                     // is unchanged.
-                    if chaos || net.controller_down() || seat.is_some() {
+                    if chaos
+                        || net.controller_down()
+                        || seats.len() > 1
+                        || seats[0].location.is_some()
+                    {
                         for (j, node) in nodes.iter_mut().enumerate() {
+                            let seat = seats[route[j]].location;
                             let (battery, meter) = node.radio_mut();
                             let d =
                                 uplink(&mut net, seat, j, Message::EnergyReport, battery, meter)
@@ -697,7 +927,38 @@ impl Simulation {
                                 delivered: heard,
                             });
                             if heard {
-                                cache.mark_heard(j, round_index);
+                                seats[route[j]].cache.mark_heard(j, round_index);
+                            }
+                        }
+                    }
+
+                    // A quarantine re-probe that comes due in a round its
+                    // camera is unreachable would burn silently: the
+                    // backoff window closes, no detector gets to prove
+                    // itself, and the next health failure escalates as if
+                    // a real probe had failed. Defer those re-probes to
+                    // the next round instead of letting them lapse.
+                    if chaos {
+                        let plan = &self.config.fault_plan;
+                        for j in 0..cams {
+                            let target = match seats[route[j]].location {
+                                Some(s) if s == j => continue,
+                                Some(s) => Endpoint::Camera(s),
+                                None => Endpoint::Hub,
+                            };
+                            let unreachable = net.is_camera_down(j)
+                                || plan.is_outage(j, round_index)
+                                || !plan.partition().can_reach(
+                                    Endpoint::Camera(j),
+                                    target,
+                                    round_index,
+                                );
+                            if unreachable {
+                                let deferred =
+                                    seats[route[j]].quarantine.defer_probes(j, round_index);
+                                if deferred > 0 {
+                                    tel.counter_add("quarantine.deferred", deferred as u64);
+                                }
                             }
                         }
                     }
@@ -730,7 +991,9 @@ impl Simulation {
                                 // Quarantined detectors sit out their
                                 // backoff; `allows` turns true again at
                                 // the re-probe round.
-                                .filter(|&alg| quarantine.allows(j, alg, round_index))
+                                .filter(|&alg| {
+                                    seats[route[j]].quarantine.allows(j, alg, round_index)
+                                })
                                 .collect()
                         })
                         .collect();
@@ -781,6 +1044,7 @@ impl Simulation {
                                 continue;
                             }
                             attempted[j] = true;
+                            let seat = seats[route[j]].location;
                             let (battery, meter) = nodes[j].radio_mut();
                             let d =
                                 uplink(&mut net, seat, j, Message::DegradedFrame, battery, meter)
@@ -788,7 +1052,7 @@ impl Simulation {
                             tel.observe_delivery(round_index, j, &d);
                             tel.counter_add("sensor.gap_reports", 1);
                             if d.delivered && d.delayed_rounds == 0 {
-                                cache.mark_heard(j, round_index);
+                                seats[route[j]].cache.mark_heard(j, round_index);
                             }
                         }
                         let mut pos_of = vec![usize::MAX; assess_count];
@@ -839,17 +1103,19 @@ impl Simulation {
                                     objects: report.len(),
                                 };
                                 attempted[j] = true;
+                                let seat = seats[route[j]].location;
                                 let (battery, meter) = nodes[j].radio_mut();
                                 let d = uplink(&mut net, seat, j, msg, battery, meter)
                                     .map_err(EecsError::from)?;
                                 tel.observe_delivery(round_index, j, &d);
                                 if d.delivered && d.delayed_rounds == 0 {
                                     delivered_any[j] = true;
-                                    cache.mark_heard(j, round_index);
+                                    let st = &mut seats[route[j]];
+                                    st.cache.mark_heard(j, round_index);
                                     if healthy {
-                                        quarantine.report_healthy(j, alg);
+                                        st.quarantine.report_healthy(j, alg);
                                     } else {
-                                        quarantine.report_unhealthy(
+                                        st.quarantine.report_unhealthy(
                                             j,
                                             alg,
                                             round_index,
@@ -857,7 +1123,7 @@ impl Simulation {
                                         );
                                         quarantine_strikes += 1;
                                         tel.counter_add("quarantine.strikes", 1);
-                                        let strikes = quarantine.strikes(j, alg);
+                                        let strikes = st.quarantine.strikes(j, alg);
                                         tel.event(|| TraceEvent::QuarantineStrike {
                                             round: round_index,
                                             camera: j,
@@ -895,6 +1161,7 @@ impl Simulation {
                             // was lost. Reuse the last-known assessment if
                             // the camera is still heard and the data is
                             // not too stale; otherwise exclude it.
+                            let cache = &seats[route[j]].cache;
                             if cache.heard_in(j, round_index) {
                                 if let Some(cached) = cache.usable(
                                     j,
@@ -915,7 +1182,83 @@ impl Simulation {
                         }
                     }
 
-                    let plan = if live.iter().any(|&l| l) {
+                    let mut split_plan: Option<(BTreeMap<usize, AlgorithmId>, Vec<usize>)> = None;
+                    let plan = if seats.len() > 1 {
+                        // Split brain: every island seat plans locally
+                        // against the cameras it can see, under those
+                        // cameras' real budgets; the per-island plans are
+                        // disjoint (routing partitions the cameras), so
+                        // their union is the round's assignment. Boost
+                        // rounds are skipped mid-partition — no seat can
+                        // see the whole network anyway.
+                        split_brain_rounds += 1;
+                        tel.counter_add("partition.split_brain_rounds", 1);
+                        let mut merged = BTreeMap::new();
+                        let mut merged_active: Vec<usize> = Vec::new();
+                        for (k, seat) in seats.iter_mut().enumerate() {
+                            let members: Vec<usize> =
+                                (0..cams).filter(|&j| route[j] == k).collect();
+                            let mut live_k = vec![false; cams];
+                            let mut data_k = AssessmentData {
+                                reports: vec![BTreeMap::new(); cams],
+                            };
+                            for &j in &members {
+                                live_k[j] = live[j];
+                                data_k.reports[j] = data.reports[j].clone();
+                            }
+                            let plan_k = if live_k.iter().any(|&l| l) {
+                                let metric = self.controller.fit_color_metric(&data_k);
+                                let reid_k = self.controller.reid_config(metric);
+                                let sel = self.controller.select_live(
+                                    &data_k,
+                                    &self.matched,
+                                    &self.budgets,
+                                    &reid_k,
+                                    self.config.mode == OperatingMode::FullEecs,
+                                    &live_k,
+                                );
+                                if k == 0 {
+                                    reid = reid_k;
+                                }
+                                match sel {
+                                    Ok(outcome) => Some((outcome.assignment, outcome.active)),
+                                    // An island too small to meet the
+                                    // accuracy target keeps its standing
+                                    // plan instead of killing the run.
+                                    Err(EecsError::Infeasible(_)) => None,
+                                    Err(e) => return Err(e),
+                                }
+                            } else {
+                                None
+                            };
+                            let (a_k, act_k) = match plan_k {
+                                Some(p) => {
+                                    seat.plan_round = round_index;
+                                    p
+                                }
+                                None => {
+                                    let (la, lact) = &seat.last_plan;
+                                    (
+                                        la.iter()
+                                            .filter(|(j, _)| members.contains(j))
+                                            .map(|(&j, &alg)| (j, alg))
+                                            .collect(),
+                                        lact.iter()
+                                            .copied()
+                                            .filter(|j| members.contains(j))
+                                            .collect(),
+                                    )
+                                }
+                            };
+                            seat.last_plan = (a_k.clone(), act_k.clone());
+                            merged.extend(a_k);
+                            merged_active.extend(act_k);
+                        }
+                        merged_active.sort_unstable();
+                        merged_active.dedup();
+                        split_plan = Some((merged, merged_active));
+                        None
+                    } else if live.iter().any(|&l| l) {
                         let metric = self.controller.fit_color_metric(&data);
                         reid = self.controller.reid_config(metric);
                         let outcome = self.controller.select_live(
@@ -962,21 +1305,28 @@ impl Simulation {
                     // during the uploads.
                     for (j, fresh_j) in fresh.into_iter().enumerate() {
                         if delivered_any[j] {
-                            cache.record(j, round_index, fresh_j);
+                            let st = &mut seats[route[j]];
+                            st.cache.record(j, round_index, fresh_j);
+                            st.slot_epoch[j] = st.epoch;
                         }
                     }
 
-                    let (assignment, active) = match plan {
-                        Some(outcome) if boost_round => {
+                    let (assignment, active) = match (plan, split_plan) {
+                        (_, Some(p)) => p,
+                        (Some(outcome), None) if boost_round => {
                             // Section VII: override the energy-saving
                             // choice with the full-accuracy configuration
                             // this round.
                             let _ = outcome;
+                            seats[0].plan_round = round_index;
                             let active = best_assign.keys().copied().collect();
                             (best_assign, active)
                         }
-                        Some(outcome) => (outcome.assignment, outcome.active),
-                        None => last_plan.clone(),
+                        (Some(outcome), None) => {
+                            seats[0].plan_round = round_index;
+                            (outcome.assignment, outcome.active)
+                        }
+                        (None, None) => seats[0].last_plan.clone(),
                     };
 
                     // Downlink: the new plan must actually reach each
@@ -995,7 +1345,7 @@ impl Simulation {
                         // peer radio sends charged to the seat's battery,
                         // a free loopback to itself. The mains hub sends
                         // for free, as before.
-                        let d = match seat {
+                        let d = match seats[route[j]].location {
                             Some(s) if s == j => Delivery::loopback(),
                             Some(s) => {
                                 let (battery, meter) = nodes[s].radio_mut();
@@ -1064,6 +1414,7 @@ impl Simulation {
                     };
                     if impairments[j][f].dropped {
                         // Sensor gap: no detection ran; report the gap.
+                        let seat = seats[route[j]].location;
                         let (battery, meter) = nodes[j].radio_mut();
                         let d = uplink(&mut net, seat, j, Message::DegradedFrame, battery, meter)
                             .map_err(EecsError::from)?;
@@ -1111,13 +1462,15 @@ impl Simulation {
                         objects: report.len(),
                         crop_bytes,
                     };
+                    let seat = seats[route[j]].location;
                     let (battery, meter) = nodes[j].radio_mut();
                     let d =
                         uplink(&mut net, seat, j, msg, battery, meter).map_err(EecsError::from)?;
                     tel.observe_delivery(round_index, j, &d);
                     if d.delivered && d.delayed_rounds == 0 {
                         if !healthy {
-                            quarantine.report_unhealthy(
+                            let st = &mut seats[route[j]];
+                            st.quarantine.report_unhealthy(
                                 j,
                                 alg,
                                 round_index,
@@ -1125,7 +1478,7 @@ impl Simulation {
                             );
                             quarantine_strikes += 1;
                             tel.counter_add("quarantine.strikes", 1);
-                            let strikes = quarantine.strikes(j, alg);
+                            let strikes = st.quarantine.strikes(j, alg);
                             tel.event(|| TraceEvent::QuarantineStrike {
                                 round: round_index,
                                 camera: j,
@@ -1143,7 +1496,12 @@ impl Simulation {
 
             let energy_after: f64 = nodes.iter().map(|c| c.meter().total()).sum();
             let round_energy = energy_after - energy_before;
-            last_plan = (assignment.clone(), active.clone());
+            // Sticky fallback for silent rounds. Split-brain rounds set
+            // each seat's own plan inside the planning loop instead — the
+            // union below is no single seat's view.
+            if seats.len() == 1 {
+                seats[0].last_plan = (assignment.clone(), active.clone());
+            }
             rounds.push(RoundRecord {
                 first_frame: frames[0][start].frame,
                 last_frame: frames[0][end - 1].frame,
@@ -1168,17 +1526,23 @@ impl Simulation {
             // failover loses at most `checkpoint_every` rounds of it.
             // Serialize/parse through real JSON every time: the restored
             // state is exactly what a crash would recover.
-            if controller_chaos
+            if (controller_chaos || partition_chaos)
                 && !net.controller_down()
                 && round_index.is_multiple_of(self.config.eecs.checkpoint_every)
             {
+                let st = &seats[0];
+                let mut slots = SimulationCheckpoint::capture_cache(&st.cache, cams);
+                for (slot, &e) in slots.iter_mut().zip(&st.slot_epoch) {
+                    slot.epoch = e;
+                }
                 checkpoint = SimulationCheckpoint {
                     round: round_index,
-                    assignment: last_plan.0.clone(),
-                    active: last_plan.1.clone(),
+                    epoch: st.epoch,
+                    assignment: st.last_plan.0.clone(),
+                    active: st.last_plan.1.clone(),
                     battery_used_j: nodes.iter().map(|c| c.meter().total()).collect(),
-                    cache: SimulationCheckpoint::capture_cache(&cache, cams),
-                    quarantine: quarantine.export(),
+                    cache: slots,
+                    quarantine: st.quarantine.export(),
                 }
                 .to_json();
                 tel.counter_add("checkpoint.taken", 1);
@@ -1226,6 +1590,10 @@ impl Simulation {
             degraded_frames,
             dropped_frames,
             quarantine_strikes,
+            partitions,
+            elections,
+            reconciliations,
+            split_brain_rounds,
             rounds,
         })
     }
@@ -1297,9 +1665,119 @@ fn publish_detection(
     }
 }
 
+/// One live controller seat: the mains hub, a crash-failover replacement,
+/// or an island's acting controller during a partition. Without partition
+/// or controller chaos exactly one of these exists for the whole run and
+/// it behaves exactly like the pre-partition flat state.
+struct SeatState {
+    /// Where the seat runs: `None` = the mains hub, `Some(j)` = camera
+    /// `j` acting as controller.
+    location: Option<usize>,
+    /// Fencing epoch. The hub starts at 0; every election announces a
+    /// strictly higher epoch, so stale seats are recognizable.
+    epoch: u64,
+    cache: AssessmentCache,
+    /// Epoch under which each camera's cache slot was last written —
+    /// reconciliation prefers the (epoch, round)-freshest slot, so an
+    /// acting seat's restored-from-checkpoint copies never beat the
+    /// entries a fresher seat recorded itself.
+    slot_epoch: Vec<u64>,
+    quarantine: QuarantineLedger,
+    /// Sticky fallback for rounds where every visible camera is silent.
+    last_plan: (BTreeMap<usize, AlgorithmId>, Vec<usize>),
+    /// Round the seat last computed a fresh plan in.
+    plan_round: usize,
+}
+
+impl SeatState {
+    /// The mains-powered hub seat every run starts with.
+    fn hub(cams: usize) -> SeatState {
+        SeatState {
+            location: None,
+            epoch: 0,
+            cache: AssessmentCache::new(cams),
+            slot_epoch: vec![0; cams],
+            quarantine: QuarantineLedger::new(),
+            last_plan: Default::default(),
+            plan_round: 0,
+        }
+    }
+
+    /// Everything reconciliation needs to merge this seat with another.
+    fn snapshot(&self, cams: usize) -> SeatSnapshot {
+        let mut cache = SimulationCheckpoint::capture_cache(&self.cache, cams);
+        for (slot, &e) in cache.iter_mut().zip(&self.slot_epoch) {
+            slot.epoch = e;
+        }
+        SeatSnapshot {
+            epoch: self.epoch,
+            seat: self.location,
+            plan_round: self.plan_round,
+            assignment: self.last_plan.0.clone(),
+            active: self.last_plan.1.clone(),
+            cache,
+            quarantine: self.quarantine.export(),
+        }
+    }
+
+    /// Rebuilds a live seat from a snapshot (a reconciliation result, or
+    /// a checkpoint recast as one).
+    fn from_snapshot(s: &SeatSnapshot, cams: usize) -> SeatState {
+        let mut cache = AssessmentCache::new(cams);
+        for (j, slot) in s.cache.iter().enumerate().take(cams) {
+            cache.restore_entry(j, slot.heard, slot.entry.clone());
+        }
+        SeatState {
+            location: s.seat,
+            epoch: s.epoch,
+            cache,
+            slot_epoch: (0..cams)
+                .map(|j| s.cache.get(j).map_or(0, |c| c.epoch))
+                .collect(),
+            quarantine: QuarantineLedger::from_entries(s.quarantine.clone()),
+            last_plan: (s.assignment.clone(), s.active.clone()),
+            plan_round: s.plan_round,
+        }
+    }
+}
+
+/// Connected components of the node graph under `plan` at `round`:
+/// returns an island id per node, where nodes `0..cams` are the cameras
+/// and node `cams` is the hub. Two nodes share an island when they can
+/// reach each other in *both* directions (a one-way cut separates its
+/// endpoints); components are closed transitively as usual.
+fn partition_islands(plan: &PartitionPlan, cams: usize, round: usize) -> Vec<usize> {
+    let n = cams + 1;
+    let ep = |i: usize| {
+        if i == cams {
+            Endpoint::Hub
+        } else {
+            Endpoint::Camera(i)
+        }
+    };
+    let mut id: Vec<usize> = (0..n).collect();
+    for a in 0..n {
+        for b in a + 1..n {
+            if plan.can_reach(ep(a), ep(b), round) && plan.can_reach(ep(b), ep(a), round) {
+                let (keep, drop) = (id[a].min(id[b]), id[a].max(id[b]));
+                if keep != drop {
+                    for x in id.iter_mut() {
+                        if *x == drop {
+                            *x = keep;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    id
+}
+
 /// Routes a camera→controller send through the transport — unless the
-/// sender currently *holds* the controller seat (post-failover), in which
-/// case its own traffic never touches the radio and costs nothing.
+/// sender currently *holds* the controller seat (post-failover or acting
+/// island controller), in which case its own traffic never touches the
+/// radio and costs nothing. `seat` is the *location* of the seat the
+/// sender is routed to: `None` targets the hub, `Some(s)` camera `s`.
 fn uplink(
     net: &mut Network,
     seat: Option<usize>,
@@ -1308,10 +1786,11 @@ fn uplink(
     battery: &mut BatteryState,
     meter: &mut PowerMeter,
 ) -> eecs_net::Result<Delivery> {
-    if seat == Some(from) {
-        return Ok(Delivery::loopback());
+    match seat {
+        Some(s) if s == from => Ok(Delivery::loopback()),
+        Some(s) => net.send_reliable_to(from, Endpoint::Camera(s), message, battery, meter),
+        None => net.send_reliable(from, message, battery, meter),
     }
-    net.send_reliable(from, message, battery, meter)
 }
 
 #[cfg(test)]

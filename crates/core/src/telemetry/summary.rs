@@ -65,6 +65,10 @@ pub fn report_to_json(report: &SimulationReport) -> Json {
         ("degraded_frames".into(), n(report.degraded_frames)),
         ("dropped_frames".into(), n(report.dropped_frames)),
         ("quarantine_strikes".into(), n(report.quarantine_strikes)),
+        ("partitions".into(), n(report.partitions)),
+        ("elections".into(), n(report.elections)),
+        ("reconciliations".into(), n(report.reconciliations)),
+        ("split_brain_rounds".into(), n(report.split_brain_rounds)),
         (
             "failovers".into(),
             Json::Arr(
@@ -144,6 +148,13 @@ pub fn render_summary(report: &SimulationReport, telemetry: &Telemetry) -> Strin
         report.quarantine_strikes,
         report.failovers.len(),
     );
+    if report.partitions > 0 {
+        let _ = writeln!(
+            out,
+            "partitions {} · elections {} · reconciliations {} · split-brain rounds {}",
+            report.partitions, report.elections, report.reconciliations, report.split_brain_rounds,
+        );
+    }
 
     let _ = writeln!(
         out,
@@ -240,6 +251,10 @@ mod tests {
             degraded_frames: 0,
             dropped_frames: 0,
             quarantine_strikes: 0,
+            partitions: 0,
+            elections: 0,
+            reconciliations: 0,
+            split_brain_rounds: 0,
         }
     }
 

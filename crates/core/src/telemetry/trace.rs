@@ -110,6 +110,40 @@ pub enum TraceEvent {
         /// Round the checkpoint covers.
         round: usize,
     },
+    /// The network split into more than one island this round.
+    PartitionStart {
+        /// Round the split opened at.
+        round: usize,
+        /// Islands the node graph fell into.
+        islands: usize,
+    },
+    /// A partition healed and the islands see each other again.
+    PartitionHeal {
+        /// Round the heal completed in.
+        round: usize,
+        /// Islands that existed just before the heal.
+        islands: usize,
+    },
+    /// An orphaned island elected its own acting controller.
+    Election {
+        /// Round the election ran in.
+        round: usize,
+        /// Camera elected as the island's acting seat.
+        elected: usize,
+        /// Fencing epoch the new seat announced.
+        epoch: u64,
+        /// Island peers that accepted the fenced handover.
+        announced: usize,
+    },
+    /// Two seats merged their state deterministically on heal.
+    Reconcile {
+        /// Round the reconciliation ran in.
+        round: usize,
+        /// Fencing epoch of the merged state.
+        epoch: u64,
+        /// Seats demoted back to plain cameras by the merge.
+        demoted: usize,
+    },
 }
 
 impl TraceEvent {
@@ -124,7 +158,11 @@ impl TraceEvent {
             | TraceEvent::QuarantineStrike { round, .. }
             | TraceEvent::Failover { round, .. }
             | TraceEvent::Retransmit { round, .. }
-            | TraceEvent::Checkpoint { round } => round,
+            | TraceEvent::Checkpoint { round }
+            | TraceEvent::PartitionStart { round, .. }
+            | TraceEvent::PartitionHeal { round, .. }
+            | TraceEvent::Election { round, .. }
+            | TraceEvent::Reconcile { round, .. } => round,
         }
     }
 
@@ -136,10 +174,15 @@ impl TraceEvent {
             | TraceEvent::Detection { camera, .. }
             | TraceEvent::QuarantineStrike { camera, .. }
             | TraceEvent::Retransmit { camera, .. } => Some(camera),
-            TraceEvent::Failover { elected, .. } => Some(elected),
+            TraceEvent::Failover { elected, .. } | TraceEvent::Election { elected, .. } => {
+                Some(elected)
+            }
             TraceEvent::RoundStart { .. }
             | TraceEvent::RoundEnd { .. }
-            | TraceEvent::Checkpoint { .. } => None,
+            | TraceEvent::Checkpoint { .. }
+            | TraceEvent::PartitionStart { .. }
+            | TraceEvent::PartitionHeal { .. }
+            | TraceEvent::Reconcile { .. } => None,
         }
     }
 
@@ -155,6 +198,10 @@ impl TraceEvent {
             TraceEvent::Failover { .. } => "failover",
             TraceEvent::Retransmit { .. } => "retransmit",
             TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::PartitionStart { .. } => "partition_start",
+            TraceEvent::PartitionHeal { .. } => "partition_heal",
+            TraceEvent::Election { .. } => "election",
+            TraceEvent::Reconcile { .. } => "reconcile",
         }
     }
 
@@ -243,6 +290,24 @@ impl TraceEvent {
                 members.push(("attempts".into(), n(attempts as usize)));
             }
             TraceEvent::Checkpoint { .. } => {}
+            TraceEvent::PartitionStart { islands, .. }
+            | TraceEvent::PartitionHeal { islands, .. } => {
+                members.push(("islands".into(), n(islands)));
+            }
+            TraceEvent::Election {
+                elected,
+                epoch,
+                announced,
+                ..
+            } => {
+                members.push(("elected".into(), n(elected)));
+                members.push(("epoch".into(), n(epoch as usize)));
+                members.push(("announced".into(), n(announced)));
+            }
+            TraceEvent::Reconcile { epoch, demoted, .. } => {
+                members.push(("epoch".into(), n(epoch as usize)));
+                members.push(("demoted".into(), n(demoted)));
+            }
         }
         Json::Obj(members)
     }

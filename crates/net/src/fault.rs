@@ -134,6 +134,152 @@ impl Window {
     }
 }
 
+/// One end of a link on the star network: the mains-powered hub or a
+/// camera. Partition islands are sets of endpoints, so a split can cut
+/// cameras off from the hub, from each other, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// The mains-powered controller hub.
+    Hub,
+    /// Camera `j`'s radio.
+    Camera(usize),
+}
+
+/// A deterministic schedule of network partitions.
+///
+/// A partition splits the node graph into *islands* for a window of
+/// rounds: traffic inside an island flows normally, traffic between
+/// islands is dropped at the sender (the radio sees a dead channel).
+/// Endpoints not named in any island of an active split are isolated
+/// singletons — they can reach nobody and nobody can reach them.
+///
+/// Besides symmetric splits the plan supports *one-way* cuts (`from`
+/// can no longer reach `to`, but the reverse direction still works —
+/// the classic asymmetric-link failure) and *flapping* (a split that
+/// alternates on/off with a fixed period). All schedules are pure
+/// functions of the round number: the plan consumes no random rolls,
+/// so an empty plan is bit-identical to no plan at all.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PartitionPlan {
+    splits: Vec<(Window, Vec<Vec<Endpoint>>)>,
+    one_way: Vec<(Endpoint, Endpoint, Window)>,
+}
+
+impl PartitionPlan {
+    /// A fully connected network — the pre-partition behavior.
+    pub fn none() -> PartitionPlan {
+        PartitionPlan::default()
+    }
+
+    /// Splits the network into `islands` over rounds `[start, end)`.
+    /// An empty window (`start >= end`) schedules nothing — the plan is
+    /// unchanged and stays bit-identical to no plan at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an island is empty or when an endpoint appears in
+    /// more than one island of the same split.
+    pub fn with_split(mut self, islands: Vec<Vec<Endpoint>>, start: usize, end: usize) -> Self {
+        Self::check_islands(&islands);
+        if start < end {
+            self.splits.push((Window::new(start, end), islands));
+        }
+        self
+    }
+
+    /// Cuts the `from → to` direction only over rounds `[start, end)`;
+    /// `to → from` keeps working. An empty window schedules nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `from == to`.
+    pub fn with_one_way(mut self, from: Endpoint, to: Endpoint, start: usize, end: usize) -> Self {
+        assert!(from != to, "one-way cut from an endpoint to itself");
+        if start < end {
+            self.one_way.push((from, to, Window::new(start, end)));
+        }
+        self
+    }
+
+    /// A flapping split: `islands` apply over every other `period`-round
+    /// slice of `[start, end)` — on for `[start, start + period)`, off
+    /// for the next `period` rounds, on again, and so on. Deterministic;
+    /// no rolls are consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start >= end`, `period == 0`, or the islands are
+    /// malformed (see [`PartitionPlan::with_split`]).
+    pub fn with_flapping(
+        mut self,
+        islands: Vec<Vec<Endpoint>>,
+        start: usize,
+        end: usize,
+        period: usize,
+    ) -> Self {
+        assert!(start < end, "empty fault window [{start}, {end})");
+        assert!(period > 0, "flapping period must be positive");
+        Self::check_islands(&islands);
+        let mut s = start;
+        while s < end {
+            let e = (s + period).min(end);
+            self.splits.push((Window::new(s, e), islands.clone()));
+            s += 2 * period;
+        }
+        self
+    }
+
+    fn check_islands(islands: &[Vec<Endpoint>]) {
+        let mut seen = Vec::new();
+        for island in islands {
+            assert!(!island.is_empty(), "empty partition island");
+            for ep in island {
+                assert!(
+                    !seen.contains(ep),
+                    "endpoint {ep:?} appears in two islands of one split"
+                );
+                seen.push(*ep);
+            }
+        }
+    }
+
+    /// Whether a message sent `from → to` at `round` can traverse the
+    /// network. Always true for `from == to` and for rounds outside
+    /// every window; the check is pure and consumes no rolls.
+    pub fn can_reach(&self, from: Endpoint, to: Endpoint, round: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        for (w, islands) in &self.splits {
+            if !w.contains(round) {
+                continue;
+            }
+            let home = |ep: Endpoint| islands.iter().position(|i| i.contains(&ep));
+            match (home(from), home(to)) {
+                // Unlisted endpoints are isolated singletons.
+                (Some(a), Some(b)) if a == b => {}
+                _ => return false,
+            }
+        }
+        !self
+            .one_way
+            .iter()
+            .any(|(f, t, w)| *f == from && *t == to && w.contains(round))
+    }
+
+    /// Whether any split or one-way cut is active at `round`.
+    pub fn is_partitioned(&self, round: usize) -> bool {
+        self.splits.iter().any(|(w, _)| w.contains(round))
+            || self.one_way.iter().any(|(_, _, w)| w.contains(round))
+    }
+
+    /// Whether the plan schedules any partition at all. A `none()` plan
+    /// lets the runtime skip the partition control plane entirely.
+    pub fn enabled(&self) -> bool {
+        !self.splits.is_empty() || !self.one_way.is_empty()
+    }
+}
+
 /// A seeded, deterministic schedule of network faults.
 ///
 /// Construct with [`FaultPlan::ideal`] (no faults, the default) or
@@ -155,6 +301,7 @@ pub struct FaultPlan {
     per_link: BTreeMap<usize, LinkFaults>,
     outages: Vec<(usize, Window)>,
     crashes: Vec<(usize, Window)>,
+    partition: PartitionPlan,
 }
 
 impl FaultPlan {
@@ -173,6 +320,7 @@ impl FaultPlan {
             per_link: BTreeMap::new(),
             outages: Vec::new(),
             crashes: Vec::new(),
+            partition: PartitionPlan::none(),
         }
     }
 
@@ -225,6 +373,17 @@ impl FaultPlan {
         self
     }
 
+    /// Attaches a partition schedule to the plan.
+    pub fn with_partition(mut self, partition: PartitionPlan) -> FaultPlan {
+        self.partition = partition;
+        self
+    }
+
+    /// The partition schedule of this plan.
+    pub fn partition(&self) -> &PartitionPlan {
+        &self.partition
+    }
+
     /// The fault parameters governing `camera`'s link.
     pub fn faults(&self, camera: usize) -> LinkFaults {
         self.per_link
@@ -254,6 +413,7 @@ impl FaultPlan {
             || self.per_link.values().any(|f| !f.is_ideal())
             || !self.outages.is_empty()
             || !self.crashes.is_empty()
+            || self.partition.enabled()
     }
 
     /// Deterministic uniform draw in `[0, 1)` for event number `counter`
@@ -424,6 +584,105 @@ mod tests {
         assert!(plan.crash_starts(2) && plan.crash_starts(9));
         assert!(!plan.crash_starts(3), "only the window start kills");
         assert!(plan.is_down(4) && !plan.is_down(5), "half-open window");
+    }
+
+    #[test]
+    fn partition_plan_none_is_disabled() {
+        let plan = PartitionPlan::none();
+        assert!(!plan.enabled());
+        assert!(!plan.is_partitioned(0));
+        assert!(plan.can_reach(Endpoint::Camera(0), Endpoint::Hub, 3));
+        assert!(!FaultPlan::ideal().partition().enabled());
+        assert!(FaultPlan::seeded(1)
+            .with_partition(PartitionPlan::none().with_split(
+                vec![vec![Endpoint::Hub], vec![Endpoint::Camera(0)]],
+                0,
+                1,
+            ))
+            .enabled());
+    }
+
+    #[test]
+    fn split_windows_are_half_open_and_symmetric() {
+        let plan = PartitionPlan::none().with_split(
+            vec![
+                vec![Endpoint::Hub, Endpoint::Camera(0)],
+                vec![Endpoint::Camera(1), Endpoint::Camera(2)],
+            ],
+            2,
+            4,
+        );
+        let (hub, c0, c1, c2) = (
+            Endpoint::Hub,
+            Endpoint::Camera(0),
+            Endpoint::Camera(1),
+            Endpoint::Camera(2),
+        );
+        // Outside the window everything flows.
+        assert!(plan.can_reach(c1, hub, 1) && plan.can_reach(c1, hub, 4));
+        assert!(!plan.is_partitioned(1) && plan.is_partitioned(3));
+        // Inside: same island ok, cross-island dead in both directions.
+        assert!(plan.can_reach(c0, hub, 2) && plan.can_reach(c1, c2, 3));
+        assert!(!plan.can_reach(c1, hub, 2) && !plan.can_reach(hub, c1, 2));
+        // Self-delivery is never cut.
+        assert!(plan.can_reach(c1, c1, 3));
+    }
+
+    #[test]
+    fn unlisted_endpoints_are_isolated_singletons() {
+        let plan =
+            PartitionPlan::none().with_split(vec![vec![Endpoint::Hub, Endpoint::Camera(0)]], 0, 2);
+        let c3 = Endpoint::Camera(3);
+        assert!(!plan.can_reach(c3, Endpoint::Hub, 0));
+        assert!(!plan.can_reach(Endpoint::Hub, c3, 1));
+        assert!(!plan.can_reach(c3, Endpoint::Camera(4), 1));
+        assert!(plan.can_reach(c3, c3, 1));
+        assert!(plan.can_reach(c3, Endpoint::Hub, 2), "window over");
+    }
+
+    #[test]
+    fn one_way_cuts_are_asymmetric() {
+        let plan = PartitionPlan::none().with_one_way(Endpoint::Camera(1), Endpoint::Hub, 5, 7);
+        assert!(plan.enabled() && plan.is_partitioned(5));
+        assert!(!plan.can_reach(Endpoint::Camera(1), Endpoint::Hub, 5));
+        assert!(plan.can_reach(Endpoint::Hub, Endpoint::Camera(1), 5));
+        assert!(plan.can_reach(Endpoint::Camera(1), Endpoint::Hub, 7));
+    }
+
+    #[test]
+    fn flapping_alternates_on_and_off() {
+        let islands = vec![vec![Endpoint::Hub], vec![Endpoint::Camera(0)]];
+        let plan = PartitionPlan::none().with_flapping(islands, 1, 6, 1);
+        // On for [1,2), off [2,3), on [3,4), off [4,5), on [5,6).
+        for round in 0..8 {
+            let cut = matches!(round, 1 | 3 | 5);
+            assert_eq!(
+                plan.can_reach(Endpoint::Camera(0), Endpoint::Hub, round),
+                !cut,
+                "round {round}"
+            );
+        }
+        // A period longer than the window still clamps to the window.
+        let wide = PartitionPlan::none().with_flapping(
+            vec![vec![Endpoint::Hub], vec![Endpoint::Camera(0)]],
+            2,
+            4,
+            10,
+        );
+        assert!(wide.is_partitioned(3) && !wide.is_partitioned(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "two islands")]
+    fn overlapping_islands_rejected() {
+        PartitionPlan::none().with_split(
+            vec![
+                vec![Endpoint::Hub, Endpoint::Camera(0)],
+                vec![Endpoint::Camera(0)],
+            ],
+            0,
+            1,
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod message;
 pub mod reliable;
 pub mod transport;
 
-pub use fault::{ControllerFaultPlan, FaultPlan, LinkFaults, Window};
+pub use fault::{ControllerFaultPlan, Endpoint, FaultPlan, LinkFaults, PartitionPlan, Window};
 pub use message::{Message, WireSize};
 pub use reliable::{Delivery, RetryPolicy};
 pub use transport::{Network, TransportStats};

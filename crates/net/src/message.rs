@@ -50,11 +50,14 @@ pub enum Message {
     /// can tell "no people" apart from "no frame".
     DegradedFrame,
     /// Camera → camera: the sender has taken over the controller seat
-    /// after a crash (failover announcement); carries the new
-    /// controller's index.
+    /// after a crash or partition (failover announcement); carries the
+    /// new controller's index and its fencing epoch so receivers can
+    /// ignore stale seats.
     ControllerHandover {
         /// Index of the camera now acting as controller.
         controller: usize,
+        /// Monotonically increasing seat epoch.
+        epoch: u64,
     },
     /// Controller → camera: which algorithm to run until recalibration.
     AlgorithmAssignment,
@@ -84,7 +87,7 @@ impl WireSize for Message {
                     crop_bytes,
                 } => metadata_bytes(*objects) + crop_bytes,
                 Message::DegradedFrame => 2,
-                Message::ControllerHandover { .. } => 4,
+                Message::ControllerHandover { .. } => 12,
                 Message::AlgorithmAssignment => 4,
                 Message::ActivationCommand => 1,
             }
@@ -120,7 +123,14 @@ mod tests {
         assert!(Message::ActivationCommand.wire_bytes() < 32);
         assert!(Message::EnergyReport.wire_bytes() < 32);
         assert!(Message::DegradedFrame.wire_bytes() < 32);
-        assert!(Message::ControllerHandover { controller: 3 }.wire_bytes() < 32);
+        assert!(
+            Message::ControllerHandover {
+                controller: 3,
+                epoch: 1
+            }
+            .wire_bytes()
+                < 32
+        );
     }
 
     #[test]

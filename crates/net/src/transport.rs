@@ -26,7 +26,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::fault::{FaultPlan, TAG_ACK, TAG_DATA, TAG_DUP, TAG_JITTER, TAG_REORDER};
+use crate::fault::{Endpoint, FaultPlan, TAG_ACK, TAG_DATA, TAG_DUP, TAG_JITTER, TAG_REORDER};
 use crate::message::{Message, WireSize};
 use crate::reliable::{Delivery, RetryPolicy};
 use crate::{NetError, Result};
@@ -308,6 +308,27 @@ impl Network {
         battery: &mut BatteryState,
         meter: &mut PowerMeter,
     ) -> Result<Delivery> {
+        self.send_reliable_to(from, Endpoint::Hub, message, battery, meter)
+    }
+
+    /// [`Network::send_reliable`] with an explicit destination seat: the
+    /// hub, or a camera acting as controller after a failover. The
+    /// partition plan is checked against the actual `from → target`
+    /// direction, so an uplink to an island-local acting seat keeps
+    /// working while the hub is unreachable. A partitioned target looks
+    /// exactly like an outage: one probe attempt, then give up.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::send_reliable`].
+    pub fn send_reliable_to(
+        &mut self,
+        from: usize,
+        target: Endpoint,
+        message: Message,
+        battery: &mut BatteryState,
+        meter: &mut PowerMeter,
+    ) -> Result<Delivery> {
         if from >= self.nodes.len() {
             return Err(NetError::UnknownNode(from));
         }
@@ -323,8 +344,14 @@ impl Network {
         let bytes = message.wire_bytes();
         let faults = self.plan.faults(from);
         // A dead controller looks exactly like an outage from the
-        // camera's side: the probe goes unanswered.
-        let outage = self.plan.is_outage(from, self.round) || self.controller_down;
+        // camera's side: the probe goes unanswered. So does a partition
+        // between the sender and its seat.
+        let outage = self.plan.is_outage(from, self.round)
+            || self.controller_down
+            || !self
+                .plan
+                .partition()
+                .can_reach(Endpoint::Camera(from), target, self.round);
         // During an outage the channel is deterministically dead for the
         // round, and the MAC layer notices (no association, no ack to the
         // first probe): one attempt, then give up until next round.
@@ -420,7 +447,12 @@ impl Network {
 
         let bytes = message.wire_bytes();
         let faults = self.plan.faults(to);
-        let outage = self.plan.is_outage(to, self.round);
+        let outage = self.plan.is_outage(to, self.round)
+            || !self
+                .plan
+                .partition()
+                .can_reach(Endpoint::Hub, Endpoint::Camera(to), self.round);
+
         let max_attempts: u64 = if outage {
             1
         } else {
@@ -500,10 +532,16 @@ impl Network {
         let bytes = message.wire_bytes();
         let faults = self.plan.faults(from);
         // A dead or outaged peer cannot respond; either end's outage
-        // window kills the channel for the round.
+        // window — or a partition between the two cameras — kills the
+        // channel for the round.
         let peer_dark = self.plan.is_crashed(to, self.round)
             || self.plan.is_outage(from, self.round)
-            || self.plan.is_outage(to, self.round);
+            || self.plan.is_outage(to, self.round)
+            || !self.plan.partition().can_reach(
+                Endpoint::Camera(from),
+                Endpoint::Camera(to),
+                self.round,
+            );
         let max_attempts: u64 = if peer_dark {
             1
         } else {
@@ -1052,7 +1090,10 @@ mod tests {
             .send_peer(
                 1,
                 2,
-                Message::ControllerHandover { controller: 1 },
+                Message::ControllerHandover {
+                    controller: 1,
+                    epoch: 1,
+                },
                 &mut bat,
                 &mut meter,
             )
@@ -1082,7 +1123,10 @@ mod tests {
             .send_peer(
                 0,
                 2,
-                Message::ControllerHandover { controller: 0 },
+                Message::ControllerHandover {
+                    controller: 0,
+                    epoch: 1,
+                },
                 &mut bat,
                 &mut meter,
             )
@@ -1097,13 +1141,119 @@ mod tests {
             .send_peer(
                 2,
                 0,
-                Message::ControllerHandover { controller: 2 },
+                Message::ControllerHandover {
+                    controller: 2,
+                    epoch: 2,
+                },
                 &mut bat2,
                 &mut meter,
             )
             .unwrap();
         assert_eq!(d.attempts, 0);
         assert_eq!(bat2.used(), 0.0);
+    }
+
+    #[test]
+    fn partition_blocks_uplink_like_an_outage() {
+        use crate::fault::PartitionPlan;
+        let split = PartitionPlan::none().with_split(
+            vec![
+                vec![Endpoint::Hub, Endpoint::Camera(0)],
+                vec![Endpoint::Camera(1)],
+            ],
+            0,
+            2,
+        );
+        let mut net = Network::new(2, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(FaultPlan::seeded(3).with_partition(split));
+        let mut bat = BatteryState::new(100.0).unwrap();
+        let mut meter = PowerMeter::new();
+
+        // Same island as the hub: delivery works.
+        let d = net
+            .send_reliable(0, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(d.delivered && d.acked);
+
+        // Cut off from the hub: one probe, energy charged, no delivery.
+        let before = bat.used();
+        let d = net
+            .send_reliable(1, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(!d.delivered && !d.acked);
+        assert_eq!(d.attempts, 1, "one probe discovers the dead channel");
+        assert!(bat.used() > before, "the probe still costs energy");
+
+        // But the same camera can still reach a seat inside its island.
+        let d = net
+            .send_reliable_to(
+                1,
+                Endpoint::Camera(1),
+                Message::EnergyReport,
+                &mut bat,
+                &mut meter,
+            )
+            .unwrap();
+        assert!(d.delivered && d.acked, "island-local seat stays reachable");
+
+        // After the window everything heals.
+        net.advance_round();
+        net.advance_round();
+        let d = net
+            .send_reliable(1, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(d.delivered && d.acked);
+    }
+
+    #[test]
+    fn partition_silences_downlink_and_darkens_peers() {
+        use crate::fault::PartitionPlan;
+        let split = PartitionPlan::none().with_split(
+            vec![
+                vec![Endpoint::Hub, Endpoint::Camera(0)],
+                vec![Endpoint::Camera(1), Endpoint::Camera(2)],
+            ],
+            0,
+            1,
+        );
+        let mut net = Network::new(3, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(FaultPlan::seeded(5).with_partition(split));
+        let mut bat = BatteryState::new(100.0).unwrap();
+        let mut meter = PowerMeter::new();
+
+        // Downlink into the far island: drops, no delivery.
+        let d = net.send_downlink(1, Message::AlgorithmAssignment).unwrap();
+        assert!(!d.delivered);
+        assert_eq!(net.downlink_stats().timeouts, 1);
+        let d = net.send_downlink(0, Message::AlgorithmAssignment).unwrap();
+        assert!(d.delivered && d.acked, "own island still served");
+
+        // Peer traffic: dead across the cut, alive inside an island.
+        let d = net
+            .send_peer(0, 1, Message::DegradedFrame, &mut bat, &mut meter)
+            .unwrap();
+        assert!(!d.delivered);
+        assert_eq!(d.attempts, 1);
+        let d = net
+            .send_peer(1, 2, Message::DegradedFrame, &mut bat, &mut meter)
+            .unwrap();
+        assert!(d.delivered && d.acked);
+    }
+
+    #[test]
+    fn one_way_partition_is_asymmetric_on_the_wire() {
+        use crate::fault::PartitionPlan;
+        let plan = PartitionPlan::none().with_one_way(Endpoint::Camera(0), Endpoint::Hub, 0, 1);
+        let mut net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(FaultPlan::seeded(6).with_partition(plan));
+        let mut bat = BatteryState::new(100.0).unwrap();
+        let mut meter = PowerMeter::new();
+        let d = net
+            .send_reliable(0, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(!d.delivered, "uplink direction is cut");
+        let d = net.send_downlink(0, Message::AlgorithmAssignment).unwrap();
+        assert!(d.delivered && d.acked, "downlink direction still works");
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Property-based tests over the core invariants, spanning crates.
 
 use eecs::core::accuracy::combined_probability;
-use eecs::core::controller::{QuarantineLedger, QuarantinePolicy};
+use eecs::core::checkpoint::CacheSlot;
+use eecs::core::controller::{CameraAssessment, QuarantineLedger, QuarantinePolicy};
 use eecs::core::jsonio::{self, Json};
+use eecs::core::metadata::CameraReport;
+use eecs::core::reconcile::{reconcile, SeatSnapshot};
 use eecs::core::telemetry::{FlightRecorder, MetricsRegistry, TraceEvent};
 use eecs::detect::detection::AlgorithmId;
 use eecs::detect::detection::BBox;
@@ -16,6 +19,7 @@ use eecs::linalg::Mat;
 use eecs::manifold::gfk::GeodesicFlowKernel;
 use eecs::manifold::subspace::Subspace;
 use eecs::manifold::video::VideoItem;
+use eecs::net::fault::{Endpoint, FaultPlan, PartitionPlan};
 use eecs::scene::sensor_fault::{SensorFaultPlan, SensorImpairments};
 use eecs::vision::image::RgbImage;
 use proptest::prelude::*;
@@ -488,4 +492,124 @@ fn pixel_bits(img: &RgbImage) -> Vec<u32> {
         }
     }
     bits
+}
+
+// ---- partition reconciliation algebra ----
+
+const ALGS: [AlgorithmId; 4] = [
+    AlgorithmId::Hog,
+    AlgorithmId::Acf,
+    AlgorithmId::C4,
+    AlgorithmId::Lsvm,
+];
+
+/// A cache payload that is a pure function of the slot key — mirroring
+/// the system invariant that a seat at a given epoch records a round's
+/// assessment exactly once, so equal keys always carry equal payloads.
+fn assessment_for(epoch: u64, round: usize) -> CameraAssessment {
+    let mut m = CameraAssessment::new();
+    if (epoch as usize + round) % 2 == 1 {
+        m.insert(
+            AlgorithmId::Hog,
+            vec![CameraReport {
+                objects: Vec::new(),
+            }],
+        );
+    }
+    m
+}
+
+fn seat_snapshot_strategy() -> impl Strategy<Value = SeatSnapshot> {
+    let slot = (
+        0u64..3,
+        prop::option::of(0usize..5),
+        prop::option::of(0usize..5),
+    )
+        .prop_map(|(epoch, entry_round, heard)| CacheSlot {
+            epoch,
+            heard,
+            entry: entry_round.map(|r| (r, assessment_for(epoch, r))),
+        });
+    let quarantine =
+        prop::collection::btree_map((0usize..4, 0usize..4), (1u32..5, 0usize..12), 0..5).prop_map(
+            |m| {
+                m.into_iter()
+                    .map(|((cam, alg), (strikes, until))| (cam, ALGS[alg], strikes, until))
+                    .collect::<Vec<_>>()
+            },
+        );
+    (
+        0u64..4,
+        prop::option::of(0usize..4),
+        0usize..6,
+        prop::collection::vec(slot, 3),
+        quarantine,
+    )
+        .prop_map(|(epoch, seat, plan_round, cache, quarantine)| {
+            // The standing plan is likewise derived from the priority key
+            // (epoch, plan_round, seat): priority ties carry equal plans,
+            // as they do in the real system.
+            let cam = (plan_round + seat.unwrap_or(0)) % 4;
+            SeatSnapshot {
+                epoch,
+                seat,
+                plan_round,
+                assignment: [(cam, ALGS[(epoch as usize) % 4])].into(),
+                active: vec![cam],
+                cache,
+                quarantine,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reconcile_is_commutative_and_epoch_is_max(
+        a in seat_snapshot_strategy(),
+        b in seat_snapshot_strategy(),
+    ) {
+        let ab = reconcile(&a, &b);
+        let ba = reconcile(&b, &a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.epoch, a.epoch.max(b.epoch));
+    }
+
+    #[test]
+    fn reconcile_is_associative(
+        a in seat_snapshot_strategy(),
+        b in seat_snapshot_strategy(),
+        c in seat_snapshot_strategy(),
+    ) {
+        let left = reconcile(&reconcile(&a, &b), &c);
+        let right = reconcile(&a, &reconcile(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn reconcile_is_idempotent(a in seat_snapshot_strategy()) {
+        prop_assert_eq!(reconcile(&a, &a), a);
+    }
+
+    #[test]
+    fn empty_partition_windows_are_inert(
+        start in 0usize..20,
+        a in 0usize..6,
+        b in 0usize..6,
+        round in 0usize..40,
+    ) {
+        let islands = vec![
+            vec![Endpoint::Hub, Endpoint::Camera(0)],
+            vec![Endpoint::Camera(1), Endpoint::Camera(2)],
+        ];
+        let plan = PartitionPlan::none()
+            .with_split(islands, start, start)
+            .with_one_way(Endpoint::Camera(3), Endpoint::Hub, start, start);
+        prop_assert!(!plan.enabled(), "an empty window must schedule nothing");
+        prop_assert!(!plan.is_partitioned(round));
+        let ep = |i: usize| if i == 5 { Endpoint::Hub } else { Endpoint::Camera(i) };
+        prop_assert!(plan.can_reach(ep(a), ep(b), round));
+        prop_assert!(!FaultPlan::ideal().with_partition(plan).enabled());
+    }
 }

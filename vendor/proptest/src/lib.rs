@@ -243,6 +243,73 @@ pub mod collection {
             (0..n).map(|_| self.element.sample(rng)).collect()
         }
     }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>` with a size drawn from
+    /// `size`. Duplicate keys collapse, so maps may come out smaller.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap` strategy: `size` may be an exact `usize` or a `Range<usize>`.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.lo + rng.below(self.size.hi - self.size.lo);
+            (0..n)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::test_runner::TestRng;
+    use super::Strategy;
+
+    /// Strategy for `Option<S::Value>`, `None` roughly half the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option` strategy over `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
 }
 
 pub mod prelude {
@@ -254,6 +321,7 @@ pub mod prelude {
     pub mod prop {
         //! Namespace mirror of proptest's `prop` module.
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 
