@@ -35,11 +35,22 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> bench smoke (pipeline trajectory)"
+echo "==> bench smoke (pipeline trajectory + kernel regression gate)"
 # One timed iteration per bench: enough to prove the harness runs end to
 # end and regenerates a well-formed BENCH_pipeline.json at the repo root.
+# The committed report is saved first and used as the regression baseline:
+# check_bench compares the per-kernel optimized-vs-reference ratios (which
+# are host-independent, unlike raw ns) and fails on a kernel regression
+# beyond the tolerance. The generous tolerance absorbs 1-iteration noise.
+bench_baseline="$(mktemp)"
+cp BENCH_pipeline.json "$bench_baseline"
 EECS_BENCH_ITERS=1 cargo bench -q -p eecs-bench --bench pipeline -- --bench
-cargo run -q --release -p eecs-bench --bin check_bench
+cargo run -q --release -p eecs-bench --bin check_bench -- \
+  --baseline "$bench_baseline" --tolerance 0.5
+# The smoke run's 1-iteration timings are noise: restore the committed
+# multi-iteration report so CI leaves the tree clean.
+cp "$bench_baseline" BENCH_pipeline.json
+rm -f "$bench_baseline"
 
 echo "==> sweep smoke (2 workers, kill after 2 cells, resume)"
 # Tiny budget × fault-seed grid through the sweep engine: a 2-worker run

@@ -18,6 +18,8 @@ use eecs_core::reid::{fuse_reports, ReidConfig};
 use eecs_core::simulation::{OperatingMode, Parallelism, Simulation, SimulationConfig};
 use eecs_detect::bank::DetectorBank;
 use eecs_detect::detection::BBox;
+use eecs_detect::pyramid::ScaleSchedule;
+use eecs_detect::{Detector, FrameFeatures};
 use eecs_geometry::calibration::{landmark_grid, GroundCalibration};
 use eecs_geometry::camera::Camera;
 use eecs_geometry::point::{Point2, Point3};
@@ -89,6 +91,107 @@ fn detect_bench(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// Per-kernel microbenches: the optimized detect path against the kept
+/// pre-optimization reference of each algorithm, plus precompute-only and
+/// cached-scan slices of the C4 pipeline. Before any timing, each pair is
+/// asserted bit-identical on the bench frame, so a speedup can never be
+/// reported for a path that drifted. Returns the C4 cascade reject ratio
+/// (computed outside the timing loops).
+fn kernel_bench(c: &mut Criterion) -> f64 {
+    let bank = DetectorBank::train_quick(5).expect("bank");
+    let profile = DatasetProfile::miniature(DatasetId::Lab);
+    let frame = VideoFeed::open(profile, 0)
+        .annotated_frames(40, 46)
+        .into_iter()
+        .next()
+        .expect("annotated frame")
+        .image;
+
+    let assert_same = |got: &eecs_detect::detection::DetectionOutput,
+                       want: &eecs_detect::detection::DetectionOutput,
+                       alg: &str| {
+        assert_eq!(got.ops, want.ops, "{alg}: ops diverged from reference");
+        assert_eq!(got.detections.len(), want.detections.len(), "{alg}: count");
+        for (a, b) in got.detections.iter().zip(&want.detections) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "{alg}: score bits");
+            assert_eq!(a.bbox, b.bbox, "{alg}: bbox");
+        }
+    };
+    assert_same(
+        &bank.c4().detect(&frame),
+        &bank.c4().detect_reference(&frame),
+        "C4",
+    );
+    assert_same(
+        &bank.hog().detect(&frame),
+        &bank.hog().detect_reference(&frame),
+        "HOG",
+    );
+    assert_same(
+        &bank.lsvm().detect(&frame),
+        &bank.lsvm().detect_reference(&frame),
+        "LSVM",
+    );
+    assert_same(
+        &bank.acf().detect(&frame),
+        &bank.acf().detect_reference(&frame),
+        "ACF",
+    );
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("c4_optimized", |b| {
+        b.iter(|| black_box(bank.c4().detect(black_box(&frame))))
+    });
+    group.bench_function("c4_reference", |b| {
+        b.iter(|| black_box(bank.c4().detect_reference(black_box(&frame))))
+    });
+    group.bench_function("hog_optimized", |b| {
+        b.iter(|| black_box(bank.hog().detect(black_box(&frame))))
+    });
+    group.bench_function("hog_reference", |b| {
+        b.iter(|| black_box(bank.hog().detect_reference(black_box(&frame))))
+    });
+    group.bench_function("lsvm_optimized", |b| {
+        b.iter(|| black_box(bank.lsvm().detect(black_box(&frame))))
+    });
+    group.bench_function("lsvm_reference", |b| {
+        b.iter(|| black_box(bank.lsvm().detect_reference(black_box(&frame))))
+    });
+    group.bench_function("acf_optimized", |b| {
+        b.iter(|| black_box(bank.acf().detect(black_box(&frame))))
+    });
+    group.bench_function("acf_reference", |b| {
+        b.iter(|| black_box(bank.acf().detect_reference(black_box(&frame))))
+    });
+    // Pipeline slices: per-level precompute alone (fresh cache every
+    // iteration, so each level's code plane is rebuilt) and the scan alone
+    // (cache warmed once, so iterations measure pure window scoring).
+    let c4_cfg = bank.c4().config().clone();
+    group.bench_function("c4_precompute_levels", |b| {
+        b.iter(|| {
+            let cache = FrameFeatures::new(&frame);
+            let (iw, ih) = (c4_cfg.internal_w, c4_cfg.internal_h);
+            for scale in c4_cfg.scales.usable_scales(iw, ih) {
+                let (sw, sh) = ScaleSchedule::level_dims(scale, iw, ih);
+                let _ = black_box(cache.census_codes(iw, ih, sw, sh));
+            }
+        })
+    });
+    let warmed = FrameFeatures::new(&frame);
+    let _ = bank.c4().detect_with_cache(&frame, &warmed);
+    group.bench_function("c4_scan_cached", |b| {
+        b.iter(|| black_box(bank.c4().detect_with_cache(black_box(&frame), &warmed)))
+    });
+    group.finish();
+
+    let (windows, rejected) = bank.c4().cascade_stats(&frame);
+    if windows == 0 {
+        0.0
+    } else {
+        rejected as f64 / windows as f64
+    }
 }
 
 fn round_sim(parallel: Parallelism) -> Simulation {
@@ -218,6 +321,7 @@ fn main() {
     let mut c = Criterion::new();
     reid_bench(&mut c);
     detect_bench(&mut c);
+    let cascade_reject_ratio = kernel_bench(&mut c);
     round_bench(&mut c);
     sweep_bench(&mut c);
 
@@ -250,17 +354,32 @@ fn main() {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let text = report::render(
-        &entries,
-        &[
-            ("round_speedup".into(), speedup),
-            ("sweep_speedup".into(), sweep_speedup),
-            ("host_parallelism".into(), host as f64),
-        ],
-    );
+    let mut metrics = vec![
+        ("round_speedup".to_string(), speedup),
+        ("sweep_speedup".to_string(), sweep_speedup),
+    ];
+    // Kernel speedups: optimized vs reference of the SAME run — the ratio
+    // is host-independent, which is what lets `check_bench --baseline`
+    // compare it across runs where absolute ns are incomparable.
+    for alg in ["c4", "hog", "lsvm", "acf"] {
+        let opt = c
+            .mean_ns(&format!("kernels/{alg}_optimized"))
+            .expect("kernel optimized ran")
+            .max(1);
+        let reference = c
+            .mean_ns(&format!("kernels/{alg}_reference"))
+            .expect("kernel reference ran");
+        let ratio = reference as f64 / opt as f64;
+        println!("kernel speedup {alg} (reference/optimized): {ratio:.2}x");
+        metrics.push((format!("kernel_speedup_{alg}"), ratio));
+    }
+    metrics.push(("c4_cascade_reject_ratio".into(), cascade_reject_ratio));
+    metrics.push(("host_parallelism".into(), host as f64));
+    let text = report::render(&entries, &metrics);
     report::validate_pipeline_report(&text).expect("generated report validates");
     std::fs::write(REPORT_PATH, &text).expect("write BENCH_pipeline.json");
     println!("round speedup (serial/parallel): {speedup:.2}x");
     println!("sweep speedup (1 worker / 4 workers): {sweep_speedup:.2}x");
+    println!("C4 cascade reject ratio: {cascade_reject_ratio:.3}");
     println!("wrote {REPORT_PATH}");
 }

@@ -54,6 +54,10 @@ pub fn render(entries: &[BenchEntry], metrics: &[(String, f64)]) -> String {
     out
 }
 
+/// Metric-name prefix of the per-kernel optimized-vs-reference ratios
+/// (`kernel_speedup_c4`, `kernel_speedup_hog`, …).
+pub const KERNEL_SPEEDUP_PREFIX: &str = "kernel_speedup_";
+
 /// What a well-formed pipeline report contains.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineSummary {
@@ -68,6 +72,17 @@ pub struct PipelineSummary {
     /// runs) both collapse to ~1×, while the ≥2× expectation applies on
     /// multi-core hardware.
     pub sweep_speedup: f64,
+    /// Per-kernel optimized-vs-reference speedups, in report order, with
+    /// the [`KERNEL_SPEEDUP_PREFIX`] stripped (`("c4", 3.4)`, …). Both
+    /// sides of each ratio are measured in the *same* run on the same
+    /// host, so the ratio — unlike absolute entry times — is comparable
+    /// across runs and hosts; `check_bench --baseline` regresses on it.
+    /// Empty for reports predating the kernel benches.
+    pub kernel_speedups: Vec<(String, f64)>,
+    /// Cores visible to the benchmark host, when recorded. Gates how
+    /// `check_bench` treats the parallel speedups: ~1× is expected on one
+    /// core and a defect on many.
+    pub host_parallelism: Option<f64>,
 }
 
 /// Validates a `BENCH_pipeline.json` document: schema tag, a non-empty
@@ -122,10 +137,31 @@ pub fn validate_pipeline_report(text: &str) -> Result<PipelineSummary, String> {
         }
         Ok(value)
     };
+    let mut kernel_speedups = Vec::new();
+    if let Some(Json::Obj(metrics)) = doc.get("metrics") {
+        for (name, value) in metrics {
+            let Some(kernel) = name.strip_prefix(KERNEL_SPEEDUP_PREFIX) else {
+                continue;
+            };
+            let value = value
+                .as_num()
+                .ok_or_else(|| format!("metrics.{name} is not a number"))?;
+            if !(value.is_finite() && value > 0.0) {
+                return Err(format!("{name} must be positive"));
+            }
+            kernel_speedups.push((kernel.to_owned(), value));
+        }
+    }
+    let host_parallelism = doc
+        .get("metrics")
+        .and_then(|m| m.get("host_parallelism"))
+        .and_then(Json::as_num);
     Ok(PipelineSummary {
         entries,
         round_speedup: speedup("round_speedup")?,
         sweep_speedup: speedup("sweep_speedup")?,
+        kernel_speedups,
+        host_parallelism,
     })
 }
 
@@ -157,6 +193,33 @@ mod tests {
         assert_eq!(summary.entries, sample_entries());
         assert!((summary.round_speedup - 2.5).abs() < 1e-12);
         assert!((summary.sweep_speedup - 3.5).abs() < 1e-12);
+        assert!(summary.kernel_speedups.is_empty());
+        assert_eq!(summary.host_parallelism, None);
+    }
+
+    #[test]
+    fn kernel_speedups_and_host_parallelism_parsed() {
+        let mut metrics = sample_metrics();
+        metrics.push(("kernel_speedup_c4".into(), 3.4));
+        metrics.push(("kernel_speedup_hog".into(), 1.8));
+        metrics.push(("host_parallelism".into(), 4.0));
+        let text = render(&sample_entries(), &metrics);
+        let summary = validate_pipeline_report(&text).unwrap();
+        assert_eq!(
+            summary.kernel_speedups,
+            vec![("c4".to_string(), 3.4), ("hog".to_string(), 1.8)]
+        );
+        assert_eq!(summary.host_parallelism, Some(4.0));
+    }
+
+    #[test]
+    fn non_positive_kernel_speedup_rejected() {
+        let mut metrics = sample_metrics();
+        metrics.push(("kernel_speedup_acf".into(), 0.0));
+        let text = render(&sample_entries(), &metrics);
+        assert!(validate_pipeline_report(&text)
+            .unwrap_err()
+            .contains("kernel_speedup_acf"));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::detection::{AlgorithmId, BBox, Detection, DetectionOutput};
 use crate::frame_features::FrameFeatures;
-use crate::nms::non_maximum_suppression;
+use crate::nms::{nms_in_place, non_maximum_suppression};
 use crate::pyramid::{ScaleSchedule, WINDOW_H, WINDOW_W};
 use crate::training::{synthesize, NegativeRegime, TrainingConfig};
 use crate::{DetectError, Detector, Result};
@@ -160,6 +160,9 @@ impl AcfDetector {
 
     /// Evaluates the soft cascade at an aggregated-window position.
     /// Returns `(score, stumps_evaluated)`; `None` score means rejected.
+    ///
+    /// Pre-optimization path, kept verbatim as the oracle for
+    /// [`AcfDetector::cascade_score_fast`].
     fn cascade_score(&self, ch: &AcfChannels, x0: usize, y0: usize) -> (Option<f64>, u64) {
         let mut sum = 0.0;
         for (k, s) in self.stumps.iter().enumerate() {
@@ -175,6 +178,88 @@ impl AcfDetector {
             }
         }
         (Some(sum), self.stumps.len() as u64)
+    }
+
+    /// [`AcfDetector::cascade_score`] over raw channel planes: each stump's
+    /// `(dy, dx)` is pre-flattened into a row-major offset (`offsets`, one
+    /// per stump, built once per pyramid level), so the per-stump lookup is
+    /// one indexed load instead of an `(x, y)` address computation through
+    /// the image accessor. `base` is `y0 · ch_width + x0`. Reads the same
+    /// pixel values in the same order — scores and evaluation counts are
+    /// identical to the reference.
+    #[inline]
+    fn cascade_score_fast(
+        &self,
+        planes: &[&[f32]],
+        offsets: &[usize],
+        base: usize,
+    ) -> (Option<f64>, u64) {
+        let mut sum = 0.0;
+        for (k, (s, &off)) in self.stumps.iter().zip(offsets).enumerate() {
+            let v = planes[s.channel][base + off] as f64;
+            let h = if v > s.threshold {
+                s.polarity
+            } else {
+                -s.polarity
+            };
+            sum += s.alpha * h;
+            if k + 1 >= self.config.cascade_warmup && sum < self.config.cascade_floor {
+                return (None, (k + 1) as u64);
+            }
+        }
+        (Some(sum), self.stumps.len() as u64)
+    }
+
+    /// The pre-optimization detection loop, kept verbatim (fresh cache,
+    /// accessor-based lookups, allocating NMS) as the equivalence oracle
+    /// for `detect`: same detections, same scores, same `ops`.
+    pub fn detect_reference(&self, frame: &RgbImage) -> DetectionOutput {
+        let cache = FrameFeatures::new(frame);
+        let mut ops = 0u64;
+        let mut candidates = Vec::new();
+        for scale in ScaleSchedule::usable_from(&self.scale_levels, frame.width(), frame.height()) {
+            let (sw, sh) = ScaleSchedule::level_dims(scale, frame.width(), frame.height());
+            if cache.resized_rgb(sw, sh).is_err() {
+                continue;
+            }
+            ops += (sw * sh) as u64 * 3;
+            let Ok(ch) = cache.acf_channels(sw, sh, self.config.shrink) else {
+                continue;
+            };
+            if ch.width() < self.agg_w || ch.height() < self.agg_h {
+                continue;
+            }
+            let stride = self.config.stride.max(1);
+            let mut y0 = 0;
+            while y0 + self.agg_h <= ch.height() {
+                let mut x0 = 0;
+                while x0 + self.agg_w <= ch.width() {
+                    let (score, evaluated) = self.cascade_score(&ch, x0, y0);
+                    ops += evaluated;
+                    if let Some(score) = score {
+                        if score >= self.config.keep_floor {
+                            let px0 = (x0 * self.config.shrink) as f64 / scale;
+                            let py0 = (y0 * self.config.shrink) as f64 / scale;
+                            candidates.push(Detection {
+                                bbox: BBox::new(
+                                    px0,
+                                    py0,
+                                    px0 + WINDOW_W as f64 / scale,
+                                    py0 + WINDOW_H as f64 / scale,
+                                ),
+                                score,
+                            });
+                        }
+                    }
+                    x0 += stride;
+                }
+                y0 += stride;
+            }
+        }
+        DetectionOutput {
+            detections: non_maximum_suppression(candidates, self.config.nms_iou),
+            ops,
+        }
     }
 }
 
@@ -215,54 +300,69 @@ impl Detector for AcfDetector {
     fn detect_with_cache(&self, frame: &RgbImage, cache: &FrameFeatures<'_>) -> DetectionOutput {
         let mut ops = 0u64;
         let mut candidates = Vec::new();
-        for scale in ScaleSchedule::usable_from(&self.scale_levels, frame.width(), frame.height()) {
-            let sw = (frame.width() as f64 * scale).round() as usize;
-            let sh = (frame.height() as f64 * scale).round() as usize;
-            // Cache stages mirror the direct resize-then-channels
-            // computation so the ops increment lands between the same
-            // failure points.
-            if cache.resized_rgb(sw, sh).is_err() {
-                continue;
-            }
-            // Channel computation: ~1 op per pixel per gradient pass plus
-            // the aggregation; CHANNEL_COUNT lookups amortized via shrink².
-            ops += (sw * sh) as u64 * 3;
-            let Ok(ch) = cache.acf_channels(sw, sh, self.config.shrink) else {
-                continue;
-            };
-            let _ = CHANNEL_COUNT;
-            if ch.width() < self.agg_w || ch.height() < self.agg_h {
-                continue;
-            }
-            let stride = self.config.stride.max(1);
-            let mut y0 = 0;
-            while y0 + self.agg_h <= ch.height() {
-                let mut x0 = 0;
-                while x0 + self.agg_w <= ch.width() {
-                    let (score, evaluated) = self.cascade_score(&ch, x0, y0);
-                    ops += evaluated;
-                    if let Some(score) = score {
-                        if score >= self.config.keep_floor {
-                            let px0 = (x0 * self.config.shrink) as f64 / scale;
-                            let py0 = (y0 * self.config.shrink) as f64 / scale;
-                            candidates.push(Detection {
-                                bbox: BBox::new(
-                                    px0,
-                                    py0,
-                                    px0 + WINDOW_W as f64 / scale,
-                                    py0 + WINDOW_H as f64 / scale,
-                                ),
-                                score,
-                            });
-                        }
-                    }
-                    x0 += stride;
+        cache.with_scratch(|scratch| {
+            for scale in
+                ScaleSchedule::usable_from(&self.scale_levels, frame.width(), frame.height())
+            {
+                let (sw, sh) = ScaleSchedule::level_dims(scale, frame.width(), frame.height());
+                // Cache stages mirror the direct resize-then-channels
+                // computation so the ops increment lands between the same
+                // failure points.
+                if cache.resized_rgb(sw, sh).is_err() {
+                    continue;
                 }
-                y0 += stride;
+                // Channel computation: ~1 op per pixel per gradient pass
+                // plus the aggregation; CHANNEL_COUNT lookups amortized via
+                // shrink².
+                ops += (sw * sh) as u64 * 3;
+                let Ok(ch) = cache.acf_channels(sw, sh, self.config.shrink) else {
+                    continue;
+                };
+                if ch.width() < self.agg_w || ch.height() < self.agg_h {
+                    continue;
+                }
+                // Per-level flattening: raw plane slices plus each stump's
+                // `(dy, dx)` as a single row-major offset.
+                let planes: Vec<&[f32]> = (0..CHANNEL_COUNT)
+                    .map(|c| ch.channel(c).as_slice())
+                    .collect();
+                let ch_w = ch.width();
+                scratch.offsets.clear();
+                scratch
+                    .offsets
+                    .extend(self.stumps.iter().map(|s| s.dy * ch_w + s.dx));
+                let stride = self.config.stride.max(1);
+                let mut y0 = 0;
+                while y0 + self.agg_h <= ch.height() {
+                    let mut x0 = 0;
+                    while x0 + self.agg_w <= ch.width() {
+                        let (score, evaluated) =
+                            self.cascade_score_fast(&planes, &scratch.offsets, y0 * ch_w + x0);
+                        ops += evaluated;
+                        if let Some(score) = score {
+                            if score >= self.config.keep_floor {
+                                let px0 = (x0 * self.config.shrink) as f64 / scale;
+                                let py0 = (y0 * self.config.shrink) as f64 / scale;
+                                candidates.push(Detection {
+                                    bbox: BBox::new(
+                                        px0,
+                                        py0,
+                                        px0 + WINDOW_W as f64 / scale,
+                                        py0 + WINDOW_H as f64 / scale,
+                                    ),
+                                    score,
+                                });
+                            }
+                        }
+                        x0 += stride;
+                    }
+                    y0 += stride;
+                }
             }
-        }
+        });
+        nms_in_place(&mut candidates, self.config.nms_iou);
         DetectionOutput {
-            detections: non_maximum_suppression(candidates, self.config.nms_iou),
+            detections: candidates,
             ops,
         }
     }
@@ -363,6 +463,24 @@ mod tests {
         let without = AcfDetector::train(cfg).unwrap();
         let img = scene_with_person(80.0, 110.0, 70.0);
         assert!(with_cascade.detect(&img).ops < without.detect(&img).ops);
+    }
+
+    #[test]
+    fn detect_matches_reference_bitwise() {
+        let det = AcfDetector::train(quick_config()).unwrap();
+        for frame in [
+            scene_with_person(80.0, 110.0, 70.0),
+            scene_with_person(40.0, 100.0, 90.0),
+        ] {
+            let got = det.detect(&frame);
+            let want = det.detect_reference(&frame);
+            assert_eq!(got.ops, want.ops);
+            assert_eq!(got.detections.len(), want.detections.len());
+            for (a, b) in got.detections.iter().zip(&want.detections) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.bbox, b.bbox);
+            }
+        }
     }
 
     #[test]

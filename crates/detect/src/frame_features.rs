@@ -31,7 +31,7 @@
 //! as the direct computation.
 
 use eecs_vision::channels::AcfChannels;
-use eecs_vision::hog::{HogCellGrid, HogConfig};
+use eecs_vision::hog::{HogBlockGrid, HogCellGrid, HogConfig};
 use eecs_vision::image::{GrayImage, RgbImage};
 use eecs_vision::resize::{resize_gray, resize_rgb};
 use eecs_vision::Result as VisionResult;
@@ -39,6 +39,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::c4_detector::census_transform;
+use crate::kernels::{CensusCodePlane, DetectScratch};
 
 /// Key of a HOG cell grid: level dimensions plus the full HOG layout
 /// (`HogConfig` carries no `Hash` impl, so the fields are spread here).
@@ -59,8 +60,11 @@ pub struct FrameFeatures<'a> {
     gray_levels: Mutex<HashMap<(usize, usize), Arc<GrayImage>>>,
     rgb_levels: Mutex<HashMap<(usize, usize), Arc<RgbImage>>>,
     hog_grids: Mutex<HashMap<HogKey, Arc<HogCellGrid>>>,
+    hog_blocks: Mutex<HashMap<HogKey, Arc<HogBlockGrid>>>,
     acf_levels: Mutex<HashMap<(usize, usize, usize), Arc<AcfChannels>>>,
     census_levels: Mutex<HashMap<CensusKey, Arc<GrayImage>>>,
+    census_codes: Mutex<HashMap<CensusKey, Arc<CensusCodePlane>>>,
+    scratch: Mutex<Vec<DetectScratch>>,
 }
 
 impl<'a> FrameFeatures<'a> {
@@ -73,9 +77,28 @@ impl<'a> FrameFeatures<'a> {
             gray_levels: Mutex::new(HashMap::new()),
             rgb_levels: Mutex::new(HashMap::new()),
             hog_grids: Mutex::new(HashMap::new()),
+            hog_blocks: Mutex::new(HashMap::new()),
             acf_levels: Mutex::new(HashMap::new()),
             census_levels: Mutex::new(HashMap::new()),
+            census_codes: Mutex::new(HashMap::new()),
+            scratch: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Runs `f` with a [`DetectScratch`] checked out of this frame's pool.
+    ///
+    /// Buffers keep their capacity across checkouts, so every detector
+    /// scanning through the same cache reuses the same allocations; under
+    /// concurrent access each caller simply gets its own scratch. Contents
+    /// are transient — callers must not read a buffer before writing it.
+    pub fn with_scratch<R>(&self, f: impl FnOnce(&mut DetectScratch) -> R) -> R {
+        let mut scratch = {
+            let mut pool = self.scratch.lock().unwrap();
+            pool.pop().unwrap_or_default()
+        };
+        let out = f(&mut scratch);
+        self.scratch.lock().unwrap().push(scratch);
+        out
     }
 
     /// The frame this cache is derived from.
@@ -160,6 +183,40 @@ impl<'a> FrameFeatures<'a> {
             .clone())
     }
 
+    /// The precomputed block-normalized HOG blocks of the `w × h` level
+    /// under `config` (= `HogBlockGrid::compute(&hog_grid(w, h, config))`).
+    ///
+    /// Every block's normalized vector is bit-identical to the block the
+    /// cell grid's `window_descriptor` would assemble in place, so window
+    /// scores folded over these blocks equal the assemble-then-dot path
+    /// exactly; the scan skips the per-window normalization and
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resize or grid-computation errors; failures are not
+    /// cached.
+    pub fn hog_blocks(
+        &self,
+        w: usize,
+        h: usize,
+        config: HogConfig,
+    ) -> VisionResult<Arc<HogBlockGrid>> {
+        let key = (w, h, config.cell_size, config.block_cells, config.bins);
+        if let Some(hit) = self.hog_blocks.lock().unwrap().get(&key) {
+            return Ok(hit.clone());
+        }
+        let grid = self.hog_grid(w, h, config)?;
+        let blocks = Arc::new(HogBlockGrid::compute(&grid));
+        Ok(self
+            .hog_blocks
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(blocks)
+            .clone())
+    }
+
     /// The aggregated ACF channels of the `w × h` RGB level
     /// (= `AcfChannels::compute(&resize_rgb(frame, w, h), shrink)`).
     ///
@@ -222,20 +279,53 @@ impl<'a> FrameFeatures<'a> {
             .or_insert(census)
             .clone())
     }
+
+    /// The `u8` code plane of the census level keyed exactly like
+    /// [`FrameFeatures::census_level`]: each code is
+    /// `(pixel as usize).min(255)`, the cast the reference scorer applies
+    /// per window pixel, materialized once per level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resize errors (from either stage); failures are not
+    /// cached.
+    pub fn census_codes(
+        &self,
+        internal_w: usize,
+        internal_h: usize,
+        w: usize,
+        h: usize,
+    ) -> VisionResult<Arc<CensusCodePlane>> {
+        let key = (internal_w, internal_h, w, h);
+        if let Some(hit) = self.census_codes.lock().unwrap().get(&key) {
+            return Ok(hit.clone());
+        }
+        let census = self.census_level(internal_w, internal_h, w, h)?;
+        let plane = Arc::new(CensusCodePlane::from_census(&census));
+        Ok(self
+            .census_codes
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(plane)
+            .clone())
+    }
 }
 
 impl std::fmt::Debug for FrameFeatures<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "FrameFeatures({}x{}, {} gray / {} rgb levels, {} hog grids, {} acf levels, {} census levels)",
+            "FrameFeatures({}x{}, {} gray / {} rgb levels, {} hog grids, {} hog block grids, {} acf levels, {} census levels, {} code planes)",
             self.frame.width(),
             self.frame.height(),
             self.gray_levels.lock().unwrap().len(),
             self.rgb_levels.lock().unwrap().len(),
             self.hog_grids.lock().unwrap().len(),
+            self.hog_blocks.lock().unwrap().len(),
             self.acf_levels.lock().unwrap().len(),
             self.census_levels.lock().unwrap().len(),
+            self.census_codes.lock().unwrap().len(),
         )
     }
 }
@@ -296,6 +386,57 @@ mod tests {
             &resize_gray(&resize_gray(&frame.to_gray(), 32, 24).unwrap(), 24, 18).unwrap(),
         );
         assert_eq!(*via_32, direct);
+    }
+
+    #[test]
+    fn census_codes_match_level_cast_and_are_shared() {
+        let frame = test_frame();
+        let cache = FrameFeatures::new(&frame);
+        let plane = cache.census_codes(32, 24, 24, 18).unwrap();
+        let level = cache.census_level(32, 24, 24, 18).unwrap();
+        for y in 0..18 {
+            for x in 0..24 {
+                assert_eq!(plane.code(x, y), (level.get(x, y) as usize).min(255));
+            }
+        }
+        assert!(Arc::ptr_eq(
+            &plane,
+            &cache.census_codes(32, 24, 24, 18).unwrap()
+        ));
+    }
+
+    #[test]
+    fn hog_blocks_derive_from_the_cached_grid() {
+        let frame = test_frame();
+        let cache = FrameFeatures::new(&frame);
+        let cfg = HogConfig {
+            cell_size: 4,
+            block_cells: 2,
+            bins: 9,
+        };
+        let blocks = cache.hog_blocks(64, 48, cfg).unwrap();
+        let grid = cache.hog_grid(64, 48, cfg).unwrap();
+        assert_eq!(blocks.blocks_x(), grid.cells_x() - 1);
+        let direct = HogBlockGrid::compute(&grid);
+        assert_eq!(blocks.block(2, 3), direct.block(2, 3));
+        assert!(Arc::ptr_eq(
+            &blocks,
+            &cache.hog_blocks(64, 48, cfg).unwrap()
+        ));
+    }
+
+    #[test]
+    fn scratch_pool_reuses_buffers() {
+        let frame = test_frame();
+        let cache = FrameFeatures::new(&frame);
+        let cap = cache.with_scratch(|s| {
+            s.descriptor.clear();
+            s.descriptor.extend(std::iter::repeat(0.5).take(512));
+            s.descriptor.capacity()
+        });
+        // The same buffer (or at least its capacity) comes back.
+        let cap2 = cache.with_scratch(|s| s.descriptor.capacity());
+        assert!(cap2 >= cap);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::detection::BBox;
 use crate::detection::{AlgorithmId, Detection, DetectionOutput};
 use crate::frame_features::FrameFeatures;
-use crate::nms::non_maximum_suppression;
+use crate::nms::{nms_in_place, non_maximum_suppression};
 use crate::pyramid::{ScaleSchedule, WINDOW_H, WINDOW_W};
 use crate::training::{synthesize, NegativeRegime, TrainingConfig, TrainingWindows};
 use crate::{DetectError, Detector, Result};
@@ -98,9 +98,104 @@ impl HogSvmDetector {
         })
     }
 
+    /// Builds a detector around an already-trained SVM whose weight vector
+    /// has the window-descriptor dimension implied by `config.hog`. Used by
+    /// the equivalence battery to probe random weight vectors without
+    /// paying for training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidArgument`] if the HOG layout cannot
+    /// tile the detection window or the weight dimension mismatches.
+    pub fn from_svm(config: HogDetectorConfig, svm: LinearSvm) -> Result<HogSvmDetector> {
+        let b = config.hog.block_cells;
+        let cell = config.hog.cell_size;
+        if cell == 0 || b == 0 {
+            return Err(DetectError::InvalidArgument(
+                "hog cell/block size must be positive".into(),
+            ));
+        }
+        let (cells_w, cells_h) = (WINDOW_W / cell, WINDOW_H / cell);
+        if cells_w < b || cells_h < b {
+            return Err(DetectError::InvalidArgument(format!(
+                "window of {cells_w}×{cells_h} cells cannot hold a {b}-cell block"
+            )));
+        }
+        let dim = (cells_w - b + 1) * (cells_h - b + 1) * b * b * config.hog.bins;
+        if svm.weights().len() != dim {
+            return Err(DetectError::InvalidArgument(format!(
+                "hog svm weight dim {} != {dim}",
+                svm.weights().len()
+            )));
+        }
+        let scale_levels = config.scales.scales();
+        Ok(HogSvmDetector {
+            config,
+            svm,
+            scale_levels,
+        })
+    }
+
     /// The trained SVM (for inspection/calibration).
     pub fn svm(&self) -> &LinearSvm {
         &self.svm
+    }
+
+    /// The pre-optimization detection loop, kept verbatim (fresh cache,
+    /// per-window descriptor assembly, allocating NMS) as the equivalence
+    /// oracle for `detect`: same detections, same scores, same `ops`.
+    pub fn detect_reference(&self, frame: &RgbImage) -> DetectionOutput {
+        let cache = FrameFeatures::new(frame);
+        let cell = self.config.hog.cell_size;
+        let cells_w = WINDOW_W / cell;
+        let cells_h = WINDOW_H / cell;
+        let mut ops = (frame.width() * frame.height()) as u64;
+        let mut candidates = Vec::new();
+
+        for scale in ScaleSchedule::usable_from(&self.scale_levels, frame.width(), frame.height()) {
+            let (sw, sh) = ScaleSchedule::level_dims(scale, frame.width(), frame.height());
+            if cache.resized_gray(sw, sh).is_err() {
+                continue;
+            }
+            ops += (sw * sh) as u64 * 3;
+            let Ok(grid) = cache.hog_grid(sw, sh, self.config.hog) else {
+                continue;
+            };
+            if grid.cells_x() < cells_w || grid.cells_y() < cells_h {
+                continue;
+            }
+            let stride = self.config.stride_cells.max(1);
+            let mut cy0 = 0;
+            while cy0 + cells_h <= grid.cells_y() {
+                let mut cx0 = 0;
+                while cx0 + cells_w <= grid.cells_x() {
+                    if let Ok(desc) = grid.window_descriptor(cx0, cy0, cells_w, cells_h) {
+                        ops += desc.len() as u64;
+                        let score = self.svm.score(&desc);
+                        if score >= self.config.keep_floor {
+                            let x0 = (cx0 * cell) as f64 / scale;
+                            let y0 = (cy0 * cell) as f64 / scale;
+                            candidates.push(Detection {
+                                bbox: BBox::new(
+                                    x0,
+                                    y0,
+                                    x0 + WINDOW_W as f64 / scale,
+                                    y0 + WINDOW_H as f64 / scale,
+                                ),
+                                score,
+                            });
+                        }
+                    }
+                    cx0 += stride;
+                }
+                cy0 += stride;
+            }
+        }
+
+        DetectionOutput {
+            detections: non_maximum_suppression(candidates, self.config.nms_iou),
+            ops,
+        }
     }
 
     /// The configuration used at training time.
@@ -145,9 +240,8 @@ impl Detector for HogSvmDetector {
         let mut candidates = Vec::new();
 
         for scale in ScaleSchedule::usable_from(&self.scale_levels, frame.width(), frame.height()) {
-            let sw = (frame.width() as f64 * scale).round() as usize;
-            let sh = (frame.height() as f64 * scale).round() as usize;
-            // The two cache stages mirror the direct resize-then-grid
+            let (sw, sh) = ScaleSchedule::level_dims(scale, frame.width(), frame.height());
+            // The cache stages mirror the direct resize-then-grid
             // computation so the ops increment lands between the same
             // failure points as before.
             if cache.resized_gray(sw, sh).is_err() {
@@ -160,14 +254,30 @@ impl Detector for HogSvmDetector {
             if grid.cells_x() < cells_w || grid.cells_y() < cells_h {
                 continue;
             }
+            // Blocks are normalized once per level; each window then scores
+            // as a running dot over its blocks — same values, same order as
+            // assembling the descriptor, so scores are bit-identical.
+            let Ok(blocks) = cache.hog_blocks(sw, sh, self.config.hog) else {
+                continue;
+            };
+            let Some(win_len) = blocks.window_len(cells_w, cells_h) else {
+                // Window smaller than one block: the reference path would
+                // fail every `window_descriptor` call and emit nothing.
+                continue;
+            };
             let stride = self.config.stride_cells.max(1);
             let mut cy0 = 0;
             while cy0 + cells_h <= grid.cells_y() {
                 let mut cx0 = 0;
                 while cx0 + cells_w <= grid.cells_x() {
-                    if let Ok(desc) = grid.window_descriptor(cx0, cy0, cells_w, cells_h) {
-                        ops += desc.len() as u64;
-                        let score = self.svm.score(&desc);
+                    if let Some(dot) =
+                        blocks.window_score(cx0, cy0, cells_w, cells_h, self.svm.weights())
+                    {
+                        ops += win_len as u64;
+                        // `LinearSvm::score` is `dot + bias`; `dot` is
+                        // bit-identical by construction, so adding the bias
+                        // reproduces the reference score exactly.
+                        let score = dot + self.svm.bias();
                         if score >= self.config.keep_floor {
                             let x0 = (cx0 * cell) as f64 / scale;
                             let y0 = (cy0 * cell) as f64 / scale;
@@ -188,8 +298,9 @@ impl Detector for HogSvmDetector {
             }
         }
 
+        nms_in_place(&mut candidates, self.config.nms_iou);
         DetectionOutput {
-            detections: non_maximum_suppression(candidates, self.config.nms_iou),
+            detections: candidates,
             ops,
         }
     }
@@ -273,6 +384,31 @@ mod tests {
             o_large > o_small * 8,
             "ops should grow ~quadratically: {o_small} vs {o_large}"
         );
+    }
+
+    #[test]
+    fn detect_matches_reference_bitwise() {
+        let det = HogSvmDetector::train(quick_config()).unwrap();
+        for frame in [
+            scene_with_person(80.0, 100.0, 60.0),
+            scene_with_person(40.0, 70.0, 35.0),
+        ] {
+            let got = det.detect(&frame);
+            let want = det.detect_reference(&frame);
+            assert_eq!(got.ops, want.ops);
+            assert_eq!(got.detections.len(), want.detections.len());
+            for (a, b) in got.detections.iter().zip(&want.detections) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.bbox, b.bbox);
+            }
+        }
+    }
+
+    #[test]
+    fn from_svm_rejects_bad_dimension() {
+        let err =
+            HogSvmDetector::from_svm(quick_config(), LinearSvm::from_parts(vec![0.0; 3], 0.0));
+        assert!(matches!(err, Err(DetectError::InvalidArgument(_))));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod eval;
 pub mod frame_features;
 pub mod health;
 pub mod hog_detector;
+pub mod kernels;
 pub mod lsvm_detector;
 pub mod nms;
 pub mod probability;
@@ -44,7 +45,8 @@ pub use detection::{AlgorithmId, BBox, Detection, DetectionOutput};
 pub use eval::{EvalConfig, EvalCounts, ThresholdSweep};
 pub use frame_features::FrameFeatures;
 pub use health::{DetectorHealth, HealthIssue, HealthPolicy};
-pub use nms::non_maximum_suppression;
+pub use kernels::{CensusCodePlane, DetectScratch};
+pub use nms::{nms_in_place, non_maximum_suppression};
 
 use eecs_vision::image::RgbImage;
 use std::error::Error;

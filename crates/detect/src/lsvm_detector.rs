@@ -11,7 +11,7 @@
 use crate::detection::{AlgorithmId, BBox, Detection, DetectionOutput};
 use crate::frame_features::FrameFeatures;
 use crate::hog_detector::descriptor_examples;
-use crate::nms::non_maximum_suppression;
+use crate::nms::{nms_in_place, non_maximum_suppression};
 use crate::pyramid::{ScaleSchedule, WINDOW_H, WINDOW_W};
 use crate::training::{synthesize, NegativeRegime, TrainingConfig, TrainingWindows};
 use crate::{DetectError, Detector, Result};
@@ -147,6 +147,81 @@ impl LsvmDetector {
         })
     }
 
+    /// Builds a detector from already-trained filters: `part_filters`
+    /// attach to the four anatomical anchors in training order (head, left
+    /// shoulder, right shoulder, legs). The equivalence battery uses this
+    /// to probe random filter banks without paying for training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidArgument`] if the HOG layout cannot
+    /// tile the window, the part count is not four, or any filter has the
+    /// wrong dimension.
+    pub fn from_filters(
+        config: LsvmDetectorConfig,
+        root: LinearSvm,
+        part_filters: Vec<LinearSvm>,
+    ) -> Result<LsvmDetector> {
+        let b = config.hog.block_cells;
+        let cell = config.hog.cell_size;
+        if cell == 0 || b == 0 {
+            return Err(DetectError::InvalidArgument(
+                "hog cell/block size must be positive".into(),
+            ));
+        }
+        let cells_w = WINDOW_W / cell;
+        let cells_h = WINDOW_H / cell;
+        if cells_w < b || cells_h < b || PART_CELLS < b {
+            return Err(DetectError::InvalidArgument(format!(
+                "window of {cells_w}×{cells_h} cells (parts {PART_CELLS}×{PART_CELLS}) \
+                 cannot hold a {b}-cell block"
+            )));
+        }
+        let block_len = b * b * config.hog.bins;
+        let root_dim = (cells_w - b + 1) * (cells_h - b + 1) * block_len;
+        if root.weights().len() != root_dim {
+            return Err(DetectError::InvalidArgument(format!(
+                "lsvm root weight dim {} != {root_dim}",
+                root.weights().len()
+            )));
+        }
+        let part_dim = (PART_CELLS - b + 1) * (PART_CELLS - b + 1) * block_len;
+        let anchors = [
+            (cells_w / 2 - 1, 0),
+            (0, cells_h / 4),
+            (cells_w - PART_CELLS, cells_h / 4),
+            (cells_w / 2 - 1, cells_h * 2 / 3),
+        ];
+        if part_filters.len() != anchors.len() {
+            return Err(DetectError::InvalidArgument(format!(
+                "expected {} part filters, got {}",
+                anchors.len(),
+                part_filters.len()
+            )));
+        }
+        let mut parts = Vec::with_capacity(anchors.len());
+        for (&(ax, ay), svm) in anchors.iter().zip(part_filters) {
+            if svm.weights().len() != part_dim {
+                return Err(DetectError::InvalidArgument(format!(
+                    "lsvm part weight dim {} != {part_dim}",
+                    svm.weights().len()
+                )));
+            }
+            parts.push(Part {
+                anchor_cx: ax,
+                anchor_cy: ay,
+                svm,
+            });
+        }
+        let scale_levels = config.scales.scales();
+        Ok(LsvmDetector {
+            config,
+            root,
+            parts,
+            scale_levels,
+        })
+    }
+
     /// Number of part filters.
     pub fn num_parts(&self) -> usize {
         self.parts.len()
@@ -159,6 +234,9 @@ impl LsvmDetector {
 
     /// Part contribution at a window position: for each part, the best
     /// displaced response minus deformation cost. Returns `(score, ops)`.
+    ///
+    /// Pre-optimization path, kept verbatim as the oracle for
+    /// [`LsvmDetector::part_score_blocks`].
     fn part_score(&self, grid: &HogCellGrid, cx0: usize, cy0: usize) -> (f64, u64) {
         let mut total = 0.0;
         let mut ops = 0u64;
@@ -188,6 +266,110 @@ impl LsvmDetector {
             }
         }
         (total / self.parts.len() as f64, ops)
+    }
+
+    /// [`LsvmDetector::part_score`] over the precomputed block grid: the
+    /// same displacement search without materializing part descriptors.
+    /// `part_len` is the part-descriptor length (`window_len` of a
+    /// `PART_CELLS × PART_CELLS` window), hoisted out by the caller.
+    fn part_score_blocks(
+        &self,
+        blocks: &eecs_vision::hog::HogBlockGrid,
+        cx0: usize,
+        cy0: usize,
+        part_len: u64,
+    ) -> (f64, u64) {
+        let mut total = 0.0;
+        let mut ops = 0u64;
+        for part in &self.parts {
+            let mut best = f64::NEG_INFINITY;
+            for dy in -DISP..=DISP {
+                for dx in -DISP..=DISP {
+                    let px = cx0 as isize + part.anchor_cx as isize + dx;
+                    let py = cy0 as isize + part.anchor_cy as isize + dy;
+                    if px < 0 || py < 0 {
+                        continue;
+                    }
+                    let (px, py) = (px as usize, py as usize);
+                    let Some(dot) =
+                        blocks.window_score(px, py, PART_CELLS, PART_CELLS, part.svm.weights())
+                    else {
+                        continue;
+                    };
+                    ops += part_len;
+                    let deform = self.config.deformation * (dx * dx + dy * dy) as f64;
+                    let s = (dot + part.svm.bias()) - deform;
+                    if s > best {
+                        best = s;
+                    }
+                }
+            }
+            if best.is_finite() {
+                total += best;
+            }
+        }
+        (total / self.parts.len() as f64, ops)
+    }
+
+    /// The pre-optimization detection loop, kept verbatim (fresh cache,
+    /// per-window descriptor assembly, allocating NMS) as the equivalence
+    /// oracle for `detect`: same detections, same scores, same `ops`.
+    pub fn detect_reference(&self, frame: &RgbImage) -> DetectionOutput {
+        let cache = FrameFeatures::new(frame);
+        let cell = self.config.hog.cell_size;
+        let cells_w = WINDOW_W / cell;
+        let cells_h = WINDOW_H / cell;
+        let mut ops = (frame.width() * frame.height()) as u64;
+        let mut candidates = Vec::new();
+
+        for scale in ScaleSchedule::usable_from(&self.scale_levels, frame.width(), frame.height()) {
+            let (sw, sh) = ScaleSchedule::level_dims(scale, frame.width(), frame.height());
+            if cache.resized_gray(sw, sh).is_err() {
+                continue;
+            }
+            ops += (sw * sh) as u64 * 3;
+            let Ok(grid) = cache.hog_grid(sw, sh, self.config.hog) else {
+                continue;
+            };
+            if grid.cells_x() < cells_w || grid.cells_y() < cells_h {
+                continue;
+            }
+            let stride = self.config.stride_cells.max(1);
+            let mut cy0 = 0;
+            while cy0 + cells_h <= grid.cells_y() {
+                let mut cx0 = 0;
+                while cx0 + cells_w <= grid.cells_x() {
+                    if let Ok(desc) = grid.window_descriptor(cx0, cy0, cells_w, cells_h) {
+                        ops += desc.len() as u64;
+                        let root_score = self.root.score(&desc);
+                        if root_score >= self.config.part_gate {
+                            let (parts, part_ops) = self.part_score(&grid, cx0, cy0);
+                            ops += part_ops;
+                            let score = root_score + self.config.part_weight * parts;
+                            if score >= self.config.keep_floor {
+                                let x0 = (cx0 * cell) as f64 / scale;
+                                let y0 = (cy0 * cell) as f64 / scale;
+                                candidates.push(Detection {
+                                    bbox: BBox::new(
+                                        x0,
+                                        y0,
+                                        x0 + WINDOW_W as f64 / scale,
+                                        y0 + WINDOW_H as f64 / scale,
+                                    ),
+                                    score,
+                                });
+                            }
+                        }
+                    }
+                    cx0 += stride;
+                }
+                cy0 += stride;
+            }
+        }
+        DetectionOutput {
+            detections: non_maximum_suppression(candidates, self.config.nms_iou),
+            ops,
+        }
     }
 }
 
@@ -238,8 +420,7 @@ impl Detector for LsvmDetector {
         let mut candidates = Vec::new();
 
         for scale in ScaleSchedule::usable_from(&self.scale_levels, frame.width(), frame.height()) {
-            let sw = (frame.width() as f64 * scale).round() as usize;
-            let sh = (frame.height() as f64 * scale).round() as usize;
+            let (sw, sh) = ScaleSchedule::level_dims(scale, frame.width(), frame.height());
             // Cache stages mirror the direct resize-then-grid computation
             // so the ops increment lands between the same failure points.
             if cache.resized_gray(sw, sh).is_err() {
@@ -252,17 +433,32 @@ impl Detector for LsvmDetector {
             if grid.cells_x() < cells_w || grid.cells_y() < cells_h {
                 continue;
             }
+            // Root and parts both score against the per-level normalized
+            // block grid: same values, same accumulation order as the
+            // assembled descriptors, so scores are bit-identical.
+            let Ok(blocks) = cache.hog_blocks(sw, sh, self.config.hog) else {
+                continue;
+            };
+            let Some(root_len) = blocks.window_len(cells_w, cells_h) else {
+                continue;
+            };
+            let part_len = blocks
+                .window_len(PART_CELLS, PART_CELLS)
+                .unwrap_or_default() as u64;
             let stride = self.config.stride_cells.max(1);
             let mut cy0 = 0;
             while cy0 + cells_h <= grid.cells_y() {
                 let mut cx0 = 0;
                 while cx0 + cells_w <= grid.cells_x() {
-                    if let Ok(desc) = grid.window_descriptor(cx0, cy0, cells_w, cells_h) {
-                        ops += desc.len() as u64;
-                        let root_score = self.root.score(&desc);
+                    if let Some(dot) =
+                        blocks.window_score(cx0, cy0, cells_w, cells_h, self.root.weights())
+                    {
+                        ops += root_len as u64;
+                        let root_score = dot + self.root.bias();
                         // Part cascade: only promising roots pay for parts.
                         if root_score >= self.config.part_gate {
-                            let (parts, part_ops) = self.part_score(&grid, cx0, cy0);
+                            let (parts, part_ops) =
+                                self.part_score_blocks(&blocks, cx0, cy0, part_len);
                             ops += part_ops;
                             let score = root_score + self.config.part_weight * parts;
                             if score >= self.config.keep_floor {
@@ -285,8 +481,9 @@ impl Detector for LsvmDetector {
                 cy0 += stride;
             }
         }
+        nms_in_place(&mut candidates, self.config.nms_iou);
         DetectionOutput {
-            detections: non_maximum_suppression(candidates, self.config.nms_iou),
+            detections: candidates,
             ops,
         }
     }
@@ -380,6 +577,44 @@ mod tests {
         let gated = LsvmDetector::train(quick_config()).unwrap();
         let img = scene_with_person(80.0, 100.0, 60.0);
         assert!(gated.detect(&img).ops < open.detect(&img).ops);
+    }
+
+    #[test]
+    fn detect_matches_reference_bitwise() {
+        let det = LsvmDetector::train(quick_config()).unwrap();
+        for frame in [
+            scene_with_person(80.0, 100.0, 60.0),
+            scene_with_person(40.0, 70.0, 35.0),
+        ] {
+            let got = det.detect(&frame);
+            let want = det.detect_reference(&frame);
+            assert_eq!(got.ops, want.ops);
+            assert_eq!(got.detections.len(), want.detections.len());
+            for (a, b) in got.detections.iter().zip(&want.detections) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.bbox, b.bbox);
+            }
+        }
+    }
+
+    #[test]
+    fn from_filters_validates_dimensions() {
+        let cfg = quick_config();
+        let err = LsvmDetector::from_filters(
+            cfg.clone(),
+            LinearSvm::from_parts(vec![0.0; 3], 0.0),
+            vec![],
+        );
+        assert!(matches!(err, Err(DetectError::InvalidArgument(_))));
+        // Correct root dim (4×12 cells, 2-cell blocks, 9 bins) but missing
+        // part filters must still be rejected.
+        let root_dim = 3 * 11 * 2 * 2 * 9;
+        let err = LsvmDetector::from_filters(
+            cfg,
+            LinearSvm::from_parts(vec![0.0; root_dim], 0.0),
+            vec![LinearSvm::from_parts(vec![0.0; 36], 0.0)],
+        );
+        assert!(matches!(err, Err(DetectError::InvalidArgument(_))));
     }
 
     #[test]

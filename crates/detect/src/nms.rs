@@ -8,14 +8,34 @@ pub fn non_maximum_suppression(
     mut detections: Vec<Detection>,
     iou_threshold: f64,
 ) -> Vec<Detection> {
+    nms_in_place(&mut detections, iou_threshold);
+    detections
+}
+
+/// In-place greedy NMS: the detector hot paths call this on their reused
+/// candidate buffer so suppression allocates nothing.
+///
+/// Identical semantics to [`non_maximum_suppression`] (same stable sort by
+/// descending score, same greedy keep-order): after the call `detections`
+/// holds exactly the survivors the allocating variant would have returned,
+/// in the same order.
+pub fn nms_in_place(detections: &mut Vec<Detection>, iou_threshold: f64) {
     detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
-    let mut keep: Vec<Detection> = Vec::with_capacity(detections.len());
-    for d in detections {
-        if keep.iter().all(|k| k.bbox.iou(&d.bbox) <= iou_threshold) {
-            keep.push(d);
+    let mut kept = 0usize;
+    for i in 0..detections.len() {
+        // The kept prefix [0, kept) plays the role of the old `keep` Vec:
+        // candidates arrive in the same (sorted) order and are compared
+        // against the same survivors.
+        let d = detections[i].clone();
+        if detections[..kept]
+            .iter()
+            .all(|k| k.bbox.iou(&d.bbox) <= iou_threshold)
+        {
+            detections[kept] = d;
+            kept += 1;
         }
     }
-    keep
+    detections.truncate(kept);
 }
 
 #[cfg(test)]
@@ -69,5 +89,43 @@ mod tests {
     #[test]
     fn empty_input_ok() {
         assert!(non_maximum_suppression(vec![], 0.5).is_empty());
+    }
+
+    /// The pre-optimization implementation, kept as an oracle: sort, then
+    /// push survivors into a fresh `keep` vector.
+    fn nms_oracle(mut detections: Vec<Detection>, iou_threshold: f64) -> Vec<Detection> {
+        detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        let mut keep: Vec<Detection> = Vec::with_capacity(detections.len());
+        for d in detections {
+            if keep.iter().all(|k| k.bbox.iou(&d.bbox) <= iou_threshold) {
+                keep.push(d);
+            }
+        }
+        keep
+    }
+
+    #[test]
+    fn in_place_matches_allocating_oracle() {
+        // Dense overlapping pile with score ties (stable sort order must
+        // be preserved) across several thresholds.
+        let mut dets = Vec::new();
+        for i in 0..40 {
+            let x = (i % 7) as f64 * 3.0;
+            let y = (i / 7) as f64 * 5.0;
+            dets.push(Detection {
+                bbox: BBox::new(x, y, x + 12.0, y + 24.0),
+                score: ((i * 13) % 5) as f64 / 5.0, // many ties
+            });
+        }
+        for iou in [0.0, 0.2, 0.5, 0.9, 1.0] {
+            let want = nms_oracle(dets.clone(), iou);
+            let mut got = dets.clone();
+            nms_in_place(&mut got, iou);
+            assert_eq!(got.len(), want.len(), "iou {iou}");
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.bbox, b.bbox);
+            }
+        }
     }
 }

@@ -63,6 +63,18 @@ impl ScaleSchedule {
         })
     }
 
+    /// Pixel dimensions of the pyramid level at `scale` for a `w × h`
+    /// image: `((w·scale).round(), (h·scale).round())` — the exact
+    /// expression every detector historically inlined per scale, hoisted
+    /// here so the scan loops and the precompute-only bench kernels agree
+    /// on level geometry by construction.
+    pub fn level_dims(scale: f64, w: usize, h: usize) -> (usize, usize) {
+        (
+            (w as f64 * scale).round() as usize,
+            (h as f64 * scale).round() as usize,
+        )
+    }
+
     /// Range of detectable person heights (pixels in the original image),
     /// assuming the window matches the person height exactly.
     pub fn detectable_heights(&self) -> (f64, f64) {
@@ -121,6 +133,13 @@ mod tests {
             ratio: 1.0,
         }
         .scales();
+    }
+
+    #[test]
+    fn level_dims_round_like_the_scan_loops() {
+        assert_eq!(ScaleSchedule::level_dims(0.5, 321, 240), (161, 120));
+        assert_eq!(ScaleSchedule::level_dims(1.0, 160, 120), (160, 120));
+        assert_eq!(ScaleSchedule::level_dims(1.25, 160, 120), (200, 150));
     }
 
     #[test]

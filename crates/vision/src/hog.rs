@@ -155,6 +155,29 @@ impl HogCellGrid {
         cells_w: usize,
         cells_h: usize,
     ) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.window_descriptor_into(cx0, cy0, cells_w, cells_h, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`HogCellGrid::window_descriptor`] writing into a caller-owned
+    /// buffer: `out` is cleared and filled with the identical descriptor
+    /// values, so sliding-window scans can reuse one allocation across
+    /// every window instead of allocating a fresh `Vec` per window.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HogCellGrid::window_descriptor`]; on error
+    /// `out` is left cleared.
+    pub fn window_descriptor_into(
+        &self,
+        cx0: usize,
+        cy0: usize,
+        cells_w: usize,
+        cells_h: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        out.clear();
         let b = self.config.block_cells;
         if cells_w < b || cells_h < b {
             return Err(VisionError::InvalidArgument(
@@ -169,7 +192,7 @@ impl HogCellGrid {
         let bins = self.config.bins;
         let blocks_x = cells_w - b + 1;
         let blocks_y = cells_h - b + 1;
-        let mut out = Vec::with_capacity(blocks_x * blocks_y * b * b * bins);
+        out.reserve(blocks_x * blocks_y * b * b * bins);
         for by in 0..blocks_y {
             for bx in 0..blocks_x {
                 let start = out.len();
@@ -188,7 +211,166 @@ impl HogCellGrid {
                 }
             }
         }
-        Ok(out)
+        Ok(())
+    }
+}
+
+/// Precomputed block-normalized HOG blocks of a whole level.
+///
+/// [`HogCellGrid::window_descriptor`] normalizes each
+/// `block_cells × block_cells` block over its own values only, so a block's
+/// normalized vector is independent of the window it appears in — yet the
+/// sliding scan recomputes it for every overlapping window that contains
+/// it (a block is shared by up to `blocks-per-window` windows at single-cell
+/// stride). `HogBlockGrid` materializes every block's normalized vector
+/// once; [`HogBlockGrid::window_score`] then folds a linear filter over a
+/// window's blocks **in the exact element order and accumulation order of
+/// `LinearSvm::score` on the assembled descriptor**, so scores are
+/// bit-identical to the assemble-then-dot path while skipping both the
+/// per-window allocation and the redundant normalizations.
+#[derive(Debug, Clone)]
+pub struct HogBlockGrid {
+    blocks_x: usize,
+    blocks_y: usize,
+    block_len: usize,
+    config: HogConfig,
+    /// `blocks_x * blocks_y * block_len` values, row-major by block.
+    data: Vec<f64>,
+}
+
+impl HogBlockGrid {
+    /// Precomputes every block of `grid`. A grid smaller than one block
+    /// yields an empty block grid (0 × 0 blocks), matching the window
+    /// positions for which `window_descriptor` would succeed: none.
+    pub fn compute(grid: &HogCellGrid) -> HogBlockGrid {
+        let b = grid.config.block_cells;
+        let bins = grid.config.bins;
+        let blocks_x = (grid.cells_x + 1).saturating_sub(b);
+        let blocks_y = (grid.cells_y + 1).saturating_sub(b);
+        let block_len = b * b * bins;
+        let mut data = Vec::with_capacity(blocks_x * blocks_y * block_len);
+        for by in 0..blocks_y {
+            for bx in 0..blocks_x {
+                let start = data.len();
+                for cy in 0..b {
+                    for cx in 0..b {
+                        let cell = grid.cell(bx + cx, by + cy);
+                        data.extend(cell.iter().map(|&v| v as f64));
+                    }
+                }
+                // Identical L2 normalization to `window_descriptor`: the
+                // norm is over this block's values only.
+                let norm: f64 = data[start..].iter().map(|v| v * v).sum::<f64>().sqrt();
+                if norm > 1e-12 {
+                    for v in &mut data[start..] {
+                        *v /= norm;
+                    }
+                }
+            }
+        }
+        HogBlockGrid {
+            blocks_x,
+            blocks_y,
+            block_len,
+            config: grid.config,
+            data,
+        }
+    }
+
+    /// Grid width in blocks.
+    pub fn blocks_x(&self) -> usize {
+        self.blocks_x
+    }
+
+    /// Grid height in blocks.
+    pub fn blocks_y(&self) -> usize {
+        self.blocks_y
+    }
+
+    /// Values per block (`block_cells² × bins`).
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// The layout the blocks were built under.
+    pub fn config(&self) -> HogConfig {
+        self.config
+    }
+
+    /// The normalized vector of the block whose top-left cell is
+    /// `(bx, by)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block coordinates are out of range.
+    pub fn block(&self, bx: usize, by: usize) -> &[f64] {
+        assert!(
+            bx < self.blocks_x && by < self.blocks_y,
+            "block out of range"
+        );
+        let start = (by * self.blocks_x + bx) * self.block_len;
+        &self.data[start..start + self.block_len]
+    }
+
+    /// Descriptor length of a `cells_w × cells_h` window, or `None` when
+    /// `window_descriptor` would reject the window geometry (smaller than
+    /// one block).
+    pub fn window_len(&self, cells_w: usize, cells_h: usize) -> Option<usize> {
+        let b = self.config.block_cells;
+        if cells_w < b || cells_h < b {
+            return None;
+        }
+        Some((cells_w - b + 1) * (cells_h - b + 1) * self.block_len)
+    }
+
+    /// `weights · descriptor` of the window whose top-left cell is
+    /// `(cx0, cy0)`, without materializing the descriptor.
+    ///
+    /// Returns `None` exactly when
+    /// [`HogCellGrid::window_descriptor`] would fail for the same window
+    /// (too small for one block, or exceeding the grid). The dot product
+    /// accumulates left-to-right over the same element sequence as
+    /// `LinearSvm::score` on the assembled descriptor, so the result is
+    /// bit-identical to `dot(weights, window_descriptor(..))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is shorter than the window descriptor.
+    pub fn window_score(
+        &self,
+        cx0: usize,
+        cy0: usize,
+        cells_w: usize,
+        cells_h: usize,
+        weights: &[f64],
+    ) -> Option<f64> {
+        let b = self.config.block_cells;
+        if cells_w < b || cells_h < b {
+            return None;
+        }
+        // `window_descriptor` checks against the cell grid; blocks_x =
+        // cells_x - b + 1, so cx0 + cells_w <= cells_x is equivalent to
+        // cx0 + (cells_w - b + 1) <= blocks_x.
+        let wx = cells_w - b + 1;
+        let wy = cells_h - b + 1;
+        if cx0 + wx > self.blocks_x || cy0 + wy > self.blocks_y {
+            return None;
+        }
+        assert!(
+            weights.len() >= wx * wy * self.block_len,
+            "weight vector shorter than the window descriptor"
+        );
+        let mut acc = 0.0f64;
+        let mut w = weights.iter();
+        for by in 0..wy {
+            for bx in 0..wx {
+                for &v in self.block(cx0 + bx, cy0 + by) {
+                    // Same fold as `dot`: ((0 + w0·x0) + w1·x1) + …
+                    acc += *w.next().expect("length checked above") * v;
+                }
+            }
+        }
+        Some(acc)
     }
 }
 
@@ -404,6 +586,85 @@ mod tests {
             .sum::<f64>()
             .sqrt();
         assert!(dist > 0.1, "descriptors should differ, dist={dist}");
+    }
+
+    #[test]
+    fn window_descriptor_into_matches_allocating_variant() {
+        let img = GrayImage::from_fn(40, 56, |x, y| ((x * 3 + y * 7) % 11) as f32 / 11.0);
+        let cfg = HogConfig {
+            cell_size: 4,
+            block_cells: 2,
+            bins: 9,
+        };
+        let grid = HogCellGrid::compute(&img, cfg).unwrap();
+        let mut scratch = Vec::new();
+        for (cx0, cy0, cw, ch) in [(0, 0, 4, 12), (3, 1, 4, 12), (6, 2, 2, 2)] {
+            let fresh = grid.window_descriptor(cx0, cy0, cw, ch).unwrap();
+            grid.window_descriptor_into(cx0, cy0, cw, ch, &mut scratch)
+                .unwrap();
+            assert_eq!(fresh.len(), scratch.len());
+            for (a, b) in fresh.iter().zip(&scratch) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Errors clear the buffer and match the allocating variant.
+        assert!(grid
+            .window_descriptor_into(100, 0, 4, 12, &mut scratch)
+            .is_err());
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn block_grid_blocks_match_single_block_descriptors() {
+        let img = GrayImage::from_fn(48, 64, |x, y| ((x ^ (y * 5)) % 13) as f32 / 13.0);
+        let cfg = HogConfig {
+            cell_size: 4,
+            block_cells: 2,
+            bins: 9,
+        };
+        let grid = HogCellGrid::compute(&img, cfg).unwrap();
+        let blocks = HogBlockGrid::compute(&grid);
+        assert_eq!(blocks.blocks_x(), grid.cells_x() - 1);
+        assert_eq!(blocks.blocks_y(), grid.cells_y() - 1);
+        for by in 0..blocks.blocks_y() {
+            for bx in 0..blocks.blocks_x() {
+                let d = grid.window_descriptor(bx, by, 2, 2).unwrap();
+                let b = blocks.block(bx, by);
+                assert_eq!(d.len(), b.len());
+                for (x, y) in d.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_score_bit_identical_to_assembled_dot() {
+        let img = GrayImage::from_fn(48, 64, |x, y| ((x * y) % 17) as f32 / 17.0);
+        let cfg = HogConfig {
+            cell_size: 4,
+            block_cells: 2,
+            bins: 9,
+        };
+        let grid = HogCellGrid::compute(&img, cfg).unwrap();
+        let blocks = HogBlockGrid::compute(&grid);
+        let (cw, ch) = (4, 12);
+        let len = blocks.window_len(cw, ch).unwrap();
+        let weights: Vec<f64> = (0..len)
+            .map(|i| ((i * 37 % 101) as f64 - 50.0) / 13.0)
+            .collect();
+        let dot = |w: &[f64], x: &[f64]| -> f64 { w.iter().zip(x).map(|(a, b)| a * b).sum() };
+        for cy0 in 0..grid.cells_y() - ch + 1 {
+            for cx0 in 0..grid.cells_x() - cw + 1 {
+                let desc = grid.window_descriptor(cx0, cy0, cw, ch).unwrap();
+                let want = dot(&weights, &desc);
+                let got = blocks.window_score(cx0, cy0, cw, ch, &weights).unwrap();
+                assert_eq!(want.to_bits(), got.to_bits(), "window ({cx0},{cy0})");
+            }
+        }
+        // Invalid geometry returns None exactly where window_descriptor errs.
+        assert!(blocks.window_score(100, 0, cw, ch, &weights).is_none());
+        assert!(blocks.window_score(0, 0, 1, 1, &weights).is_none());
     }
 
     #[test]
