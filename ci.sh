@@ -69,4 +69,12 @@ echo "==> partition smoke (islands, split-brain election, heal reconcile)"
 # crash failover, and replay bit-for-bit.
 cargo run -q --release -p eecs-bench --bin chaos_smoke -- --partition 1 2 3
 
+echo "==> integrity smoke (wire corruption storm + torn checkpoint write)"
+# Per seed, a bit-flip corruption storm over lossy links plus a torn
+# write of the newest checkpoint generation under a controller crash:
+# corrupt frames must be rejected (never consumed) with their energy
+# charged, the restore must roll back exactly one generation, and the
+# whole run must replay bit-for-bit.
+cargo run -q --release -p eecs-bench --bin chaos_smoke -- --corruption 1 2 3
+
 echo "CI OK"

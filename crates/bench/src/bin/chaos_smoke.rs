@@ -6,6 +6,7 @@
 //! cargo run --release -p eecs-bench --bin chaos_smoke -- 1 2 3
 //! cargo run --release -p eecs-bench --bin chaos_smoke -- --telemetry 7
 //! cargo run --release -p eecs-bench --bin chaos_smoke -- --partition 1 2 3
+//! cargo run --release -p eecs-bench --bin chaos_smoke -- --corruption 1 2 3
 //! ```
 //!
 //! For every seed the run must complete, keep energy physical, record the
@@ -20,7 +21,14 @@
 //! matrix: per seed, a clean two-island split and a flapping split each
 //! run on top of lossy links, and must elect, heal, reconcile, and
 //! replay bit-for-bit.
+//!
+//! `--corruption` swaps in the integrity matrix: per seed, a bit-flip
+//! corruption storm on every wire path plus a torn checkpoint write
+//! under a controller crash. The run must reject corrupted frames (never
+//! consume them), charge energy for the wasted attempts, roll the
+//! restore back one checkpoint generation, and replay bit-for-bit.
 
+use eecs_core::checkpoint::CheckpointFaultPlan;
 use eecs_core::config::EecsConfig;
 use eecs_core::simulation::{
     OperatingMode, Parallelism, Simulation, SimulationConfig, SimulationReport,
@@ -28,7 +36,9 @@ use eecs_core::simulation::{
 use eecs_core::telemetry::summary::render_summary;
 use eecs_core::telemetry::Telemetry;
 use eecs_detect::bank::DetectorBank;
-use eecs_net::fault::{ControllerFaultPlan, Endpoint, FaultPlan, LinkFaults, PartitionPlan};
+use eecs_net::fault::{
+    ControllerFaultPlan, CorruptionPlan, Endpoint, FaultPlan, LinkFaults, PartitionPlan,
+};
 use eecs_scene::dataset::{DatasetId, DatasetProfile};
 use eecs_scene::sensor_fault::{SensorFaultPlan, SensorImpairments};
 
@@ -292,15 +302,138 @@ fn check_partition_scenario(
     Ok(())
 }
 
+/// Invariants an integrity run must satisfy: corrupted frames were
+/// detected (and therefore never consumed), the torn checkpoint rolled
+/// the restore back exactly one generation, and the crash failover still
+/// happened on schedule.
+fn check_corruption_report(seed: u64, report: &SimulationReport) -> Result<(), String> {
+    ensure(!report.rounds.is_empty(), || {
+        format!("seed {seed} [integrity]: no rounds")
+    })?;
+    ensure(report.rounds.iter().all(|r| !r.active.is_empty()), || {
+        format!("seed {seed} [integrity]: a round lost every camera")
+    })?;
+    ensure(
+        report.total_energy_j.is_finite() && report.total_energy_j > 0.0,
+        || {
+            format!(
+                "seed {seed} [integrity]: unphysical total energy {}",
+                report.total_energy_j
+            )
+        },
+    )?;
+    ensure(report.corrupted_frames > 0, || {
+        format!("seed {seed} [integrity]: corruption plan never fired")
+    })?;
+    ensure(report.failovers.len() == 1, || {
+        format!(
+            "seed {seed} [integrity]: expected exactly one failover, got {:?}",
+            report.failovers
+        )
+    })?;
+    ensure(report.failovers[0].round == CRASH_ROUND, || {
+        format!("seed {seed} [integrity]: failover in wrong round")
+    })?;
+    ensure(report.checkpoint_rollbacks == 1, || {
+        format!(
+            "seed {seed} [integrity]: torn newest generation should roll back \
+             exactly once, got {}",
+            report.checkpoint_rollbacks
+        )
+    })?;
+    Ok(())
+}
+
+/// Runs the integrity matrix for one seed: a wire corruption storm over
+/// lossy links plus a torn write of the newest checkpoint generation,
+/// under the scheduled controller crash. The run must complete, detect
+/// (never consume) the corrupted frames, recover from the torn
+/// checkpoint by falling back one generation, and replay bit-for-bit.
+fn check_corruption_seed(base: &Simulation, seed: u64, show_telemetry: bool) -> Result<(), String> {
+    let tel = Telemetry::recording(8192);
+    if let Err(violation) = check_corruption_scenario(base, seed, &tel, show_telemetry) {
+        let tail = tel
+            .tail_json(POSTMORTEM_ROUNDS)
+            .unwrap_or_else(|e| format!("(tail dump failed: {e})"));
+        return Err(format!(
+            "{violation}\nflight recorder, last {POSTMORTEM_ROUNDS} rounds:\n{tail}"
+        ));
+    }
+    Ok(())
+}
+
+fn check_corruption_scenario(
+    base: &Simulation,
+    seed: u64,
+    tel: &Telemetry,
+    show_telemetry: bool,
+) -> Result<(), String> {
+    // Generation 1 is the initial checkpoint; the round-0 snapshot lands
+    // as generation 2 and gets torn, so the crash restore must fall back
+    // exactly one generation.
+    let sim = base
+        .with_faults(
+            FaultPlan::seeded(seed)
+                .with_default_faults(LinkFaults::lossy(0.1))
+                .with_corruption(CorruptionPlan::with_rate(0.25)),
+            SensorFaultPlan::ideal(),
+            ControllerFaultPlan::none().with_crash(CRASH_ROUND, CRASH_ROUND + 1),
+        )
+        .with_checkpoint_faults(CheckpointFaultPlan::seeded(seed).with_torn_write(2));
+    let report = sim
+        .with_telemetry(tel.clone())
+        .run()
+        .map_err(|e| format!("seed {seed} [integrity]: corruption run failed: {e}"))?;
+    let replay_tel = Telemetry::recording(8192);
+    let replay = sim
+        .with_telemetry(replay_tel.clone())
+        .run()
+        .map_err(|e| format!("seed {seed} [integrity]: corruption replay failed: {e}"))?;
+    ensure(report == replay, || {
+        format!("seed {seed} [integrity]: run is not deterministic")
+    })?;
+    ensure(
+        tel.trace_json().ok() == replay_tel.trace_json().ok()
+            && tel.metrics_json().ok() == replay_tel.metrics_json().ok(),
+        || format!("seed {seed} [integrity]: telemetry stream is not deterministic"),
+    )?;
+    check_corruption_report(seed, &report)?;
+
+    let f = &report.failovers[0];
+    println!(
+        "seed {seed} [integrity]: OK — found {}/{}, {:.2} J, corrupted frames {} \
+         rejected, rollbacks {}, failover → camera {} (checkpoint round {})",
+        report.correctly_detected,
+        report.gt_objects,
+        report.total_energy_j,
+        report.corrupted_frames,
+        report.checkpoint_rollbacks,
+        f.elected,
+        f.checkpoint_round,
+    );
+    if show_telemetry {
+        println!("{}", render_summary(&report, tel));
+        println!(
+            "metrics: {}",
+            tel.metrics_json()
+                .map_err(|e| format!("seed {seed} [integrity]: metrics dump failed: {e}"))?
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     let mut show_telemetry = false;
     let mut partition = false;
+    let mut corruption = false;
     let mut seeds: Vec<u64> = Vec::new();
     for arg in std::env::args().skip(1) {
         if arg == "--telemetry" {
             show_telemetry = true;
         } else if arg == "--partition" {
             partition = true;
+        } else if arg == "--corruption" {
+            corruption = true;
         } else {
             seeds.push(arg.parse().unwrap_or_else(|_| panic!("bad seed {arg:?}")));
         }
@@ -339,7 +472,13 @@ fn main() {
         },
     )
     .expect("prepare");
-    let matrix = if partition { "partition" } else { "fault" };
+    let matrix = if partition {
+        "partition"
+    } else if corruption {
+        "integrity"
+    } else {
+        "fault"
+    };
     eprintln!("prepared miniature mission; {matrix} matrix over seeds {seeds:?}");
 
     if partition {
@@ -350,6 +489,17 @@ fn main() {
             }
         }
         println!("partition smoke OK ({} seeds x 2 scenarios)", seeds.len());
+        return;
+    }
+
+    if corruption {
+        for &seed in &seeds {
+            if let Err(violation) = check_corruption_seed(&base, seed, show_telemetry) {
+                eprintln!("FAIL: {violation}");
+                std::process::exit(1);
+            }
+        }
+        println!("integrity smoke OK ({} seeds)", seeds.len());
         return;
     }
 

@@ -20,11 +20,15 @@ use crate::controller::{AssessmentCache, CameraAssessment};
 use crate::jsonio::{self, Json};
 use crate::metadata::{CameraReport, ObjectMetadata};
 use eecs_detect::detection::{AlgorithmId, BBox};
+use eecs_net::checksum::crc32;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Schema tag stamped into every checkpoint document.
+/// Schema tag stamped into every checkpoint payload document.
 pub const SCHEMA: &str = "eecs-checkpoint/2";
+
+/// Schema tag stamped into every verified store record (envelope).
+pub const STORE_SCHEMA: &str = "eecs-checkpoint/3";
 
 /// One camera's slot in the serialized assessment cache.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -388,6 +392,323 @@ fn as_algorithm(v: &Json) -> Result<AlgorithmId, String> {
     v.as_str().ok_or("expected an algorithm name")?.parse()
 }
 
+// ---------------------------------------------------------------------------
+// Verified checkpoint store (schema eecs-checkpoint/3)
+// ---------------------------------------------------------------------------
+
+/// Deterministic storage-fault injection for the checkpoint store.
+///
+/// Mirrors [`eecs_net::FaultPlan`]: a pure function of `(seed,
+/// generation)` decides whether — and how — a committed record is
+/// damaged, so a faulted run replays bit-identically. A default plan
+/// injects nothing and consumes no randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CheckpointFaultPlan {
+    seed: u64,
+    torn_write: Option<u64>,
+    bit_rot: Option<u64>,
+    bit_rot_rate: f64,
+}
+
+impl CheckpointFaultPlan {
+    /// No storage faults at all.
+    pub fn none() -> CheckpointFaultPlan {
+        CheckpointFaultPlan::default()
+    }
+
+    /// A plan whose stochastic choices (bit positions, rot rolls) are
+    /// keyed by `seed`.
+    pub fn seeded(seed: u64) -> CheckpointFaultPlan {
+        CheckpointFaultPlan {
+            seed,
+            ..CheckpointFaultPlan::default()
+        }
+    }
+
+    /// Tear the write of `generation`: only a prefix of the record
+    /// reaches storage (a crash mid-`write(2)`).
+    pub fn with_torn_write(mut self, generation: u64) -> CheckpointFaultPlan {
+        self.torn_write = Some(generation);
+        self
+    }
+
+    /// Flip one bit of `generation`'s record after it is written
+    /// (media decay on a specific record).
+    pub fn with_bit_rot(mut self, generation: u64) -> CheckpointFaultPlan {
+        self.bit_rot = Some(generation);
+        self
+    }
+
+    /// Flip one bit of each committed record with probability `rate`,
+    /// decided per generation from the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)` — rate 1 would rot every
+    /// generation and make restore impossible by construction.
+    pub fn with_bit_rot_rate(mut self, rate: f64) -> CheckpointFaultPlan {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "bit-rot rate must be in [0, 1), got {rate}"
+        );
+        self.bit_rot_rate = rate;
+        self
+    }
+
+    /// Whether this plan can damage anything.
+    pub fn enabled(&self) -> bool {
+        self.torn_write.is_some() || self.bit_rot.is_some() || self.bit_rot_rate > 0.0
+    }
+
+    /// SplitMix64-finalized draw, pure in `(seed, generation, stream)`.
+    fn mix(&self, generation: u64, stream: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(generation.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Applies this plan to a freshly written record. Returns `true`
+    /// when the bytes were damaged.
+    fn corrupt(&self, generation: u64, record: &mut Vec<u8>) -> bool {
+        if record.is_empty() {
+            return false;
+        }
+        let mut damaged = false;
+        if self.torn_write == Some(generation) {
+            record.truncate(record.len() / 2);
+            damaged = true;
+        }
+        let unit = (self.mix(generation, 1) >> 11) as f64 / ((1u64 << 53) as f64);
+        let rot_hit = self.bit_rot == Some(generation)
+            || (self.bit_rot_rate > 0.0 && unit < self.bit_rot_rate);
+        if rot_hit && !record.is_empty() {
+            let bit = (self.mix(generation, 2) % (record.len() as u64 * 8)) as usize;
+            record[bit / 8] ^= 1 << (bit % 8);
+            damaged = true;
+        }
+        damaged
+    }
+}
+
+/// Why the checkpoint store could not produce a state to restore.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// Every retained generation failed verification (or the store is
+    /// empty) — there is no consistent state to fall back to.
+    NoVerifiedGeneration {
+        /// Number of retained records that were tried and rejected.
+        tried: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::NoVerifiedGeneration { tried } => write!(
+                f,
+                "no checkpoint generation verifies ({tried} record(s) rejected)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Outcome of a successful [`CheckpointStore::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoredCheckpoint {
+    /// Generation counter of the record that verified.
+    pub generation: u64,
+    /// Newer generations that failed verification and were skipped to
+    /// reach this one.
+    pub rolled_back: u64,
+    /// The verified checkpoint payload (a [`SCHEMA`] JSON document).
+    pub payload: String,
+}
+
+/// One retained record: the generation counter plus its raw stored
+/// bytes (possibly damaged by the fault plan).
+#[derive(Debug, Clone)]
+struct StoredGeneration {
+    generation: u64,
+    record: Vec<u8>,
+}
+
+/// Fields a record's header must carry to be considered at all.
+struct RecordHeader {
+    generation: u64,
+    prev_crc: u32,
+    payload_crc: u32,
+}
+
+/// A verified, generation-chained checkpoint store.
+///
+/// Every [`commit`](CheckpointStore::commit) wraps the payload in a
+/// [`STORE_SCHEMA`] record: a JSON header line carrying a monotone
+/// generation counter, the payload's CRC-32, and the *previous*
+/// generation's payload CRC (the chain link), followed by the raw
+/// payload bytes. [`restore`](CheckpointStore::restore) walks from the
+/// newest retained generation backwards and returns the first record
+/// that verifies — header parses, schema and length match, payload
+/// checksum matches, and (when its predecessor is itself healthy) the
+/// chain link agrees. Torn writes and bit rot therefore degrade
+/// recovery to an older consistent state instead of deserializing
+/// garbage; each skipped generation is counted as a rollback.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    records: Vec<StoredGeneration>,
+    next_generation: u64,
+    last_payload_crc: u32,
+    faults: CheckpointFaultPlan,
+    rollbacks: u64,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Generations retained by default — enough to survive a damaged
+    /// newest record with headroom, without unbounded growth.
+    pub const DEFAULT_KEEP: usize = 4;
+
+    /// An empty store injecting `faults` at commit time.
+    pub fn new(faults: CheckpointFaultPlan) -> CheckpointStore {
+        CheckpointStore {
+            records: Vec::new(),
+            next_generation: 1,
+            last_payload_crc: 0,
+            faults,
+            rollbacks: 0,
+            keep: CheckpointStore::DEFAULT_KEEP,
+        }
+    }
+
+    /// Overrides how many generations are retained (min 1).
+    pub fn with_keep(mut self, keep: usize) -> CheckpointStore {
+        assert!(keep >= 1, "must retain at least one generation");
+        self.keep = keep;
+        self
+    }
+
+    /// Commits `payload` as the next generation and returns its
+    /// generation counter. The record is damaged here, deterministically,
+    /// if the fault plan says so — exactly like a storage medium that
+    /// corrupts on write.
+    pub fn commit(&mut self, payload: &str) -> u64 {
+        let generation = self.next_generation;
+        let payload_crc = crc32(payload.as_bytes());
+        let mut record = format!(
+            "{{\"schema\": \"{STORE_SCHEMA}\", \"generation\": {generation}, \
+             \"prev_crc\": {prev}, \"payload_crc\": {crc}, \"payload_bytes\": {len}}}",
+            prev = self.last_payload_crc,
+            crc = payload_crc,
+            len = payload.len(),
+        )
+        .into_bytes();
+        record.push(b'\n');
+        record.extend_from_slice(payload.as_bytes());
+        self.faults.corrupt(generation, &mut record);
+        self.records.push(StoredGeneration { generation, record });
+        if self.records.len() > self.keep {
+            self.records.remove(0);
+        }
+        self.next_generation = generation + 1;
+        self.last_payload_crc = payload_crc;
+        generation
+    }
+
+    /// Restores the newest generation that verifies, counting every
+    /// newer record skipped on the way as a rollback.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NoVerifiedGeneration`] when no retained record
+    /// verifies — including the empty store.
+    pub fn restore(&mut self) -> Result<RestoredCheckpoint, CheckpointError> {
+        let mut rolled_back = 0u64;
+        for idx in (0..self.records.len()).rev() {
+            let Some((header, payload)) = verify_record(&self.records[idx].record) else {
+                rolled_back += 1;
+                continue;
+            };
+            // Chain check: a healthy predecessor must be the one this
+            // record claims to extend. A damaged predecessor cannot
+            // testify either way, so the payload checksum alone decides.
+            if idx > 0 {
+                if let Some((prev, _)) = verify_record(&self.records[idx - 1].record) {
+                    if header.prev_crc != prev.payload_crc {
+                        rolled_back += 1;
+                        continue;
+                    }
+                }
+            }
+            self.rollbacks += rolled_back;
+            return Ok(RestoredCheckpoint {
+                generation: header.generation,
+                rolled_back,
+                payload,
+            });
+        }
+        self.rollbacks += rolled_back;
+        Err(CheckpointError::NoVerifiedGeneration {
+            tried: self.records.len(),
+        })
+    }
+
+    /// Rollbacks counted across every restore so far.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// Number of generations currently retained.
+    pub fn generations(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Generation counter of the newest retained record (0 when empty).
+    pub fn latest_generation(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.generation)
+    }
+}
+
+/// Verifies one stored record: header line parses as [`STORE_SCHEMA`]
+/// JSON, the payload length matches, and the payload checksum agrees.
+/// Returns `None` on any damage — this function must be total over
+/// arbitrary bytes.
+fn verify_record(record: &[u8]) -> Option<(RecordHeader, String)> {
+    let split = record.iter().position(|&b| b == b'\n')?;
+    let (header_bytes, rest) = record.split_at(split);
+    let payload_bytes = &rest[1..];
+    let header = std::str::from_utf8(header_bytes).ok()?;
+    let doc = jsonio::parse(header).ok()?;
+    if doc.get("schema").and_then(Json::as_str) != Some(STORE_SCHEMA) {
+        return None;
+    }
+    let field = |key: &str| -> Option<u64> {
+        let n = doc.get(key).and_then(Json::as_num)?;
+        (n >= 0.0 && n.fract() == 0.0).then_some(n as u64)
+    };
+    let generation = field("generation")?;
+    let prev_crc = u32::try_from(field("prev_crc")?).ok()?;
+    let payload_crc = u32::try_from(field("payload_crc")?).ok()?;
+    let payload_bytes_len = field("payload_bytes")? as usize;
+    if payload_bytes.len() != payload_bytes_len || crc32(payload_bytes) != payload_crc {
+        return None;
+    }
+    let payload = std::str::from_utf8(payload_bytes).ok()?.to_string();
+    Some((
+        RecordHeader {
+            generation,
+            prev_crc,
+            payload_crc,
+        },
+        payload,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,5 +804,151 @@ mod tests {
         assert!(SimulationCheckpoint::from_json(&wrong_schema).is_err());
         let bad_alg = sample().to_json().replace("LSVM", "YOLO");
         assert!(SimulationCheckpoint::from_json(&bad_alg).is_err());
+    }
+
+    #[test]
+    fn store_restores_newest_healthy_generation() {
+        let mut store = CheckpointStore::new(CheckpointFaultPlan::none());
+        assert_eq!(store.commit("alpha"), 1);
+        assert_eq!(store.commit("beta"), 2);
+        let restored = store.restore().unwrap();
+        assert_eq!(restored.generation, 2);
+        assert_eq!(restored.rolled_back, 0);
+        assert_eq!(restored.payload, "beta");
+        assert_eq!(store.rollbacks(), 0);
+    }
+
+    #[test]
+    fn torn_newest_generation_rolls_back_one() {
+        let mut store = CheckpointStore::new(CheckpointFaultPlan::seeded(7).with_torn_write(2));
+        store.commit("alpha");
+        store.commit("beta");
+        let restored = store.restore().unwrap();
+        assert_eq!(restored.generation, 1);
+        assert_eq!(restored.rolled_back, 1);
+        assert_eq!(restored.payload, "alpha");
+        assert_eq!(store.rollbacks(), 1);
+    }
+
+    #[test]
+    fn bit_rot_anywhere_in_newest_record_rolls_back() {
+        // Deterministic rot of generation 3 under many seeds: the flipped
+        // bit lands all over the record (header, payload, checksum), and
+        // every position must be caught.
+        for seed in 0..50 {
+            let mut store = CheckpointStore::new(CheckpointFaultPlan::seeded(seed).with_bit_rot(3));
+            store.commit("one");
+            store.commit("two");
+            store.commit("three");
+            let restored = store.restore().unwrap();
+            assert_eq!(restored.generation, 2, "seed {seed}");
+            assert_eq!(restored.rolled_back, 1, "seed {seed}");
+            assert_eq!(restored.payload, "two", "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chain_mismatch_with_healthy_predecessor_is_rejected() {
+        let mut store = CheckpointStore::new(CheckpointFaultPlan::none());
+        store.commit("alpha");
+        store.commit("beta");
+        // Forge generation 2: internally consistent (schema, length and
+        // payload CRC all verify) but chained to a payload that was never
+        // generation 1. Only the chain check can catch this.
+        let forged_payload = "evil";
+        let mut forged = format!(
+            "{{\"schema\": \"{STORE_SCHEMA}\", \"generation\": 2, \
+             \"prev_crc\": {prev}, \"payload_crc\": {crc}, \"payload_bytes\": {len}}}",
+            prev = crc32(b"not-alpha"),
+            crc = crc32(forged_payload.as_bytes()),
+            len = forged_payload.len(),
+        )
+        .into_bytes();
+        forged.push(b'\n');
+        forged.extend_from_slice(forged_payload.as_bytes());
+        store.records[1].record = forged;
+
+        let restored = store.restore().unwrap();
+        assert_eq!(restored.generation, 1);
+        assert_eq!(restored.rolled_back, 1);
+        assert_eq!(restored.payload, "alpha");
+    }
+
+    #[test]
+    fn exhausted_store_returns_typed_error_never_panics() {
+        let mut empty = CheckpointStore::new(CheckpointFaultPlan::none());
+        assert_eq!(
+            empty.restore(),
+            Err(CheckpointError::NoVerifiedGeneration { tried: 0 })
+        );
+
+        let mut store = CheckpointStore::new(
+            CheckpointFaultPlan::seeded(3)
+                .with_torn_write(1)
+                .with_bit_rot(2),
+        );
+        store.commit("alpha");
+        store.commit("beta");
+        let err = store.restore().unwrap_err();
+        assert_eq!(err, CheckpointError::NoVerifiedGeneration { tried: 2 });
+        assert!(err.to_string().contains("2 record(s)"));
+        assert_eq!(store.rollbacks(), 2);
+    }
+
+    #[test]
+    fn store_bounds_retained_generations() {
+        let mut store = CheckpointStore::new(CheckpointFaultPlan::none()).with_keep(2);
+        for i in 0..10 {
+            store.commit(&format!("payload-{i}"));
+        }
+        assert_eq!(store.generations(), 2);
+        assert_eq!(store.latest_generation(), 10);
+        let restored = store.restore().unwrap();
+        assert_eq!(restored.generation, 10);
+        assert_eq!(restored.payload, "payload-9");
+    }
+
+    #[test]
+    fn rate_based_rot_is_deterministic_and_survivable() {
+        let run = |seed: u64| {
+            let mut store =
+                CheckpointStore::new(CheckpointFaultPlan::seeded(seed).with_bit_rot_rate(0.5));
+            for i in 0..4 {
+                store.commit(&format!("gen-{i}"));
+            }
+            let restored = store.restore();
+            (restored, store.rollbacks())
+        };
+        for seed in 0..20 {
+            assert_eq!(run(seed), run(seed), "seed {seed} must replay identically");
+        }
+        // At rate 0.5 over 20 seeds at least one run must roll back and
+        // at least one must restore the newest generation untouched.
+        let outcomes: Vec<_> = (0..20).map(run).collect();
+        assert!(outcomes.iter().any(|(_, rb)| *rb > 0));
+        assert!(outcomes
+            .iter()
+            .any(|(r, _)| matches!(r, Ok(c) if c.generation == 4 && c.rolled_back == 0)));
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_inert() {
+        assert!(!CheckpointFaultPlan::none().enabled());
+        assert!(!CheckpointFaultPlan::seeded(9).enabled());
+        assert!(CheckpointFaultPlan::seeded(9).with_torn_write(1).enabled());
+        assert!(CheckpointFaultPlan::seeded(9).with_bit_rot(1).enabled());
+        assert!(CheckpointFaultPlan::seeded(9)
+            .with_bit_rot_rate(0.1)
+            .enabled());
+        let mut bytes = b"header\npayload".to_vec();
+        let before = bytes.clone();
+        assert!(!CheckpointFaultPlan::none().corrupt(1, &mut bytes));
+        assert_eq!(bytes, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-rot rate")]
+    fn certain_rot_rate_is_rejected() {
+        let _ = CheckpointFaultPlan::seeded(1).with_bit_rot_rate(1.0);
     }
 }

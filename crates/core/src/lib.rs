@@ -48,9 +48,15 @@ pub mod training;
 
 pub use accuracy::{DesiredAccuracy, GlobalAccuracy};
 pub use camera_node::CameraNode;
-pub use checkpoint::SimulationCheckpoint;
+pub use checkpoint::{
+    CheckpointError, CheckpointFaultPlan, CheckpointStore, RestoredCheckpoint, SimulationCheckpoint,
+};
 pub use config::{ConfigError, EecsConfig};
 pub use controller::{Controller, QuarantineLedger, QuarantinePolicy};
+/// The CRC-32 unit shared by wire framing, the checkpoint store, and
+/// the sweep-manifest journal (re-exported from `eecs_net`, which sits
+/// below this crate in the dependency order).
+pub use eecs_net::checksum;
 pub use features::FeatureExtractor;
 pub use metadata::{CameraReport, ObjectMetadata};
 pub use profile::{AlgorithmProfile, DowngradeRule, TrainingRecord};

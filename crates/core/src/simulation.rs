@@ -18,7 +18,7 @@
 //! frames on datasets #1/#3 and 10 on dataset #2.
 
 use crate::camera_node::CameraNode;
-use crate::checkpoint::SimulationCheckpoint;
+use crate::checkpoint::{CheckpointFaultPlan, CheckpointStore, SimulationCheckpoint};
 use crate::config::{ConfigError, EecsConfig};
 use crate::controller::{AssessmentCache, CameraAssessment, Controller, QuarantineLedger};
 use crate::features::FeatureExtractor;
@@ -262,6 +262,14 @@ pub struct SimulationReport {
     pub reconciliations: usize,
     /// Rounds that planned with more than one controller seat alive.
     pub split_brain_rounds: usize,
+    /// Reliable-send attempts whose frame arrived bit-corrupted and was
+    /// rejected by the receiver's checksum (uplink + downlink + peer).
+    /// Zero without a [`eecs_net::CorruptionPlan`].
+    pub corrupted_frames: u64,
+    /// Checkpoint generations skipped by failover/election restores
+    /// because they failed verification. Zero without a
+    /// [`CheckpointFaultPlan`].
+    pub checkpoint_rollbacks: u64,
 }
 
 impl SimulationReport {
@@ -285,6 +293,8 @@ pub struct Simulation {
     /// Matched training-record index per camera.
     matched: Vec<usize>,
     budgets: Vec<EnergyBudget>,
+    /// Storage faults injected into the checkpoint store at commit time.
+    checkpoint_faults: CheckpointFaultPlan,
 }
 
 impl Simulation {
@@ -372,6 +382,7 @@ impl Simulation {
             controller,
             matched,
             budgets,
+            checkpoint_faults: CheckpointFaultPlan::none(),
         })
     }
 
@@ -427,6 +438,16 @@ impl Simulation {
         sim.config.fault_plan = fault_plan;
         sim.config.sensor_plan = sensor_plan;
         sim.config.controller_plan = controller_plan;
+        sim
+    }
+
+    /// A copy of this prepared simulation whose checkpoint store injects
+    /// the given storage faults (torn writes, bit rot) at commit time.
+    /// Restores then roll back to the newest generation that verifies
+    /// instead of deserializing damaged state.
+    pub fn with_checkpoint_faults(&self, plan: CheckpointFaultPlan) -> Simulation {
+        let mut sim = self.clone();
+        sim.checkpoint_faults = plan;
         sim
     }
 
@@ -559,7 +580,12 @@ impl Simulation {
         let mut reconciliations = 0usize;
         let mut split_brain_rounds = 0usize;
         let mut failovers: Vec<FailoverEvent> = Vec::new();
-        let mut checkpoint = SimulationCheckpoint::initial(cams).to_json();
+        // Generation-chained, checksummed checkpoint storage. Generation 1
+        // is the empty initial state, so a crash before the first
+        // round-end snapshot still has something verified to restore.
+        let mut checkpoint_store = CheckpointStore::new(self.checkpoint_faults);
+        checkpoint_store.commit(&SimulationCheckpoint::initial(cams).to_json());
+        let mut checkpoint_rollbacks = 0u64;
 
         // One-time feature upload (Section IV-B.1).
         let extractor_dim = self.controller.records()[0].video.feature_dim();
@@ -741,10 +767,21 @@ impl Simulation {
                             let Some((new_seat, _)) = elected else {
                                 continue;
                             };
-                            let ckpt =
-                                SimulationCheckpoint::from_json(&checkpoint).map_err(|m| {
-                                    EecsError::Subsystem(format!("checkpoint restore: {m}"))
-                                })?;
+                            let restored = checkpoint_store.restore().map_err(|e| {
+                                EecsError::Subsystem(format!("checkpoint restore: {e}"))
+                            })?;
+                            if restored.rolled_back > 0 {
+                                checkpoint_rollbacks += restored.rolled_back;
+                                tel.counter_add("checkpoint.rollbacks", restored.rolled_back);
+                                tel.event(|| TraceEvent::CheckpointRollback {
+                                    round: round_index,
+                                    generation: restored.generation,
+                                    rolled_back: restored.rolled_back,
+                                });
+                            }
+                            let ckpt = SimulationCheckpoint::from_json(&restored.payload).map_err(
+                                |m| EecsError::Subsystem(format!("checkpoint restore: {m}")),
+                            )?;
                             let epoch = members
                                 .iter()
                                 .map(|&j| fenced[j])
@@ -844,10 +881,21 @@ impl Simulation {
                         // gracefully instead of aborting.
                         if let Some((new_seat, _)) = elected {
                             net.set_controller_down(false);
-                            let ckpt =
-                                SimulationCheckpoint::from_json(&checkpoint).map_err(|m| {
-                                    EecsError::Subsystem(format!("checkpoint restore: {m}"))
-                                })?;
+                            let restored = checkpoint_store.restore().map_err(|e| {
+                                EecsError::Subsystem(format!("checkpoint restore: {e}"))
+                            })?;
+                            if restored.rolled_back > 0 {
+                                checkpoint_rollbacks += restored.rolled_back;
+                                tel.counter_add("checkpoint.rollbacks", restored.rolled_back);
+                                tel.event(|| TraceEvent::CheckpointRollback {
+                                    round: round_index,
+                                    generation: restored.generation,
+                                    rolled_back: restored.rolled_back,
+                                });
+                            }
+                            let ckpt = SimulationCheckpoint::from_json(&restored.payload).map_err(
+                                |m| EecsError::Subsystem(format!("checkpoint restore: {m}")),
+                            )?;
                             // The replacement restores the checkpoint and
                             // announces the next fencing epoch; peers
                             // accept it only if it is strictly newer than
@@ -1535,16 +1583,18 @@ impl Simulation {
                 for (slot, &e) in slots.iter_mut().zip(&st.slot_epoch) {
                     slot.epoch = e;
                 }
-                checkpoint = SimulationCheckpoint {
-                    round: round_index,
-                    epoch: st.epoch,
-                    assignment: st.last_plan.0.clone(),
-                    active: st.last_plan.1.clone(),
-                    battery_used_j: nodes.iter().map(|c| c.meter().total()).collect(),
-                    cache: slots,
-                    quarantine: st.quarantine.export(),
-                }
-                .to_json();
+                checkpoint_store.commit(
+                    &SimulationCheckpoint {
+                        round: round_index,
+                        epoch: st.epoch,
+                        assignment: st.last_plan.0.clone(),
+                        active: st.last_plan.1.clone(),
+                        battery_used_j: nodes.iter().map(|c| c.meter().total()).collect(),
+                        cache: slots,
+                        quarantine: st.quarantine.export(),
+                    }
+                    .to_json(),
+                );
                 tel.counter_add("checkpoint.taken", 1);
                 tel.event(|| TraceEvent::Checkpoint { round: round_index });
             }
@@ -1576,16 +1626,20 @@ impl Simulation {
             tel.counter_add("run.gt_objects", total_gt as u64);
         }
 
+        let transport: Vec<TransportStats> = (0..cams)
+            .map(|j| net.stats(j).expect("node exists"))
+            .collect();
+        let downlink = net.downlink_stats();
+        let corrupted_frames =
+            transport.iter().map(|s| s.corrupted).sum::<u64>() + downlink.corrupted;
         Ok(SimulationReport {
             mode: self.config.mode,
             total_energy_j: nodes.iter().map(|c| c.meter().total()).sum(),
             correctly_detected: total_correct,
             gt_objects: total_gt,
             per_camera_energy: nodes.iter().map(|c| c.meter().total()).collect(),
-            transport: (0..cams)
-                .map(|j| net.stats(j).expect("node exists"))
-                .collect(),
-            downlink: net.downlink_stats(),
+            transport,
+            downlink,
             failovers,
             degraded_frames,
             dropped_frames,
@@ -1594,6 +1648,8 @@ impl Simulation {
             elections,
             reconciliations,
             split_brain_rounds,
+            corrupted_frames,
+            checkpoint_rollbacks,
             rounds,
         })
     }

@@ -167,7 +167,8 @@ impl Telemetry {
     }
 
     /// Publishes one reliable-transport delivery: attempt/retry counters,
-    /// and a [`TraceEvent::Retransmit`] when it took more than one try.
+    /// a [`TraceEvent::Retransmit`] when it took more than one try, and a
+    /// [`TraceEvent::CorruptFrame`] when any attempt arrived corrupted.
     pub fn observe_delivery(&self, round: usize, camera: usize, d: &Delivery) {
         self.with(|s| {
             s.metrics.counter_add("net.attempts", u64::from(d.attempts));
@@ -178,6 +179,15 @@ impl Telemetry {
                     round,
                     camera,
                     attempts: d.attempts,
+                });
+            }
+            if d.corrupted > 0 {
+                s.metrics
+                    .counter_add("transport.corrupted", u64::from(d.corrupted));
+                s.recorder.record(TraceEvent::CorruptFrame {
+                    round,
+                    camera,
+                    corrupted: d.corrupted,
                 });
             }
             if !d.delivered {

@@ -47,7 +47,7 @@ fn round_to_json(r: &RoundRecord) -> Json {
 /// through [`crate::jsonio`].
 pub fn report_to_json(report: &SimulationReport) -> Json {
     let n = |v: usize| Json::Num(v as f64);
-    Json::Obj(vec![
+    let mut members = vec![
         ("mode".into(), Json::Str(format!("{:?}", report.mode))),
         ("total_energy_j".into(), Json::Num(report.total_energy_j)),
         ("correctly_detected".into(), n(report.correctly_detected)),
@@ -95,7 +95,23 @@ pub fn report_to_json(report: &SimulationReport) -> Json {
             "rounds".into(),
             Json::Arr(report.rounds.iter().map(round_to_json).collect()),
         ),
-    ])
+    ];
+    // Integrity counters appear only when something actually happened,
+    // so reports from corruption-free runs stay byte-identical to the
+    // pre-integrity golden masters.
+    if report.corrupted_frames > 0 {
+        members.push((
+            "corrupted_frames".into(),
+            Json::Num(report.corrupted_frames as f64),
+        ));
+    }
+    if report.checkpoint_rollbacks > 0 {
+        members.push((
+            "checkpoint_rollbacks".into(),
+            Json::Num(report.checkpoint_rollbacks as f64),
+        ));
+    }
+    Json::Obj(members)
 }
 
 /// Schema tag of the golden document format.
@@ -153,6 +169,13 @@ pub fn render_summary(report: &SimulationReport, telemetry: &Telemetry) -> Strin
             out,
             "partitions {} · elections {} · reconciliations {} · split-brain rounds {}",
             report.partitions, report.elections, report.reconciliations, report.split_brain_rounds,
+        );
+    }
+    if report.corrupted_frames > 0 || report.checkpoint_rollbacks > 0 {
+        let _ = writeln!(
+            out,
+            "corrupted frames {} · checkpoint rollbacks {}",
+            report.corrupted_frames, report.checkpoint_rollbacks,
         );
     }
 
@@ -255,6 +278,8 @@ mod tests {
             elections: 0,
             reconciliations: 0,
             split_brain_rounds: 0,
+            corrupted_frames: 0,
+            checkpoint_rollbacks: 0,
         }
     }
 
@@ -284,6 +309,28 @@ mod tests {
                 .and_then(Json::as_num),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn integrity_fields_appear_only_when_nonzero() {
+        let clean = tiny_report();
+        let clean_text = report_to_json(&clean).write().unwrap();
+        assert!(!clean_text.contains("corrupted_frames"));
+        assert!(!clean_text.contains("checkpoint_rollbacks"));
+        assert!(!render_summary(&clean, &Telemetry::null()).contains("corrupted frames"));
+
+        let mut dirty = tiny_report();
+        dirty.corrupted_frames = 7;
+        dirty.checkpoint_rollbacks = 2;
+        let dirty_text = report_to_json(&dirty).write().unwrap();
+        let v = crate::jsonio::parse(&dirty_text).unwrap();
+        assert_eq!(v.get("corrupted_frames").and_then(Json::as_num), Some(7.0));
+        assert_eq!(
+            v.get("checkpoint_rollbacks").and_then(Json::as_num),
+            Some(2.0)
+        );
+        let rendered = render_summary(&dirty, &Telemetry::null());
+        assert!(rendered.contains("corrupted frames 7 · checkpoint rollbacks 2"));
     }
 
     #[test]

@@ -144,6 +144,26 @@ pub enum TraceEvent {
         /// Seats demoted back to plain cameras by the merge.
         demoted: usize,
     },
+    /// A reliable delivery had attempts arrive bit-corrupted; the
+    /// receiver's frame checksum rejected them and the ARQ retried.
+    CorruptFrame {
+        /// Round index.
+        round: usize,
+        /// Sending camera.
+        camera: usize,
+        /// Attempts of this delivery that arrived corrupted.
+        corrupted: u32,
+    },
+    /// A checkpoint restore skipped damaged generations to reach the
+    /// newest one that verified.
+    CheckpointRollback {
+        /// Round the restore ran in.
+        round: usize,
+        /// Generation counter of the record that verified.
+        generation: u64,
+        /// Newer generations rejected on the way.
+        rolled_back: u64,
+    },
 }
 
 impl TraceEvent {
@@ -162,7 +182,9 @@ impl TraceEvent {
             | TraceEvent::PartitionStart { round, .. }
             | TraceEvent::PartitionHeal { round, .. }
             | TraceEvent::Election { round, .. }
-            | TraceEvent::Reconcile { round, .. } => round,
+            | TraceEvent::Reconcile { round, .. }
+            | TraceEvent::CorruptFrame { round, .. }
+            | TraceEvent::CheckpointRollback { round, .. } => round,
         }
     }
 
@@ -173,7 +195,8 @@ impl TraceEvent {
             | TraceEvent::Assignment { camera, .. }
             | TraceEvent::Detection { camera, .. }
             | TraceEvent::QuarantineStrike { camera, .. }
-            | TraceEvent::Retransmit { camera, .. } => Some(camera),
+            | TraceEvent::Retransmit { camera, .. }
+            | TraceEvent::CorruptFrame { camera, .. } => Some(camera),
             TraceEvent::Failover { elected, .. } | TraceEvent::Election { elected, .. } => {
                 Some(elected)
             }
@@ -182,7 +205,8 @@ impl TraceEvent {
             | TraceEvent::Checkpoint { .. }
             | TraceEvent::PartitionStart { .. }
             | TraceEvent::PartitionHeal { .. }
-            | TraceEvent::Reconcile { .. } => None,
+            | TraceEvent::Reconcile { .. }
+            | TraceEvent::CheckpointRollback { .. } => None,
         }
     }
 
@@ -202,6 +226,8 @@ impl TraceEvent {
             TraceEvent::PartitionHeal { .. } => "partition_heal",
             TraceEvent::Election { .. } => "election",
             TraceEvent::Reconcile { .. } => "reconcile",
+            TraceEvent::CorruptFrame { .. } => "corrupt_frame",
+            TraceEvent::CheckpointRollback { .. } => "checkpoint_rollback",
         }
     }
 
@@ -307,6 +333,20 @@ impl TraceEvent {
             TraceEvent::Reconcile { epoch, demoted, .. } => {
                 members.push(("epoch".into(), n(epoch as usize)));
                 members.push(("demoted".into(), n(demoted)));
+            }
+            TraceEvent::CorruptFrame {
+                camera, corrupted, ..
+            } => {
+                members.push(("camera".into(), n(camera)));
+                members.push(("corrupted".into(), n(corrupted as usize)));
+            }
+            TraceEvent::CheckpointRollback {
+                generation,
+                rolled_back,
+                ..
+            } => {
+                members.push(("generation".into(), n(generation as usize)));
+                members.push(("rolled_back".into(), n(rolled_back as usize)));
             }
         }
         Json::Obj(members)

@@ -36,6 +36,8 @@ pub(crate) const TAG_JITTER: u64 = 3;
 pub(crate) const TAG_DUP: u64 = 4;
 /// Event-tag for a reordering roll.
 pub(crate) const TAG_REORDER: u64 = 5;
+/// Event-tag for a payload-corruption roll.
+pub(crate) const TAG_CORRUPT: u64 = 6;
 
 /// Stochastic fault parameters of one camera ↔ controller link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -280,6 +282,122 @@ impl PartitionPlan {
     }
 }
 
+/// A seeded schedule of in-flight payload corruption.
+///
+/// Where loss makes a frame *vanish*, corruption makes it arrive
+/// *wrong*: with probability `rate` a delivered data attempt has
+/// `flips` of its bits inverted on the wire. Which bits flip is a pure
+/// SplitMix64-finalized function of `(seed, from, to, round, attempt)`
+/// — no extra random state — so a replay corrupts exactly the same bits
+/// of exactly the same frames.
+///
+/// The flip count is capped at 3: CRC-32 has Hamming distance ≥ 4 on
+/// frames far larger than this protocol's, so every corrupted frame is
+/// *guaranteed* to fail the receiver's checksum and be rejected (then
+/// retransmitted by the ARQ) rather than consumed. That turns "corrupt
+/// data never enters the system" into a deterministic invariant.
+///
+/// [`CorruptionPlan::none`] (the default) flips nothing, consumes no
+/// rolls, and leaves runs bit-identical to pre-corruption builds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CorruptionPlan {
+    rate: f64,
+    flips: u32,
+}
+
+impl CorruptionPlan {
+    /// No corruption at all — the pre-corruption behavior.
+    pub fn none() -> CorruptionPlan {
+        CorruptionPlan::default()
+    }
+
+    /// Corrupts each delivered data attempt with probability `rate`,
+    /// flipping one bit per corrupted frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rate < 1`.
+    pub fn with_rate(rate: f64) -> CorruptionPlan {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "corruption rate must be in [0, 1), got {rate}"
+        );
+        CorruptionPlan {
+            rate,
+            flips: if rate > 0.0 { 1 } else { 0 },
+        }
+    }
+
+    /// Sets the number of bits flipped per corrupted frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= flips <= 3` (≤ 3 keeps CRC-32 detection
+    /// guaranteed; see the type docs).
+    pub fn with_flips(mut self, flips: u32) -> CorruptionPlan {
+        assert!(
+            (1..=3).contains(&flips),
+            "flips must be in 1..=3 to stay within CRC-32's guaranteed \
+             detection distance, got {flips}"
+        );
+        self.flips = flips;
+        self
+    }
+
+    /// Probability that one delivered data attempt is corrupted.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Whether the plan corrupts anything. A `none()` plan lets the
+    /// transport skip the corruption roll entirely (zero-roll
+    /// discipline: disabled plans change no random stream).
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// The bit positions flipped in a `frame_bits`-bit frame sent
+    /// `from → to` at `(round, attempt)` — a pure function of its
+    /// arguments and `seed`. Positions are distinct, so the frame
+    /// always differs from the original in exactly `flips` bits.
+    pub fn flip_mask(
+        &self,
+        seed: u64,
+        from: usize,
+        to: Endpoint,
+        round: usize,
+        attempt: u32,
+        frame_bits: usize,
+    ) -> Vec<usize> {
+        debug_assert!(frame_bits > 0, "cannot corrupt an empty frame");
+        let to_code = match to {
+            Endpoint::Hub => 0u64,
+            Endpoint::Camera(j) => j as u64 + 1,
+        };
+        let base = seed
+            .wrapping_add((from as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(to_code.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((round as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        let mut mask = Vec::with_capacity(self.flips as usize);
+        let mut draw = 0u64;
+        while mask.len() < (self.flips as usize).min(frame_bits) {
+            let mut z = base.wrapping_add(draw.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            draw += 1;
+            let bit = (z % frame_bits as u64) as usize;
+            // Distinct positions only: a repeated flip would cancel out
+            // and let the frame through clean.
+            if !mask.contains(&bit) {
+                mask.push(bit);
+            }
+        }
+        mask
+    }
+}
+
 /// A seeded, deterministic schedule of network faults.
 ///
 /// Construct with [`FaultPlan::ideal`] (no faults, the default) or
@@ -302,6 +420,7 @@ pub struct FaultPlan {
     outages: Vec<(usize, Window)>,
     crashes: Vec<(usize, Window)>,
     partition: PartitionPlan,
+    corruption: CorruptionPlan,
 }
 
 impl FaultPlan {
@@ -321,6 +440,7 @@ impl FaultPlan {
             outages: Vec::new(),
             crashes: Vec::new(),
             partition: PartitionPlan::none(),
+            corruption: CorruptionPlan::none(),
         }
     }
 
@@ -384,6 +504,17 @@ impl FaultPlan {
         &self.partition
     }
 
+    /// Attaches an in-flight payload-corruption schedule to the plan.
+    pub fn with_corruption(mut self, corruption: CorruptionPlan) -> FaultPlan {
+        self.corruption = corruption;
+        self
+    }
+
+    /// The corruption schedule of this plan.
+    pub fn corruption(&self) -> &CorruptionPlan {
+        &self.corruption
+    }
+
     /// The fault parameters governing `camera`'s link.
     pub fn faults(&self, camera: usize) -> LinkFaults {
         self.per_link
@@ -414,6 +545,7 @@ impl FaultPlan {
             || !self.outages.is_empty()
             || !self.crashes.is_empty()
             || self.partition.enabled()
+            || self.corruption.enabled()
     }
 
     /// Deterministic uniform draw in `[0, 1)` for event number `counter`
@@ -683,6 +815,59 @@ mod tests {
             0,
             1,
         );
+    }
+
+    #[test]
+    fn corruption_plan_none_is_disabled() {
+        let plan = CorruptionPlan::none();
+        assert!(!plan.enabled());
+        assert_eq!(plan.rate(), 0.0);
+        assert!(!FaultPlan::ideal().corruption().enabled());
+        assert!(FaultPlan::seeded(1)
+            .with_corruption(CorruptionPlan::with_rate(0.2))
+            .enabled());
+    }
+
+    #[test]
+    fn flip_masks_are_pure_and_distinct() {
+        let plan = CorruptionPlan::with_rate(0.5).with_flips(3);
+        let mask = plan.flip_mask(42, 1, Endpoint::Hub, 3, 2, 88);
+        assert_eq!(
+            mask,
+            plan.flip_mask(42, 1, Endpoint::Hub, 3, 2, 88),
+            "same inputs, same mask"
+        );
+        assert_eq!(mask.len(), 3);
+        let mut dedup = mask.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "positions must be distinct: {mask:?}");
+        assert!(mask.iter().all(|&b| b < 88));
+        // Every keyed input perturbs the mask.
+        assert_ne!(mask, plan.flip_mask(43, 1, Endpoint::Hub, 3, 2, 88));
+        assert_ne!(mask, plan.flip_mask(42, 2, Endpoint::Hub, 3, 2, 88));
+        assert_ne!(mask, plan.flip_mask(42, 1, Endpoint::Camera(0), 3, 2, 88));
+        assert_ne!(mask, plan.flip_mask(42, 1, Endpoint::Hub, 4, 2, 88));
+        assert_ne!(mask, plan.flip_mask(42, 1, Endpoint::Hub, 3, 3, 88));
+    }
+
+    #[test]
+    fn flip_mask_clamps_to_tiny_frames() {
+        let plan = CorruptionPlan::with_rate(0.5).with_flips(3);
+        let mask = plan.flip_mask(7, 0, Endpoint::Hub, 0, 1, 2);
+        assert_eq!(mask.len(), 2, "cannot flip 3 distinct bits of 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "corruption rate")]
+    fn certain_corruption_rejected() {
+        CorruptionPlan::with_rate(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "flips must be in 1..=3")]
+    fn excessive_flips_rejected() {
+        CorruptionPlan::with_rate(0.1).with_flips(4);
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //! * [`reliable`] — the ack/retry policy and per-send [`Delivery`]
 //!   outcome of the transport's reliable path.
 
+pub mod checksum;
 pub mod fault;
 pub mod message;
 pub mod reliable;
 pub mod transport;
 
-pub use fault::{ControllerFaultPlan, Endpoint, FaultPlan, LinkFaults, PartitionPlan, Window};
+pub use fault::{
+    ControllerFaultPlan, CorruptionPlan, Endpoint, FaultPlan, LinkFaults, PartitionPlan, Window,
+};
 pub use message::{Message, WireSize};
 pub use reliable::{Delivery, RetryPolicy};
 pub use transport::{Network, TransportStats};
@@ -43,6 +46,42 @@ pub enum NetError {
         /// Energy the battery had left (J).
         available_j: f64,
     },
+    /// A wire frame was shorter than the minimum a header and CRC
+    /// trailer require.
+    FrameTooShort {
+        /// Bytes actually received.
+        got: usize,
+        /// Minimum bytes a well-formed frame needs.
+        needed: usize,
+    },
+    /// The frame's CRC32 trailer does not match its contents — the
+    /// payload was corrupted in flight (or at rest).
+    FrameChecksumMismatch {
+        /// Checksum the trailer claimed.
+        expected: u32,
+        /// Checksum the received bytes actually hash to.
+        actual: u32,
+    },
+    /// The frame's magic byte or protocol version is not ours.
+    BadFrameHeader {
+        /// First byte of the frame (must be the protocol magic).
+        magic: u8,
+        /// Second byte of the frame (must be the protocol version).
+        version: u8,
+    },
+    /// The frame names a message type this protocol version does not
+    /// define.
+    UnknownFrameTag(u8),
+    /// The frame's length does not match what its message type
+    /// requires.
+    FrameLengthMismatch {
+        /// The frame's message-type tag.
+        tag: u8,
+        /// Bytes the frame actually holds.
+        got: usize,
+        /// Bytes a frame of this type must hold.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -56,6 +95,21 @@ impl fmt::Display for NetError {
                 f,
                 "send failed: battery exhausted: requested {needed_j:.3} J, \
                  remaining {available_j:.3} J"
+            ),
+            NetError::FrameTooShort { got, needed } => {
+                write!(f, "frame too short: {got} bytes, need at least {needed}")
+            }
+            NetError::FrameChecksumMismatch { expected, actual } => write!(
+                f,
+                "frame checksum mismatch: trailer {expected:#010x}, computed {actual:#010x}"
+            ),
+            NetError::BadFrameHeader { magic, version } => {
+                write!(f, "bad frame header: magic {magic:#04x}, version {version}")
+            }
+            NetError::UnknownFrameTag(tag) => write!(f, "unknown frame tag {tag}"),
+            NetError::FrameLengthMismatch { tag, got, expected } => write!(
+                f,
+                "frame length mismatch for tag {tag}: {got} bytes, expected {expected}"
             ),
         }
     }

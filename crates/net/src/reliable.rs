@@ -84,6 +84,10 @@ pub struct Delivery {
     /// Rounds of delivery delay (fixed delay + jitter) the accepted copy
     /// incurred; 0 when delivered immediately or not delivered.
     pub delayed_rounds: usize,
+    /// Attempts whose frame arrived bit-corrupted and was rejected by
+    /// the receiver's checksum (each one behaves like a drop: no ack,
+    /// the ARQ retries, the energy stays spent).
+    pub corrupted: u32,
     /// Total backoff time spent between attempts (s).
     pub backoff_s: f64,
 }
@@ -96,6 +100,7 @@ impl Delivery {
             attempts: 0,
             seq,
             delayed_rounds: 0,
+            corrupted: 0,
             backoff_s: 0.0,
         }
     }
@@ -110,6 +115,7 @@ impl Delivery {
             attempts: 0,
             seq: 0,
             delayed_rounds: 0,
+            corrupted: 0,
             backoff_s: 0.0,
         }
     }

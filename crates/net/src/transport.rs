@@ -26,8 +26,10 @@
 
 use std::collections::BTreeSet;
 
-use crate::fault::{Endpoint, FaultPlan, TAG_ACK, TAG_DATA, TAG_DUP, TAG_JITTER, TAG_REORDER};
-use crate::message::{Message, WireSize};
+use crate::fault::{
+    Endpoint, FaultPlan, TAG_ACK, TAG_CORRUPT, TAG_DATA, TAG_DUP, TAG_JITTER, TAG_REORDER,
+};
+use crate::message::{decode_frame, encode_frame, Message, WireSize};
 use crate::reliable::{Delivery, RetryPolicy};
 use crate::{NetError, Result};
 use eecs_energy::budget::BatteryState;
@@ -58,6 +60,13 @@ pub struct TransportStats {
     pub timeouts: u64,
     /// Duplicate copies suppressed at the controller inbox.
     pub duplicates: u64,
+    /// Attempts whose frame was bit-corrupted in flight (the
+    /// [`crate::CorruptionPlan`] fired on a delivered attempt).
+    pub corrupted: u64,
+    /// Frames the receiver rejected on checksum verification. Equals
+    /// `corrupted` as long as every corruption is detected — which the
+    /// ≤ 3-bit flip cap guarantees (see [`crate::checksum`]).
+    pub rejected: u64,
     /// Total backoff time spent waiting between retries (s).
     pub backoff_s: f64,
 }
@@ -74,13 +83,19 @@ impl TransportStats {
         self.retries += other.retries;
         self.timeouts += other.timeouts;
         self.duplicates += other.duplicates;
+        self.corrupted += other.corrupted;
+        self.rejected += other.rejected;
         self.backoff_s += other.backoff_s;
     }
 
     /// The integer fields with stable names, in declaration order — the
     /// shape a metrics registry scrapes into counters.
-    pub fn counter_fields(&self) -> [(&'static str, u64); 7] {
-        [
+    ///
+    /// The corruption counters appear only when nonzero: runs without a
+    /// corruption plan scrape (and serialize) exactly the pre-corruption
+    /// field set, keeping their golden masters byte-identical.
+    pub fn counter_fields(&self) -> Vec<(&'static str, u64)> {
+        let mut fields = vec![
             ("messages", self.messages),
             ("bytes", self.bytes),
             ("attempts", self.attempts),
@@ -88,7 +103,14 @@ impl TransportStats {
             ("retries", self.retries),
             ("timeouts", self.timeouts),
             ("duplicates", self.duplicates),
-        ]
+        ];
+        if self.corrupted > 0 {
+            fields.push(("corrupted", self.corrupted));
+        }
+        if self.rejected > 0 {
+            fields.push(("rejected", self.rejected));
+        }
+        fields
     }
 
     /// The float fields (Joules, seconds) with stable names, in
@@ -382,6 +404,13 @@ impl Network {
                 outage || (faults.loss > 0.0 && self.roll(from, TAG_DATA) < faults.loss);
             if data_lost {
                 self.nodes[from].stats.drops += 1;
+            } else if self.corrupt_attempt(from, target, &message, delivery.attempts) {
+                // The frame arrived, but wrong: the receiver's checksum
+                // rejects it, no ack comes back, and the ARQ retries.
+                // The attempt's energy (charged above) stays spent.
+                delivery.corrupted += 1;
+                self.nodes[from].stats.corrupted += 1;
+                self.nodes[from].stats.rejected += 1;
             } else {
                 if self.nodes[from].delivered_seqs.insert(seq) {
                     // First copy to arrive: admit it, after any delay.
@@ -473,6 +502,10 @@ impl Network {
             let data_lost = outage || (faults.loss > 0.0 && self.roll(to, TAG_DATA) < faults.loss);
             if data_lost {
                 self.downlink_stats.drops += 1;
+            } else if self.corrupt_attempt(to, Endpoint::Camera(to), &message, delivery.attempts) {
+                delivery.corrupted += 1;
+                self.downlink_stats.corrupted += 1;
+                self.downlink_stats.rejected += 1;
             } else {
                 if delivery.delivered {
                     // The camera already has this seq; the repeat is
@@ -569,6 +602,11 @@ impl Network {
                 peer_dark || (faults.loss > 0.0 && self.roll(from, TAG_DATA) < faults.loss);
             if data_lost {
                 self.nodes[from].stats.drops += 1;
+            } else if self.corrupt_attempt(from, Endpoint::Camera(to), &message, delivery.attempts)
+            {
+                delivery.corrupted += 1;
+                self.nodes[from].stats.corrupted += 1;
+                self.nodes[from].stats.rejected += 1;
             } else {
                 delivery.delivered = true;
                 let ack_lost = faults.loss > 0.0 && self.roll(from, TAG_ACK) < faults.loss;
@@ -636,6 +674,43 @@ impl Network {
         let n = self.rolls;
         self.rolls += 1;
         self.plan.unit_roll(link, tag, n)
+    }
+
+    /// Rolls the corruption plan for one *delivered* data attempt and,
+    /// when it fires, puts the message through a real
+    /// encode → bit-flip → decode cycle. Returns `true` when the
+    /// receiver's checksum rejected the mangled frame (the guaranteed
+    /// outcome at ≤ 3 flips) — the caller then treats the attempt like
+    /// a drop. Disabled plans consume no roll and always return
+    /// `false`, so pre-corruption runs replay bit-identically.
+    fn corrupt_attempt(
+        &mut self,
+        link: usize,
+        target: Endpoint,
+        message: &Message,
+        attempt: u32,
+    ) -> bool {
+        let corruption = *self.plan.corruption();
+        if !corruption.enabled() || self.roll(link, TAG_CORRUPT) >= corruption.rate() {
+            return false;
+        }
+        let mut frame = encode_frame(message);
+        let mask = corruption.flip_mask(
+            self.plan.seed(),
+            link,
+            target,
+            self.round,
+            attempt,
+            frame.len() * 8,
+        );
+        for bit in mask {
+            frame[bit / 8] ^= 1 << (bit % 8);
+        }
+        // A frame that still decodes to the original survived intact —
+        // unreachable while flips are distinct and nonzero, but checked
+        // so the invariant "corrupt data is never consumed" rests on
+        // the actual decode, not on our reasoning about CRC distances.
+        !matches!(decode_frame(&frame), Ok(ref m) if m == message)
     }
 
     /// Accepts a delivered message: straight into the inbox, or into the
@@ -1254,6 +1329,141 @@ mod tests {
         assert!(!d.delivered, "uplink direction is cut");
         let d = net.send_downlink(0, Message::AlgorithmAssignment).unwrap();
         assert!(d.delivered && d.acked, "downlink direction still works");
+    }
+
+    #[test]
+    fn corruption_is_detected_retried_and_charged() {
+        use crate::fault::CorruptionPlan;
+        let plan =
+            FaultPlan::seeded(21).with_corruption(CorruptionPlan::with_rate(0.6).with_flips(3));
+        let mut net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::unlimited());
+        let mut bat = BatteryState::new(1000.0).unwrap();
+        let mut meter = PowerMeter::new();
+        let mut ideal_bat = BatteryState::new(1000.0).unwrap();
+        let mut ideal_meter = PowerMeter::new();
+        let mut ideal_net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default());
+
+        for _ in 0..40 {
+            let msg = Message::DetectionMetadata { objects: 2 };
+            let d = net
+                .send_reliable(0, msg.clone(), &mut bat, &mut meter)
+                .unwrap();
+            assert!(d.acked, "unlimited retries must end acked");
+            ideal_net
+                .send(0, msg, &mut ideal_bat, &mut ideal_meter)
+                .unwrap();
+        }
+        let s = net.stats(0).unwrap();
+        assert!(s.corrupted > 0, "60% corruption must fire in 40 sends");
+        assert_eq!(
+            s.corrupted, s.rejected,
+            "every corrupt frame must be rejected, never consumed"
+        );
+        assert_eq!(s.drops, 0, "no loss configured: corruption is separate");
+        assert!(s.retries >= s.corrupted, "each rejection forces a retry");
+        assert!(
+            bat.used() > ideal_bat.used(),
+            "rejected attempts must still cost energy"
+        );
+        assert_eq!(
+            net.drain_inbox().len(),
+            40,
+            "exactly one clean copy per message"
+        );
+    }
+
+    #[test]
+    fn corruption_trace_is_reproducible() {
+        use crate::fault::CorruptionPlan;
+        let run = || {
+            let plan = FaultPlan::seeded(77)
+                .with_default_faults(LinkFaults::lossy(0.2))
+                .with_corruption(CorruptionPlan::with_rate(0.3).with_flips(2));
+            let mut net = Network::new(2, LinkModel::default(), DeviceEnergyModel::default())
+                .with_fault_plan(plan)
+                .with_retry_policy(RetryPolicy::unlimited());
+            let mut bat = BatteryState::new(1000.0).unwrap();
+            let mut meter = PowerMeter::new();
+            let mut trace = Vec::new();
+            for round in 0..6 {
+                for cam in 0..2 {
+                    let d = net
+                        .send_reliable(
+                            cam,
+                            Message::DetectionMetadata { objects: round },
+                            &mut bat,
+                            &mut meter,
+                        )
+                        .unwrap();
+                    trace.push((cam, d.attempts, d.corrupted));
+                }
+                net.advance_round();
+            }
+            (trace, bat.used(), net.total_stats())
+        };
+        let (t1, e1, s1) = run();
+        let (t2, e2, s2) = run();
+        assert!(t1.iter().any(|&(_, _, c)| c > 0), "corruption must fire");
+        assert_eq!(t1, t2, "same seed, same corruption trace");
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn corruption_hits_downlink_and_peer_paths() {
+        use crate::fault::CorruptionPlan;
+        let plan =
+            FaultPlan::seeded(13).with_corruption(CorruptionPlan::with_rate(0.7).with_flips(1));
+        let mut net = Network::new(2, LinkModel::default(), DeviceEnergyModel::default())
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::unlimited());
+        let mut bat = BatteryState::new(1000.0).unwrap();
+        let mut meter = PowerMeter::new();
+        for _ in 0..20 {
+            let d = net.send_downlink(0, Message::AlgorithmAssignment).unwrap();
+            assert!(d.acked);
+            let d = net
+                .send_peer(0, 1, Message::DegradedFrame, &mut bat, &mut meter)
+                .unwrap();
+            assert!(d.acked);
+        }
+        assert!(net.downlink_stats().corrupted > 0, "downlink corruption");
+        assert_eq!(
+            net.downlink_stats().corrupted,
+            net.downlink_stats().rejected
+        );
+        let s = net.stats(0).unwrap();
+        assert!(s.corrupted > 0, "peer corruption");
+        assert_eq!(s.corrupted, s.rejected);
+    }
+
+    #[test]
+    fn disabled_corruption_changes_no_rolls() {
+        // A plan with loss but no corruption must produce the same roll
+        // stream (hence identical outcomes) as the pre-corruption code:
+        // the corruption check is zero-roll when disabled.
+        let run = |with_noop_corruption: bool| {
+            let mut plan = FaultPlan::seeded(5).with_default_faults(LinkFaults::lossy(0.4));
+            if with_noop_corruption {
+                plan = plan.with_corruption(crate::fault::CorruptionPlan::none());
+            }
+            let mut net = Network::new(1, LinkModel::default(), DeviceEnergyModel::default())
+                .with_fault_plan(plan)
+                .with_retry_policy(RetryPolicy::unlimited());
+            let mut bat = BatteryState::new(1000.0).unwrap();
+            let mut meter = PowerMeter::new();
+            let mut trace = Vec::new();
+            for _ in 0..25 {
+                let d = net
+                    .send_reliable(0, Message::EnergyReport, &mut bat, &mut meter)
+                    .unwrap();
+                trace.push((d.attempts, d.corrupted));
+            }
+            (trace, bat.used().to_bits())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

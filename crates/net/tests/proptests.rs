@@ -4,11 +4,46 @@ use eecs_energy::budget::BatteryState;
 use eecs_energy::comm::LinkModel;
 use eecs_energy::meter::PowerMeter;
 use eecs_energy::model::DeviceEnergyModel;
-use eecs_net::fault::{FaultPlan, LinkFaults};
-use eecs_net::message::{Message, WireSize};
+use eecs_net::checksum::{crc32, Crc32};
+use eecs_net::fault::{CorruptionPlan, FaultPlan, LinkFaults};
+use eecs_net::message::{decode_frame, encode_frame, Message, WireSize};
 use eecs_net::reliable::RetryPolicy;
 use eecs_net::transport::Network;
+use eecs_net::NetError;
 use proptest::prelude::*;
+
+/// Strategy covering every [`Message`] variant with arbitrary field
+/// values: a variant selector plus two raw 64-bit words, mapped onto
+/// whichever fields the selected variant carries.
+fn any_message() -> impl Strategy<Value = Message> {
+    (0..9u32, 0..u64::MAX, 0..u64::MAX).prop_map(|(variant, a, b)| match variant {
+        0 => Message::FeatureUpload {
+            frames: a as u16 as usize,
+            feature_dim: b as u16 as usize,
+        },
+        1 => Message::EnergyReport,
+        2 => Message::DetectionMetadata {
+            objects: a as u32 as usize,
+        },
+        3 => Message::CroppedImage { bytes: a },
+        4 => Message::ObjectDelivery {
+            objects: a as u32 as usize,
+            crop_bytes: b,
+        },
+        5 => Message::DegradedFrame,
+        6 => Message::ControllerHandover {
+            controller: a as u8 as usize,
+            epoch: b,
+        },
+        7 => Message::AlgorithmAssignment,
+        _ => Message::ActivationCommand,
+    })
+}
+
+/// Strategy for one arbitrary byte (the shim has ranges, not `any`).
+fn any_byte() -> impl Strategy<Value = u8> {
+    (0..256u32).prop_map(|b| b as u8)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -132,6 +167,84 @@ proptest! {
         payloads.sort_unstable();
         let expected: Vec<usize> = (0..sends).collect();
         prop_assert_eq!(payloads, expected);
+    }
+
+    /// Fuzz hardening: `decode_frame` is total over arbitrary bytes —
+    /// no panic, no unbounded allocation, and every failure is a typed
+    /// [`NetError`], never a success on garbage.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any_byte(), 0..64)) {
+        match decode_frame(&bytes) {
+            // Random bytes that happen to form a valid frame must
+            // re-encode to exactly those bytes (the format is canonical).
+            Ok(msg) => prop_assert_eq!(encode_frame(&msg), bytes),
+            Err(
+                NetError::FrameTooShort { .. }
+                | NetError::FrameChecksumMismatch { .. }
+                | NetError::BadFrameHeader { .. }
+                | NetError::UnknownFrameTag(_)
+                | NetError::FrameLengthMismatch { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "non-frame error from decode: {other:?}"),
+        }
+    }
+
+    /// Every message round-trips through the checksummed frame.
+    #[test]
+    fn frames_round_trip(msg in any_message()) {
+        prop_assert_eq!(decode_frame(&encode_frame(&msg)).unwrap(), msg);
+    }
+
+    /// Any 1-bit flip anywhere in any frame is rejected — corruption is
+    /// detected deterministically, not probabilistically.
+    #[test]
+    fn any_single_bit_flip_is_rejected(msg in any_message(), raw_bit in 0..1_000_000usize) {
+        let mut frame = encode_frame(&msg);
+        let bit = raw_bit % (frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(decode_frame(&frame).is_err(), "bit {bit} consumed");
+    }
+
+    /// The corruption plan's full flip-mask (≤ 3 distinct bits) is also
+    /// always rejected, for any keying of the pure mask function.
+    #[test]
+    fn corruption_masks_are_always_rejected(
+        msg in any_message(),
+        seed in 0..u64::MAX,
+        from in 0..8usize,
+        round in 0..1000usize,
+        attempt in 0..16u32,
+        flips in 1..4u32,
+    ) {
+        let plan = CorruptionPlan::with_rate(0.5).with_flips(flips);
+        let mut frame = encode_frame(&msg);
+        let mask = plan.flip_mask(
+            seed,
+            from,
+            eecs_net::Endpoint::Hub,
+            round,
+            attempt,
+            frame.len() * 8,
+        );
+        prop_assert!(!mask.is_empty());
+        for bit in mask {
+            frame[bit / 8] ^= 1 << (bit % 8);
+        }
+        prop_assert!(decode_frame(&frame).is_err());
+    }
+
+    /// Incremental CRC updates agree with the one-shot function over any
+    /// chunking of any payload.
+    #[test]
+    fn incremental_crc_matches_one_shot(
+        data in prop::collection::vec(any_byte(), 0..200),
+        raw_split in 0..1000usize,
+    ) {
+        let split = raw_split % (data.len() + 1);
+        let mut h = Crc32::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), crc32(&data));
     }
 
     /// Deterministic replay: the same plan over the same event sequence
