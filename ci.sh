@@ -77,4 +77,13 @@ echo "==> integrity smoke (wire corruption storm + torn checkpoint write)"
 # whole run must replay bit-for-bit.
 cargo run -q --release -p eecs-bench --bin chaos_smoke -- --corruption 1 2 3
 
+echo "==> churn smoke (heterogeneous fleet, mid-mission leave/rejoin, crash)"
+# Per seed, a flagship/midrange/lowend fleet over lossy links with a
+# scheduled controller crash and a churn plan that removes one camera
+# for two rounds: the failover must land on schedule, planning must
+# route around the departure (the absent camera never appears in a
+# round's plan), the camera must rejoin, and the run must replay
+# bit-for-bit.
+cargo run -q --release -p eecs-bench --bin chaos_smoke -- --churn 1 2 3
+
 echo "CI OK"

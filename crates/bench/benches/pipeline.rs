@@ -247,16 +247,23 @@ fn round_bench(c: &mut Criterion) {
     group.finish();
 }
 
-/// A 2×2 (budget × fault-seed) grid over the miniature round simulation,
-/// run through the sweep engine. Cells pin `Parallelism::serial()` —
-/// under the engine the cell is the unit of parallelism.
+/// A 2×2×2 (budget × fault-seed × churn) grid over the miniature round
+/// simulation, run through the sweep engine. Cells pin
+/// `Parallelism::serial()` — under the engine the cell is the unit of
+/// parallelism. The churn axis removes camera 3 for the (single) round,
+/// so half the grid plans around a three-camera fleet.
 fn sweep_shard(base: &Simulation) -> Shard<'_> {
     let spec = SweepSpec::new("bench_grid")
         .axis("budget", ["8.0", "12.0"])
-        .axis("fault_seed", ["1", "2"]);
+        .axis("fault_seed", ["1", "2"])
+        .axis("churn", ["0", "1"]);
     Shard::new(spec, move |job| {
         let budget: f64 = job.value("budget").unwrap().parse().unwrap();
         let seed: u64 = job.value("fault_seed").unwrap().parse().unwrap();
+        let churn = match job.value("churn").unwrap() {
+            "1" => eecs_net::fault::ChurnPlan::seeded(seed).with_leave(3, 0, 1),
+            _ => eecs_net::fault::ChurnPlan::ideal(),
+        };
         let report = base
             .with_budget(budget)
             .map_err(|e| e.to_string())?
@@ -265,6 +272,7 @@ fn sweep_shard(base: &Simulation) -> Shard<'_> {
                 eecs_scene::sensor_fault::SensorFaultPlan::ideal(),
                 eecs_net::fault::ControllerFaultPlan::none(),
             )
+            .with_churn(churn)
             .run()
             .map_err(|e| e.to_string())?;
         Ok(report::Json::Obj(vec![
@@ -273,8 +281,109 @@ fn sweep_shard(base: &Simulation) -> Shard<'_> {
                 report::Json::Num(report.correctly_detected as f64),
             ),
             ("energy_j".into(), report::Json::Num(report.total_energy_j)),
+            (
+                "leaves".into(),
+                report::Json::Num(report.camera_leaves as f64),
+            ),
         ]))
     })
+}
+
+/// The elastic-fleet benches. The end-to-end side: a three-round
+/// mission whose churn plan takes camera 3 out for round 1 and brings
+/// it back at round 2, timed next to the fixed-fleet mission. The
+/// microbench side: `churn_replan` times exactly the controller
+/// bookkeeping one departure + rejoin costs — quarantine purge, sticky
+/// plan retain, and stale assessment-cache eviction — which is what
+/// `churn_replan_ns` reports.
+fn churn_bench(c: &mut Criterion) {
+    let sim = Simulation::prepare(
+        DetectorBank::train_quick(5).expect("bank"),
+        sim_config_three_rounds(),
+    )
+    .expect("prepare");
+    let churned = sim.with_churn(eecs_net::fault::ChurnPlan::seeded(3).with_leave(3, 1, 2));
+    // The plan fired, and the run replays bit-identically — a perf
+    // number for a nondeterministic path would be meaningless.
+    let probe = churned.run().expect("churn mission");
+    assert_eq!(probe.camera_leaves, 1, "churn plan never fired");
+    assert_eq!(probe.camera_joins, 1, "camera 3 never rejoined");
+    assert_eq!(probe, churned.run().expect("churn replay"));
+
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("full_eecs_mission_3rounds", |b| {
+        b.iter(|| black_box(sim.run().expect("run")))
+    });
+    group.bench_function("full_eecs_mission_3rounds_churn", |b| {
+        b.iter(|| black_box(churned.run().expect("run")))
+    });
+    group.finish();
+
+    // Controller-state bookkeeping for one departure + rejoin, on state
+    // sized like a busy 4-camera mission.
+    use eecs_core::controller::{AssessmentCache, QuarantineLedger, QuarantinePolicy};
+    use eecs_core::metadata::CameraReport;
+    use eecs_detect::detection::AlgorithmId;
+    let policy = QuarantinePolicy::default();
+    let algs = [
+        AlgorithmId::Hog,
+        AlgorithmId::Acf,
+        AlgorithmId::C4,
+        AlgorithmId::Lsvm,
+    ];
+    c.bench_function("churn_replan", |b| {
+        b.iter(|| {
+            let mut ledger = QuarantineLedger::new();
+            let mut cache = AssessmentCache::new(4);
+            let mut plan: std::collections::BTreeMap<usize, AlgorithmId> =
+                (0..4).map(|j| (j, algs[j])).collect();
+            let mut active: Vec<usize> = (0..4).collect();
+            for cam in 0..4 {
+                for &alg in &algs {
+                    ledger.report_unhealthy(cam, alg, 0, &policy);
+                }
+                let mut assessment = eecs_core::controller::CameraAssessment::new();
+                assessment.insert(algs[cam], vec![CameraReport { objects: vec![] }]);
+                cache.record(cam, 0, assessment);
+            }
+            // Departure: purge quarantine, drop sticky plan entries.
+            let purged = ledger.purge_camera(3);
+            plan.remove(&3);
+            active.retain(|&j| j != 3);
+            // Rejoin two rounds later: evict what went stale meanwhile.
+            let evicted = cache.evict_stale(3, 2, 1);
+            black_box((purged, evicted, plan.len(), active.len()))
+        })
+    });
+}
+
+/// The three-round variant of the miniature mission config.
+fn sim_config_three_rounds() -> SimulationConfig {
+    let mut profile = DatasetProfile::miniature(DatasetId::Lab);
+    profile.num_people = 4;
+    let eecs = EecsConfig {
+        assessment_period: 10,
+        recalibration_interval: 30,
+        key_frames: 8,
+        ..EecsConfig::default()
+    };
+    SimulationConfig {
+        profile,
+        cameras: 4,
+        start_frame: 40,
+        end_frame: 130,
+        budget_j_per_frame: 10.0,
+        mode: OperatingMode::FullEecs,
+        eecs,
+        feature_words: 12,
+        max_training_frames: 8,
+        boost_every: 0,
+        fault_plan: eecs_net::fault::FaultPlan::ideal(),
+        sensor_plan: eecs_scene::sensor_fault::SensorFaultPlan::ideal(),
+        controller_plan: eecs_net::fault::ControllerFaultPlan::none(),
+        parallel: Parallelism::default(),
+    }
 }
 
 /// The same sweep at 1 worker vs 4 workers. The engine guarantees the
@@ -323,6 +432,7 @@ fn main() {
     detect_bench(&mut c);
     let cascade_reject_ratio = kernel_bench(&mut c);
     round_bench(&mut c);
+    churn_bench(&mut c);
     sweep_bench(&mut c);
 
     let entries: Vec<BenchEntry> = c
@@ -375,6 +485,13 @@ fn main() {
     }
     metrics.push(("c4_cascade_reject_ratio".into(), cascade_reject_ratio));
     metrics.push(("host_parallelism".into(), host as f64));
+    // The controller-side cost of one departure + rejoin (quarantine
+    // purge, sticky-plan retain, stale-cache eviction), straight from
+    // the microbench — unlike a mission-level difference this is not
+    // noise-dominated (a departed camera makes the mission *cheaper*).
+    let churn_replan_ns = c.mean_ns("churn_replan").expect("churn_replan ran") as f64;
+    println!("churn replan bookkeeping: {churn_replan_ns:.0} ns");
+    metrics.push(("churn_replan_ns".into(), churn_replan_ns));
     let text = report::render(&entries, &metrics);
     report::validate_pipeline_report(&text).expect("generated report validates");
     std::fs::write(REPORT_PATH, &text).expect("write BENCH_pipeline.json");

@@ -27,6 +27,14 @@
 //! under a controller crash. The run must reject corrupted frames (never
 //! consume them), charge energy for the wasted attempts, roll the
 //! restore back one checkpoint generation, and replay bit-for-bit.
+//!
+//! `--churn` swaps in the elastic-fleet matrix: per seed, a
+//! heterogeneous fleet (flagship/midrange/lowend device profiles) runs
+//! under lossy links, a scheduled controller crash, and a churn plan
+//! that takes one camera out mid-mission and brings it back. The run
+//! must fail over on schedule, re-plan around the departure (the absent
+//! camera never appears in a round's plan), see it rejoin, and replay
+//! bit-for-bit.
 
 use eecs_core::checkpoint::CheckpointFaultPlan;
 use eecs_core::config::EecsConfig;
@@ -36,8 +44,9 @@ use eecs_core::simulation::{
 use eecs_core::telemetry::summary::render_summary;
 use eecs_core::telemetry::Telemetry;
 use eecs_detect::bank::DetectorBank;
+use eecs_energy::profile::DeviceProfile;
 use eecs_net::fault::{
-    ControllerFaultPlan, CorruptionPlan, Endpoint, FaultPlan, LinkFaults, PartitionPlan,
+    ChurnPlan, ControllerFaultPlan, CorruptionPlan, Endpoint, FaultPlan, LinkFaults, PartitionPlan,
 };
 use eecs_scene::dataset::{DatasetId, DatasetProfile};
 use eecs_scene::sensor_fault::{SensorFaultPlan, SensorImpairments};
@@ -422,10 +431,143 @@ fn check_corruption_scenario(
     Ok(())
 }
 
+/// The camera the churn matrix removes over rounds `[1, 3)`.
+const CHURN_CAMERA: usize = 3;
+
+/// Invariants an elastic-fleet run must satisfy: the crash failover
+/// still happens on schedule, the churn plan actually fired in both
+/// directions, the absent camera never leaks into a round's plan, and
+/// no round is ever planned empty.
+fn check_churn_report(seed: u64, report: &SimulationReport) -> Result<(), String> {
+    ensure(!report.rounds.is_empty(), || {
+        format!("seed {seed} [churn]: no rounds")
+    })?;
+    ensure(report.rounds.iter().all(|r| !r.active.is_empty()), || {
+        format!("seed {seed} [churn]: a round lost every camera")
+    })?;
+    ensure(
+        report.total_energy_j.is_finite() && report.total_energy_j > 0.0,
+        || {
+            format!(
+                "seed {seed} [churn]: unphysical total energy {}",
+                report.total_energy_j
+            )
+        },
+    )?;
+    ensure(report.failovers.len() == 1, || {
+        format!(
+            "seed {seed} [churn]: expected exactly one failover, got {:?}",
+            report.failovers
+        )
+    })?;
+    ensure(report.failovers[0].round == CRASH_ROUND, || {
+        format!("seed {seed} [churn]: failover in wrong round")
+    })?;
+    ensure(report.camera_leaves >= 1, || {
+        format!("seed {seed} [churn]: churn plan never removed a camera")
+    })?;
+    ensure(report.camera_joins >= 1, || {
+        format!("seed {seed} [churn]: the absent camera never rejoined")
+    })?;
+    // Re-planning around the departure: at least one round ran without
+    // the churned camera in either the active set or the assignment.
+    ensure(
+        report.rounds.iter().any(|r| {
+            !r.active.contains(&CHURN_CAMERA) && !r.assignment.contains_key(&CHURN_CAMERA)
+        }),
+        || {
+            format!(
+                "seed {seed} [churn]: camera {CHURN_CAMERA} never left the plan — \
+                 sticky assignments leaked across the departure"
+            )
+        },
+    )?;
+    Ok(())
+}
+
+/// Runs the elastic-fleet matrix for one seed over a heterogeneous
+/// device fleet. On violation the flight-recorder tail is folded into
+/// the error text.
+fn check_churn_seed(base: &Simulation, seed: u64, show_telemetry: bool) -> Result<(), String> {
+    let tel = Telemetry::recording(8192);
+    if let Err(violation) = check_churn_scenario(base, seed, &tel, show_telemetry) {
+        let tail = tel
+            .tail_json(POSTMORTEM_ROUNDS)
+            .unwrap_or_else(|e| format!("(tail dump failed: {e})"));
+        return Err(format!(
+            "{violation}\nflight recorder, last {POSTMORTEM_ROUNDS} rounds:\n{tail}"
+        ));
+    }
+    Ok(())
+}
+
+fn check_churn_scenario(
+    base: &Simulation,
+    seed: u64,
+    tel: &Telemetry,
+    show_telemetry: bool,
+) -> Result<(), String> {
+    let sim = base
+        .with_fleet(vec![
+            DeviceProfile::flagship(),
+            DeviceProfile::midrange(),
+            DeviceProfile::midrange(),
+            DeviceProfile::lowend(),
+        ])
+        .map_err(|e| format!("seed {seed} [churn]: fleet rejected: {e}"))?
+        .with_faults(
+            FaultPlan::seeded(seed).with_default_faults(LinkFaults::lossy(0.2)),
+            SensorFaultPlan::ideal(),
+            ControllerFaultPlan::none().with_crash(CRASH_ROUND, CRASH_ROUND + 1),
+        )
+        .with_churn(ChurnPlan::seeded(seed).with_leave(CHURN_CAMERA, 1, 3));
+    let report = sim
+        .with_telemetry(tel.clone())
+        .run()
+        .map_err(|e| format!("seed {seed} [churn]: churn run failed: {e}"))?;
+    let replay_tel = Telemetry::recording(8192);
+    let replay = sim
+        .with_telemetry(replay_tel.clone())
+        .run()
+        .map_err(|e| format!("seed {seed} [churn]: churn replay failed: {e}"))?;
+    ensure(report == replay, || {
+        format!("seed {seed} [churn]: run is not deterministic")
+    })?;
+    ensure(
+        tel.trace_json().ok() == replay_tel.trace_json().ok()
+            && tel.metrics_json().ok() == replay_tel.metrics_json().ok(),
+        || format!("seed {seed} [churn]: telemetry stream is not deterministic"),
+    )?;
+    check_churn_report(seed, &report)?;
+
+    let f = &report.failovers[0];
+    println!(
+        "seed {seed} [churn]: OK — found {}/{}, {:.2} J, leaves {} joins {}, \
+         failover → camera {} (checkpoint round {})",
+        report.correctly_detected,
+        report.gt_objects,
+        report.total_energy_j,
+        report.camera_leaves,
+        report.camera_joins,
+        f.elected,
+        f.checkpoint_round,
+    );
+    if show_telemetry {
+        println!("{}", render_summary(&report, tel));
+        println!(
+            "metrics: {}",
+            tel.metrics_json()
+                .map_err(|e| format!("seed {seed} [churn]: metrics dump failed: {e}"))?
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     let mut show_telemetry = false;
     let mut partition = false;
     let mut corruption = false;
+    let mut churn = false;
     let mut seeds: Vec<u64> = Vec::new();
     for arg in std::env::args().skip(1) {
         if arg == "--telemetry" {
@@ -434,6 +576,8 @@ fn main() {
             partition = true;
         } else if arg == "--corruption" {
             corruption = true;
+        } else if arg == "--churn" {
+            churn = true;
         } else {
             seeds.push(arg.parse().unwrap_or_else(|_| panic!("bad seed {arg:?}")));
         }
@@ -457,8 +601,9 @@ fn main() {
             cameras: 4,
             start_frame: 40,
             // The partition matrix needs four rounds: split, two rounds
-            // of darkness, heal. The crash matrix keeps its two.
-            end_frame: if partition { 160 } else { 100 },
+            // of darkness, heal. The churn matrix likewise: present,
+            // two rounds absent, rejoin. The crash matrix keeps its two.
+            end_frame: if partition || churn { 160 } else { 100 },
             budget_j_per_frame: 5.0,
             mode: OperatingMode::FullEecs,
             eecs,
@@ -476,6 +621,8 @@ fn main() {
         "partition"
     } else if corruption {
         "integrity"
+    } else if churn {
+        "churn"
     } else {
         "fault"
     };
@@ -500,6 +647,17 @@ fn main() {
             }
         }
         println!("integrity smoke OK ({} seeds)", seeds.len());
+        return;
+    }
+
+    if churn {
+        for &seed in &seeds {
+            if let Err(violation) = check_churn_seed(&base, seed, show_telemetry) {
+                eprintln!("FAIL: {violation}");
+                std::process::exit(1);
+            }
+        }
+        println!("churn smoke OK ({} seeds)", seeds.len());
         return;
     }
 

@@ -149,6 +149,9 @@ fn run() -> Result<(), String> {
     for (kernel, speedup) in &summary.kernel_speedups {
         println!("  kernel speedup {kernel}: {speedup:.2}x");
     }
+    if let Some(ns) = summary.churn_replan_ns {
+        println!("  churn replan bookkeeping: {ns:.0} ns");
+    }
     check_parallel_speedups(&summary)?;
     if let Some(path) = &args.baseline {
         let baseline = load(path)?;

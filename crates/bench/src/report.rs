@@ -83,6 +83,12 @@ pub struct PipelineSummary {
     /// `check_bench` treats the parallel speedups: ~1× is expected on one
     /// core and a defect on many.
     pub host_parallelism: Option<f64>,
+    /// Controller-side bookkeeping cost of one camera departure +
+    /// rejoin (quarantine purge, sticky-plan retain, stale
+    /// assessment-cache eviction), when recorded. Validated finite and
+    /// non-negative — a sub-resolution timer may legally report zero.
+    /// Absent in reports predating the elastic-fleet benches.
+    pub churn_replan_ns: Option<f64>,
 }
 
 /// Validates a `BENCH_pipeline.json` document: schema tag, a non-empty
@@ -156,12 +162,26 @@ pub fn validate_pipeline_report(text: &str) -> Result<PipelineSummary, String> {
         .get("metrics")
         .and_then(|m| m.get("host_parallelism"))
         .and_then(Json::as_num);
+    let churn_replan_ns = doc
+        .get("metrics")
+        .and_then(|m| m.get("churn_replan_ns"))
+        .map(|v| {
+            let value = v
+                .as_num()
+                .ok_or("metrics.churn_replan_ns is not a number")?;
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(format!("churn_replan_ns must be non-negative, got {value}"));
+            }
+            Ok(value)
+        })
+        .transpose()?;
     Ok(PipelineSummary {
         entries,
         round_speedup: speedup("round_speedup")?,
         sweep_speedup: speedup("sweep_speedup")?,
         kernel_speedups,
         host_parallelism,
+        churn_replan_ns,
     })
 }
 
@@ -210,6 +230,33 @@ mod tests {
             vec![("c4".to_string(), 3.4), ("hog".to_string(), 1.8)]
         );
         assert_eq!(summary.host_parallelism, Some(4.0));
+    }
+
+    #[test]
+    fn churn_replan_ns_parsed_and_sign_checked() {
+        // Absent: the field stays None and validation passes.
+        let text = render(&sample_entries(), &sample_metrics());
+        assert_eq!(
+            validate_pipeline_report(&text).unwrap().churn_replan_ns,
+            None
+        );
+        // Present and non-negative (zero is legal — noise-clamped).
+        for value in [0.0, 125_000.0] {
+            let mut metrics = sample_metrics();
+            metrics.push(("churn_replan_ns".into(), value));
+            let text = render(&sample_entries(), &metrics);
+            assert_eq!(
+                validate_pipeline_report(&text).unwrap().churn_replan_ns,
+                Some(value)
+            );
+        }
+        // Negative is rejected.
+        let mut metrics = sample_metrics();
+        metrics.push(("churn_replan_ns".into(), -1.0));
+        let text = render(&sample_entries(), &metrics);
+        assert!(validate_pipeline_report(&text)
+            .unwrap_err()
+            .contains("churn_replan_ns"));
     }
 
     #[test]

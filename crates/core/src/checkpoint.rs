@@ -25,7 +25,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema tag stamped into every checkpoint payload document.
-pub const SCHEMA: &str = "eecs-checkpoint/2";
+/// Version 4 adds fleet membership and per-camera device-profile names,
+/// so a restored seat knows which cameras existed and on what hardware.
+pub const SCHEMA: &str = "eecs-checkpoint/4";
 
 /// Schema tag stamped into every verified store record (envelope).
 pub const STORE_SCHEMA: &str = "eecs-checkpoint/3";
@@ -64,6 +66,13 @@ pub struct SimulationCheckpoint {
     /// Quarantine ledger entries `(camera, algorithm, strikes,
     /// eligible_round)`.
     pub quarantine: Vec<(usize, AlgorithmId, u32, usize)>,
+    /// Camera indices that were fleet members when the snapshot was
+    /// taken. Restore ignores this for replay (membership is a pure
+    /// function of the churn plan) but keeps it for audit.
+    pub members: Vec<usize>,
+    /// Device-profile name per camera slot (empty for a uniform fleet
+    /// that never configured profiles).
+    pub profiles: Vec<String>,
 }
 
 impl SimulationCheckpoint {
@@ -78,6 +87,8 @@ impl SimulationCheckpoint {
             battery_used_j: vec![0.0; cameras],
             cache: vec![CacheSlot::default(); cameras],
             quarantine: Vec::new(),
+            members: (0..cameras).collect(),
+            profiles: Vec::new(),
         }
     }
 
@@ -156,6 +167,24 @@ impl SimulationCheckpoint {
             }
             let _ = write!(out, "[{cam}, \"{alg}\", {strikes}, {until}]");
         }
+        out.push(']');
+
+        out.push_str(", \"members\": [");
+        for (i, cam) in self.members.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{cam}");
+        }
+        out.push(']');
+
+        out.push_str(", \"profiles\": [");
+        for (i, name) in self.profiles.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{name:?}");
+        }
         out.push_str("]}");
         out
     }
@@ -224,6 +253,20 @@ impl SimulationCheckpoint {
             }
         }
 
+        let members = get_arr(&doc, "members")?
+            .iter()
+            .map(as_usize)
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let profiles = get_arr(&doc, "profiles")?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "profile name must be a string".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
         Ok(SimulationCheckpoint {
             round,
             epoch,
@@ -232,6 +275,8 @@ impl SimulationCheckpoint {
             battery_used_j,
             cache,
             quarantine,
+            members,
+            profiles,
         })
     }
 }
@@ -748,6 +793,8 @@ mod tests {
                 },
             ],
             quarantine: vec![(1, AlgorithmId::Acf, 2, 9)],
+            members: vec![0, 2],
+            profiles: vec!["flagship".into(), "midrange".into(), "lowend".into()],
         }
     }
 
@@ -776,6 +823,8 @@ mod tests {
         assert!(ckpt.assignment.is_empty() && ckpt.active.is_empty());
         assert_eq!(ckpt.battery_used_j, vec![0.0; 3]);
         assert_eq!(ckpt.cache.len(), 3);
+        assert_eq!(ckpt.members, vec![0, 1, 2], "everyone starts a member");
+        assert!(ckpt.profiles.is_empty(), "uniform fleet names no profiles");
         let restored = SimulationCheckpoint::from_json(&ckpt.to_json()).unwrap();
         assert_eq!(restored, ckpt);
     }

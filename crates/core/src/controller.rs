@@ -112,6 +112,28 @@ impl AssessmentCache {
             .map(|(round, reports)| (*round, reports))
     }
 
+    /// Evicts `camera`'s cached assessment if it is more than
+    /// `staleness_limit` rounds older than `round`. Called when a camera
+    /// rejoins the fleet: its identity is restored, but a cache entry
+    /// gathered before it left must not outlive the same staleness bound
+    /// that governs lossy-network degradation. Fresh-enough entries —
+    /// and the liveness record — survive. Returns whether an entry was
+    /// evicted.
+    pub fn evict_stale(&mut self, camera: usize, round: usize, staleness_limit: usize) -> bool {
+        match self.data.get_mut(camera) {
+            Some(slot @ Some(_)) => {
+                let (gathered, _) = slot.as_ref().expect("checked Some");
+                if round.saturating_sub(*gathered) > staleness_limit {
+                    *slot = None;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
     /// Overwrites `camera`'s cache slot wholesale — checkpoint restore.
     /// Out-of-range cameras are ignored, matching `mark_heard`.
     pub fn restore_entry(
@@ -254,6 +276,19 @@ impl QuarantineLedger {
             }
         }
         deferred
+    }
+
+    /// Removes every entry for `camera` — strikes, backoffs and pending
+    /// re-probes alike. Called when the camera departs the fleet: the
+    /// ledger is keyed by camera index, and an entry left behind would
+    /// dangle (a re-probe of a camera that no longer exists) or alias a
+    /// future member reusing the index. A later rejoin starts with a
+    /// clean slate, like any newcomer. Returns how many entries were
+    /// purged.
+    pub fn purge_camera(&mut self, camera: usize) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|&(cam, _), _| cam != camera);
+        before - self.entries.len()
     }
 
     /// Whether `(camera, algorithm)` may be assessed in `round`. A pair
@@ -757,6 +792,46 @@ mod tests {
         // The deferred re-probe still clears on a healthy result.
         ledger.report_healthy(pair.0, pair.1);
         assert!(ledger.allows(pair.0, pair.1, 6) && ledger.strikes(pair.0, pair.1) == 0);
+    }
+
+    #[test]
+    fn quarantine_purge_drops_only_the_departed_camera() {
+        let policy = QuarantinePolicy::default();
+        let mut ledger = QuarantineLedger::new();
+        ledger.report_unhealthy(1, AlgorithmId::Acf, 3, &policy);
+        ledger.report_unhealthy(1, AlgorithmId::Hog, 3, &policy);
+        ledger.report_unhealthy(2, AlgorithmId::Acf, 3, &policy);
+        assert_eq!(ledger.len(), 3);
+
+        assert_eq!(ledger.purge_camera(1), 2);
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.strikes(1, AlgorithmId::Acf), 0, "clean slate");
+        assert!(ledger.allows(1, AlgorithmId::Acf, 4), "no dangling backoff");
+        assert_eq!(ledger.strikes(2, AlgorithmId::Acf), 1, "others untouched");
+        assert_eq!(ledger.purge_camera(1), 0, "idempotent");
+        assert_eq!(ledger.purge_camera(7), 0, "unknown camera is a no-op");
+    }
+
+    #[test]
+    fn assessment_cache_evicts_only_stale_entries_on_rejoin() {
+        let reports: CameraAssessment = [(AlgorithmId::Hog, Vec::new())].into();
+        let mut cache = AssessmentCache::new(2);
+        cache.record(0, 3, reports.clone());
+        cache.record(1, 3, reports.clone());
+
+        // Rejoin at round 5, limit 2: age 2 is within bound — kept.
+        assert!(!cache.evict_stale(0, 5, 2));
+        assert_eq!(cache.entry(0), Some((3, &reports)));
+
+        // Rejoin at round 6: age 3 exceeds the bound — evicted, but the
+        // liveness record survives.
+        assert!(cache.evict_stale(1, 6, 2));
+        assert!(cache.entry(1).is_none());
+        assert_eq!(cache.heard_round(1), Some(3));
+
+        // Empty slots and out-of-range cameras are no-ops.
+        assert!(!cache.evict_stale(1, 7, 2));
+        assert!(!cache.evict_stale(9, 7, 2));
     }
 
     #[test]

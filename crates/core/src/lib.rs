@@ -44,6 +44,7 @@ pub mod reid;
 pub mod selection;
 pub mod simulation;
 pub mod telemetry;
+pub mod testkit;
 pub mod training;
 
 pub use accuracy::{DesiredAccuracy, GlobalAccuracy};
@@ -64,6 +65,7 @@ pub use reconcile::SeatSnapshot;
 pub use reid::FusedObject;
 pub use simulation::{FailoverEvent, OperatingMode, Parallelism, SimulationReport};
 pub use telemetry::{FlightRecorder, MetricsRegistry, Telemetry, TelemetrySink, TraceEvent};
+pub use testkit::{InvariantChecker, InvariantContext};
 
 use std::error::Error;
 use std::fmt;

@@ -21,7 +21,11 @@
 //!   round, heard round)` recency;
 //! * **quarantine** entries union per `(camera, algorithm)` pair,
 //!   keeping the max strike count and the latest eligibility round —
-//!   a camera never escapes quarantine by switching islands.
+//!   a camera never escapes quarantine by switching islands;
+//! * **membership** sets union (sorted, deduplicated) — a camera that
+//!   joined the fleet inside one island is a member of the healed
+//!   fleet; whether it is *currently* present stays a pure function of
+//!   the churn plan, so the union never resurrects a departed camera.
 //!
 //! Cache-slot ties rely on a system invariant: a seat at a given epoch
 //! records each camera's assessment for a given round exactly once, so
@@ -51,6 +55,9 @@ pub struct SeatSnapshot {
     pub cache: Vec<CacheSlot>,
     /// Quarantine entries `(camera, algorithm, strikes, eligible_round)`.
     pub quarantine: Vec<(usize, AlgorithmId, u32, usize)>,
+    /// Camera indices this seat has ever admitted to the fleet, sorted
+    /// and deduplicated.
+    pub members: Vec<usize>,
 }
 
 /// The plan-adoption priority of a snapshot: higher wins. Total order —
@@ -106,6 +113,10 @@ pub fn reconcile(a: &SeatSnapshot, b: &SeatSnapshot) -> SeatSnapshot {
         entry.1 = entry.1.max(until);
     }
 
+    let mut members: Vec<usize> = a.members.iter().chain(&b.members).copied().collect();
+    members.sort_unstable();
+    members.dedup();
+
     SeatSnapshot {
         epoch: a.epoch.max(b.epoch),
         seat: winner.seat,
@@ -117,6 +128,7 @@ pub fn reconcile(a: &SeatSnapshot, b: &SeatSnapshot) -> SeatSnapshot {
             .into_iter()
             .map(|((cam, alg), (strikes, until))| (cam, alg, strikes, until))
             .collect(),
+        members,
     }
 }
 
@@ -133,6 +145,7 @@ mod tests {
             active: vec![0],
             cache: vec![CacheSlot::default(); 2],
             quarantine: Vec::new(),
+            members: vec![0, 1],
         }
     }
 
@@ -201,6 +214,18 @@ mod tests {
             vec![(0, AlgorithmId::Acf, 2, 9), (1, AlgorithmId::Hog, 1, 3)]
         );
         assert_eq!(reconcile(&b, &a), merged);
+        assert_eq!(reconcile(&merged, &merged), merged, "idempotent");
+    }
+
+    #[test]
+    fn membership_unions_sorted_and_deduplicated() {
+        let mut a = snap(1, None, 0);
+        let mut b = snap(1, Some(0), 0);
+        a.members = vec![0, 1, 3];
+        b.members = vec![1, 2];
+        let merged = reconcile(&a, &b);
+        assert_eq!(merged.members, vec![0, 1, 2, 3]);
+        assert_eq!(reconcile(&b, &a), merged, "commutative");
         assert_eq!(reconcile(&merged, &merged), merged, "idempotent");
     }
 }

@@ -36,12 +36,13 @@ use eecs_detect::health::DetectorHealth;
 use eecs_energy::budget::{BatteryState, EnergyBudget};
 use eecs_energy::comm::JPEG_BYTES_PER_PIXEL;
 use eecs_energy::meter::PowerMeter;
-use eecs_net::fault::{ControllerFaultPlan, Endpoint, FaultPlan, PartitionPlan};
+use eecs_energy::profile::DeviceProfile;
+use eecs_net::fault::{ChurnPlan, ControllerFaultPlan, Endpoint, FaultPlan, PartitionPlan};
 use eecs_net::message::Message;
 use eecs_net::reliable::Delivery;
 use eecs_net::transport::{Network, TransportStats};
 use eecs_scene::dataset::DatasetProfile;
-use eecs_scene::rig::rig_calibrations;
+use eecs_scene::rig::{rig_calibrations, FleetView};
 use eecs_scene::sensor_fault::{FrameImpairment, SensorFaultPlan};
 use eecs_scene::sequence::{FrameData, VideoFeed};
 use std::collections::BTreeMap;
@@ -270,6 +271,12 @@ pub struct SimulationReport {
     /// because they failed verification. Zero without a
     /// [`CheckpointFaultPlan`].
     pub checkpoint_rollbacks: u64,
+    /// Cameras admitted (or re-admitted) to the fleet mid-run. Zero
+    /// without a [`ChurnPlan`].
+    pub camera_joins: usize,
+    /// Cameras that left the fleet mid-run (absence windows, permanent
+    /// departures, or random churn). Zero without a [`ChurnPlan`].
+    pub camera_leaves: usize,
 }
 
 impl SimulationReport {
@@ -295,6 +302,12 @@ pub struct Simulation {
     budgets: Vec<EnergyBudget>,
     /// Storage faults injected into the checkpoint store at commit time.
     checkpoint_faults: CheckpointFaultPlan,
+    /// Per-camera device profiles. A uniform fleet (the default) is
+    /// bit-identical to the legacy homogeneous simulation.
+    fleet: Vec<DeviceProfile>,
+    /// Deterministic join/leave/rejoin schedule. [`ChurnPlan::ideal`]
+    /// keeps every camera present every round.
+    churn: ChurnPlan,
 }
 
 impl Simulation {
@@ -375,6 +388,7 @@ impl Simulation {
                 .map_err(EecsError::from)?;
             config.cameras
         ];
+        let fleet = vec![DeviceProfile::uniform(config.eecs.device); config.cameras];
         Ok(Simulation {
             config,
             bank,
@@ -383,6 +397,8 @@ impl Simulation {
             matched,
             budgets,
             checkpoint_faults: CheckpointFaultPlan::none(),
+            fleet,
+            churn: ChurnPlan::ideal(),
         })
     }
 
@@ -409,10 +425,7 @@ impl Simulation {
     pub fn with_budget(&self, budget_j_per_frame: f64) -> Result<Simulation> {
         let mut sim = self.clone();
         sim.config.budget_j_per_frame = budget_j_per_frame;
-        sim.budgets = vec![
-            EnergyBudget::per_frame(budget_j_per_frame).map_err(EecsError::from)?;
-            sim.config.cameras
-        ];
+        sim.budgets = scaled_budgets(budget_j_per_frame, &sim.fleet, &sim.config.eecs.device)?;
         Ok(sim)
     }
 
@@ -449,6 +462,71 @@ impl Simulation {
         let mut sim = self.clone();
         sim.checkpoint_faults = plan;
         sim
+    }
+
+    /// A copy of this prepared simulation over a heterogeneous fleet:
+    /// one [`DeviceProfile`] per camera, each with its own energy
+    /// constants, battery capacity, and resolution cap. Per-frame
+    /// budgets are rescaled by each profile's
+    /// [`DeviceProfile::cost_scale`] against the run's reference device
+    /// so selection compares algorithms under each camera's *own* cost
+    /// model. A fleet of [`DeviceProfile::uniform`] profiles leaves the
+    /// budgets — and the whole run — bit-identical to the homogeneous
+    /// default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the profile count does not match the camera
+    /// count, a profile fails validation, or a profile's sensor cannot
+    /// capture the dataset's resolution.
+    pub fn with_fleet(&self, fleet: Vec<DeviceProfile>) -> Result<Simulation> {
+        if fleet.len() != self.config.cameras {
+            return Err(EecsError::InvalidArgument(format!(
+                "fleet has {} profiles for {} cameras",
+                fleet.len(),
+                self.config.cameras
+            )));
+        }
+        for (j, p) in fleet.iter().enumerate() {
+            p.validate()
+                .map_err(|e| EecsError::InvalidArgument(format!("fleet profile {j}: {e}")))?;
+            let (w, h) = (self.config.profile.width, self.config.profile.height);
+            if !p.supports_resolution(w, h) {
+                return Err(EecsError::InvalidArgument(format!(
+                    "fleet profile {j} ({}) caps at {}x{}, dataset needs {w}x{h}",
+                    p.name, p.max_width, p.max_height
+                )));
+            }
+        }
+        let mut sim = self.clone();
+        sim.budgets = scaled_budgets(
+            self.config.budget_j_per_frame,
+            &fleet,
+            &self.config.eecs.device,
+        )?;
+        sim.fleet = fleet;
+        Ok(sim)
+    }
+
+    /// A copy of this prepared simulation under a deterministic camera
+    /// churn schedule: joins, absence windows, permanent departures and
+    /// seeded random absences, all evaluated at round boundaries.
+    /// [`ChurnPlan::ideal`] keeps the full fleet present every round and
+    /// the run bit-identical to pre-churn builds.
+    pub fn with_churn(&self, churn: ChurnPlan) -> Simulation {
+        let mut sim = self.clone();
+        sim.churn = churn;
+        sim
+    }
+
+    /// The per-camera device profiles this simulation runs with.
+    pub fn fleet(&self) -> &[DeviceProfile] {
+        &self.fleet
+    }
+
+    /// The churn plan this simulation runs under.
+    pub fn churn_plan(&self) -> &ChurnPlan {
+        &self.churn
     }
 
     /// A copy of this prepared simulation publishing into `telemetry`.
@@ -541,7 +619,7 @@ impl Simulation {
                 CameraNode::new(
                     j,
                     self.bank.clone(),
-                    BatteryState::new(1e12).expect("positive capacity"),
+                    BatteryState::new(self.fleet[j].battery_capacity_j).expect("positive capacity"),
                     self.budgets[j],
                 )
             })
@@ -549,12 +627,17 @@ impl Simulation {
 
         // The transport every flow now goes through. With the ideal plan
         // every reliable send costs exactly one idealized attempt, so the
-        // energy accounting matches the raw byte math it replaces.
+        // energy accounting matches the raw byte math it replaces. Each
+        // endpoint radios at its own profile's rates (all identical under
+        // a uniform fleet).
         let chaos = self.config.fault_plan.enabled();
-        let mut net =
-            Network::with_nodes(vec![(self.config.eecs.link, self.config.eecs.device); cams])
-                .with_fault_plan(self.config.fault_plan.clone())
-                .with_retry_policy(self.config.eecs.retry);
+        let mut net = Network::with_nodes(
+            (0..cams)
+                .map(|j| (self.config.eecs.link, self.fleet[j].device))
+                .collect(),
+        )
+        .with_fault_plan(self.config.fault_plan.clone())
+        .with_retry_policy(self.config.eecs.retry);
         // Self-healing state. Each controller seat owns a quarantine
         // ledger (tracking (camera, algorithm) pairs whose detector
         // output failed the health checks) and an assessment cache;
@@ -587,9 +670,26 @@ impl Simulation {
         checkpoint_store.commit(&SimulationCheckpoint::initial(cams).to_json());
         let mut checkpoint_rollbacks = 0u64;
 
-        // One-time feature upload (Section IV-B.1).
+        // Fleet churn bookkeeping. Membership is a pure function of
+        // `(plan, camera, round)` — no shared RNG state — so an ideal
+        // plan consumes zero rolls and every branch below is dead,
+        // keeping the run bit-identical to pre-churn builds. `members`
+        // mirrors the plan one round at a time so each transition fires
+        // its join/leave work exactly once.
+        let churn_enabled = self.churn.enabled();
+        let mut members = vec![true; cams];
+        let mut uploaded = vec![false; cams];
+        let mut fleet_view = FleetView::new(cams);
+        let mut camera_joins = 0usize;
+        let mut camera_leaves = 0usize;
+
+        // One-time feature upload (Section IV-B.1). Cameras absent at
+        // round 0 upload later, when they first join.
         let extractor_dim = self.controller.records()[0].video.feature_dim();
         for (j, node) in nodes.iter_mut().enumerate() {
+            if churn_enabled && !self.churn.is_member(j, 0) {
+                continue;
+            }
             let msg = Message::FeatureUpload {
                 frames: self.config.eecs.key_frames,
                 feature_dim: extractor_dim,
@@ -599,6 +699,7 @@ impl Simulation {
                 .send_reliable(j, msg, battery, meter)
                 .map_err(EecsError::from)?;
             tel.observe_delivery(0, j, &d);
+            uploaded[j] = true;
         }
 
         let mut rounds = Vec::new();
@@ -621,6 +722,106 @@ impl Simulation {
                 first_frame: frames[0][start].frame,
             });
 
+            // ---- fleet churn ----
+            // Diff the plan's membership against last round's at the
+            // round boundary. Departures drain every index-keyed route to
+            // the camera (quarantine entries, sticky assignments, the
+            // radio endpoint); joins admit the newcomer through an
+            // incremental probe instead of a full fleet reassessment.
+            if churn_enabled {
+                let mut joined_now: Vec<usize> = Vec::new();
+                for j in 0..cams {
+                    let mut present = self.churn.is_member(j, round_index);
+                    // Deferred leave: an acting controller cannot vanish
+                    // without a handover, so a seat-holding camera stays
+                    // until the seat moves off it (or the plan readmits
+                    // it).
+                    if !present && members[j] && seats.iter().any(|st| st.location == Some(j)) {
+                        present = true;
+                    }
+                    if present == members[j] {
+                        continue;
+                    }
+                    if present {
+                        members[j] = true;
+                        camera_joins += 1;
+                        tel.counter_add("churn.joins", 1);
+                        tel.event(|| TraceEvent::CameraJoin {
+                            round: round_index,
+                            camera: j,
+                        });
+                        net.set_attached(j, true).map_err(EecsError::from)?;
+                        // A rejoin restores identity, not stale state:
+                        // cached assessments past the staleness bound are
+                        // evicted so planning never trusts a scene the
+                        // camera stopped watching.
+                        for st in seats.iter_mut() {
+                            if st.cache.evict_stale(
+                                j,
+                                round_index,
+                                self.config.eecs.staleness_limit_rounds,
+                            ) {
+                                tel.counter_add("churn.cache_evictions", 1);
+                            }
+                        }
+                        fleet_view.spawn(j);
+                        joined_now.push(j);
+                    } else {
+                        members[j] = false;
+                        camera_leaves += 1;
+                        tel.counter_add("churn.leaves", 1);
+                        tel.event(|| TraceEvent::CameraLeave {
+                            round: round_index,
+                            camera: j,
+                        });
+                        net.set_attached(j, false).map_err(EecsError::from)?;
+                        for st in seats.iter_mut() {
+                            let purged = st.quarantine.purge_camera(j);
+                            if purged > 0 {
+                                tel.counter_add("churn.quarantine_purged", purged as u64);
+                            }
+                            st.last_plan.0.remove(&j);
+                            st.last_plan.1.retain(|&x| x != j);
+                        }
+                        nodes[j].set_assignment(None);
+                        fleet_view.despawn(j);
+                    }
+                }
+                tel.gauge_set("fleet.size", fleet_view.active_count() as f64);
+                // A newcomer introduces itself: the one-time feature
+                // upload (first join only), then one incremental
+                // assessment probe — the controller learns about the
+                // newcomer without re-probing the standing fleet.
+                for &j in &joined_now {
+                    if !uploaded[j] {
+                        uploaded[j] = true;
+                        let msg = Message::FeatureUpload {
+                            frames: self.config.eecs.key_frames,
+                            feature_dim: extractor_dim,
+                        };
+                        let seat = seats[route[j]].location;
+                        let (battery, meter) = nodes[j].radio_mut();
+                        let d = uplink(&mut net, seat, j, msg, battery, meter)
+                            .map_err(EecsError::from)?;
+                        tel.observe_delivery(round_index, j, &d);
+                    }
+                    let seat = seats[route[j]].location;
+                    let (battery, meter) = nodes[j].radio_mut();
+                    let d = uplink(&mut net, seat, j, Message::EnergyReport, battery, meter)
+                        .map_err(EecsError::from)?;
+                    let heard = d.delivered && d.delayed_rounds == 0;
+                    tel.observe_delivery(round_index, j, &d);
+                    tel.event(|| TraceEvent::Probe {
+                        round: round_index,
+                        camera: j,
+                        delivered: heard,
+                    });
+                    if heard {
+                        seats[route[j]].cache.mark_heard(j, round_index);
+                    }
+                }
+            }
+
             // ---- assessment + selection ----
             let (assignment, active): (BTreeMap<usize, AlgorithmId>, Vec<usize>) = match self
                 .config
@@ -637,6 +838,9 @@ impl Simulation {
                         return Err(EecsError::Infeasible(
                             "no budget-feasible algorithm on any camera".into(),
                         ));
+                    }
+                    if churn_enabled {
+                        a.retain(|j, _| members[*j]);
                     }
                     // The baseline has no controller loop: assignments are
                     // applied by fiat, not over the network.
@@ -706,9 +910,9 @@ impl Simulation {
                                         .iter()
                                         .map(|&k| old[k].take().expect("seat taken once"))
                                         .collect();
-                                    let mut snap = states[0].snapshot(cams);
+                                    let mut snap = states[0].snapshot(cams, &members);
                                     for st in &states[1..] {
-                                        snap = reconcile(&snap, &st.snapshot(cams));
+                                        snap = reconcile(&snap, &st.snapshot(cams, &members));
                                     }
                                     reconciliations += 1;
                                     tel.counter_add("reconcile.count", 1);
@@ -798,6 +1002,7 @@ impl Simulation {
                                     active: ckpt.active.clone(),
                                     cache: ckpt.cache.clone(),
                                     quarantine: ckpt.quarantine.clone(),
+                                    members: ckpt.members.clone(),
                                 },
                                 cams,
                             );
@@ -910,6 +1115,7 @@ impl Simulation {
                                     active: ckpt.active.clone(),
                                     cache: ckpt.cache.clone(),
                                     quarantine: ckpt.quarantine.clone(),
+                                    members: ckpt.members.clone(),
                                 },
                                 cams,
                             );
@@ -962,6 +1168,11 @@ impl Simulation {
                         || seats[0].location.is_some()
                     {
                         for (j, node) in nodes.iter_mut().enumerate() {
+                            // A departed camera is not silent — it is
+                            // gone: no probe, no phantom Probe event.
+                            if churn_enabled && !members[j] {
+                                continue;
+                            }
                             let seat = seats[route[j]].location;
                             let (battery, meter) = node.radio_mut();
                             let d =
@@ -989,6 +1200,9 @@ impl Simulation {
                     if chaos {
                         let plan = &self.config.fault_plan;
                         for j in 0..cams {
+                            if churn_enabled && !members[j] {
+                                continue;
+                            }
                             let target = match seats[route[j]].location {
                                 Some(s) if s == j => continue,
                                 Some(s) => Endpoint::Camera(s),
@@ -1127,7 +1341,7 @@ impl Simulation {
                                     &fd.image,
                                     output,
                                     profile_a,
-                                    &self.config.eecs.device,
+                                    &self.fleet[j].device,
                                 )?;
                                 if !healthy {
                                     // A detector spewing NaNs or absurd
@@ -1198,6 +1412,12 @@ impl Simulation {
                     };
                     let mut live = vec![false; cams];
                     for j in 0..cams {
+                        // A departed camera contributes nothing to
+                        // planning — not even the "no feasible algorithm"
+                        // liveness fallback below.
+                        if churn_enabled && !members[j] {
+                            continue;
+                        }
                         if delivered_any[j] {
                             // `fresh[j]` is recorded into the assessment
                             // cache by move after the scoring loop below —
@@ -1359,7 +1579,7 @@ impl Simulation {
                         }
                     }
 
-                    let (assignment, active) = match (plan, split_plan) {
+                    let (mut assignment, mut active) = match (plan, split_plan) {
                         (_, Some(p)) => p,
                         (Some(outcome), None) if boost_round => {
                             // Section VII: override the energy-saving
@@ -1376,6 +1596,16 @@ impl Simulation {
                         }
                         (None, None) => seats[0].last_plan.clone(),
                     };
+                    // Whatever produced the plan — a fresh selection, a
+                    // split-brain union, the boost override, or the
+                    // sticky fallback — it must never name a departed
+                    // camera. Sticky plans and index-keyed caches outlive
+                    // membership, so the resolved plan is filtered
+                    // against the member set before anything acts on it.
+                    if churn_enabled {
+                        assignment.retain(|j, _| members[*j]);
+                        active.retain(|j| members[*j]);
+                    }
 
                     // Downlink: the new plan must actually reach each
                     // camera. A camera that misses its assignment keeps
@@ -1383,6 +1613,9 @@ impl Simulation {
                     // deactivation keeps burning energy — unreliability
                     // has a price on both ends.
                     for j in 0..cams {
+                        if churn_enabled && !members[j] {
+                            continue;
+                        }
                         let intended = assignment.get(&j).copied();
                         let msg = if intended.is_some() {
                             Message::AlgorithmAssignment
@@ -1484,7 +1717,7 @@ impl Simulation {
                         &frames[j][f].image,
                         output,
                         profile_a,
-                        &self.config.eecs.device,
+                        &self.fleet[j].device,
                     )?;
                     if !healthy {
                         report = CameraReport {
@@ -1592,6 +1825,8 @@ impl Simulation {
                         battery_used_j: nodes.iter().map(|c| c.meter().total()).collect(),
                         cache: slots,
                         quarantine: st.quarantine.export(),
+                        members: (0..cams).filter(|&j| members[j]).collect(),
+                        profiles: self.fleet.iter().map(|p| p.name.clone()).collect(),
                     }
                     .to_json(),
                 );
@@ -1650,6 +1885,8 @@ impl Simulation {
             split_brain_rounds,
             corrupted_frames,
             checkpoint_rollbacks,
+            camera_joins,
+            camera_leaves,
             rounds,
         })
     }
@@ -1760,7 +1997,9 @@ impl SeatState {
     }
 
     /// Everything reconciliation needs to merge this seat with another.
-    fn snapshot(&self, cams: usize) -> SeatSnapshot {
+    /// `members` is the fleet membership the seat currently sees — the
+    /// snapshot carries the member *indices* so heals union them.
+    fn snapshot(&self, cams: usize, members: &[bool]) -> SeatSnapshot {
         let mut cache = SimulationCheckpoint::capture_cache(&self.cache, cams);
         for (slot, &e) in cache.iter_mut().zip(&self.slot_epoch) {
             slot.epoch = e;
@@ -1773,6 +2012,9 @@ impl SeatState {
             active: self.last_plan.1.clone(),
             cache,
             quarantine: self.quarantine.export(),
+            members: (0..cams)
+                .filter(|&j| members.get(j) == Some(&true))
+                .collect(),
         }
     }
 
@@ -1847,6 +2089,31 @@ fn uplink(
         Some(s) => net.send_reliable_to(from, Endpoint::Camera(s), message, battery, meter),
         None => net.send_reliable(from, message, battery, meter),
     }
+}
+
+/// Per-camera budgets under a fleet: each camera's per-frame allowance is
+/// the configured budget divided by its profile's cost scale against the
+/// reference device, so a slower class is asked to do proportionally less
+/// work. A scale of exactly 1.0 (every uniform or flagship profile) takes
+/// the untouched configured value — bit-identical to the homogeneous
+/// budget math.
+fn scaled_budgets(
+    budget_j_per_frame: f64,
+    fleet: &[DeviceProfile],
+    reference: &eecs_energy::model::DeviceEnergyModel,
+) -> Result<Vec<EnergyBudget>> {
+    fleet
+        .iter()
+        .map(|p| {
+            let scale = p.cost_scale(reference);
+            let b = if scale == 1.0 {
+                budget_j_per_frame
+            } else {
+                budget_j_per_frame / scale
+            };
+            EnergyBudget::per_frame(b).map_err(EecsError::from)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1971,5 +2238,83 @@ mod tests {
         cfg.budget_j_per_frame = 1e-9;
         let sim = Simulation::prepare(shared_bank(), cfg).unwrap();
         assert!(matches!(sim.run(), Err(EecsError::Infeasible(_))));
+    }
+
+    #[test]
+    fn uniform_fleet_and_inert_churn_are_bit_identical() {
+        let base = Simulation::prepare(shared_bank(), sim_config(OperatingMode::FullEecs)).unwrap();
+        let plain = base.run().unwrap();
+        let dressed = base
+            .with_fleet(base.fleet().to_vec())
+            .unwrap()
+            .with_churn(ChurnPlan::ideal())
+            .run()
+            .unwrap();
+        assert_eq!(plain, dressed, "inert fleet/churn must not perturb a run");
+    }
+
+    #[test]
+    fn heterogeneous_fleet_scales_per_camera_costs() {
+        let base = Simulation::prepare(shared_bank(), sim_config(OperatingMode::AllBest)).unwrap();
+        let uniform = base.run().unwrap();
+        let het = base
+            .with_fleet(vec![DeviceProfile::flagship(), DeviceProfile::midrange()])
+            .unwrap()
+            .run()
+            .unwrap();
+        // The flagship is the calibrated reference device: its camera is
+        // untouched, bit for bit. The midrange camera pays 1.6x per
+        // operation, so its meter cannot read the same.
+        assert_eq!(het.per_camera_energy[0], uniform.per_camera_energy[0]);
+        assert_ne!(het.per_camera_energy[1], uniform.per_camera_energy[1]);
+        assert_eq!(het.camera_joins, 0);
+        assert_eq!(het.camera_leaves, 0);
+    }
+
+    #[test]
+    fn with_fleet_rejects_broken_fleets() {
+        let base = Simulation::prepare(shared_bank(), sim_config(OperatingMode::AllBest)).unwrap();
+        // Wrong arity.
+        assert!(base.with_fleet(vec![DeviceProfile::flagship()]).is_err());
+        // A sensor too small for the dataset.
+        let mut tiny = DeviceProfile::flagship();
+        tiny.max_width = 8;
+        assert!(base
+            .with_fleet(vec![DeviceProfile::flagship(), tiny])
+            .is_err());
+        // An invalid battery.
+        let dead = DeviceProfile::flagship().with_capacity(0.0);
+        assert!(base
+            .with_fleet(vec![DeviceProfile::flagship(), dead])
+            .is_err());
+    }
+
+    #[test]
+    fn churn_departure_never_dangles_in_plans() {
+        // Three rounds; camera 1 leaves for round 1 and rejoins at round 2.
+        let mut cfg = sim_config(OperatingMode::FullEecs);
+        cfg.end_frame = 130;
+        let sim = Simulation::prepare(shared_bank(), cfg).unwrap();
+        let plan = ChurnPlan::seeded(5).with_leave(1, 1, 2);
+        let report = sim.with_churn(plan.clone()).run().unwrap();
+        assert_eq!(report.rounds.len(), 3);
+        assert_eq!(report.camera_leaves, 1);
+        assert_eq!(report.camera_joins, 1);
+        // Regression: sticky fallbacks and index-keyed caches must not
+        // keep a departed camera in the round's plan.
+        let absent = &report.rounds[1];
+        assert!(
+            !absent.assignment.contains_key(&1),
+            "departed camera still assigned: {:?}",
+            absent.assignment
+        );
+        assert!(
+            !absent.active.contains(&1),
+            "departed camera still active: {:?}",
+            absent.active
+        );
+        // The same plan replays bit-identically.
+        let again = sim.with_churn(plan).run().unwrap();
+        assert_eq!(report, again);
     }
 }

@@ -111,6 +111,14 @@ pub fn report_to_json(report: &SimulationReport) -> Json {
             Json::Num(report.checkpoint_rollbacks as f64),
         ));
     }
+    // Churn counters likewise appear only under an active plan, so
+    // fixed-fleet reports stay byte-identical to the pre-churn goldens.
+    if report.camera_joins > 0 {
+        members.push(("camera_joins".into(), n(report.camera_joins)));
+    }
+    if report.camera_leaves > 0 {
+        members.push(("camera_leaves".into(), n(report.camera_leaves)));
+    }
     Json::Obj(members)
 }
 
@@ -176,6 +184,13 @@ pub fn render_summary(report: &SimulationReport, telemetry: &Telemetry) -> Strin
             out,
             "corrupted frames {} · checkpoint rollbacks {}",
             report.corrupted_frames, report.checkpoint_rollbacks,
+        );
+    }
+    if report.camera_joins > 0 || report.camera_leaves > 0 {
+        let _ = writeln!(
+            out,
+            "camera joins {} · camera leaves {}",
+            report.camera_joins, report.camera_leaves,
         );
     }
 
@@ -280,6 +295,8 @@ mod tests {
             split_brain_rounds: 0,
             corrupted_frames: 0,
             checkpoint_rollbacks: 0,
+            camera_joins: 0,
+            camera_leaves: 0,
         }
     }
 
@@ -331,6 +348,25 @@ mod tests {
         );
         let rendered = render_summary(&dirty, &Telemetry::null());
         assert!(rendered.contains("corrupted frames 7 · checkpoint rollbacks 2"));
+    }
+
+    #[test]
+    fn churn_fields_appear_only_when_nonzero() {
+        let fixed = tiny_report();
+        let fixed_text = report_to_json(&fixed).write().unwrap();
+        assert!(!fixed_text.contains("camera_joins"));
+        assert!(!fixed_text.contains("camera_leaves"));
+        assert!(!render_summary(&fixed, &Telemetry::null()).contains("camera joins"));
+
+        let mut churned = tiny_report();
+        churned.camera_joins = 2;
+        churned.camera_leaves = 3;
+        let text = report_to_json(&churned).write().unwrap();
+        let v = crate::jsonio::parse(&text).unwrap();
+        assert_eq!(v.get("camera_joins").and_then(Json::as_num), Some(2.0));
+        assert_eq!(v.get("camera_leaves").and_then(Json::as_num), Some(3.0));
+        let rendered = render_summary(&churned, &Telemetry::null());
+        assert!(rendered.contains("camera joins 2 · camera leaves 3"));
     }
 
     #[test]

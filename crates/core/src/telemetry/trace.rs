@@ -164,6 +164,20 @@ pub enum TraceEvent {
         /// Newer generations rejected on the way.
         rolled_back: u64,
     },
+    /// A camera joined (or rejoined) the fleet at a round boundary.
+    CameraJoin {
+        /// Round the camera became a member in.
+        round: usize,
+        /// The joining camera.
+        camera: usize,
+    },
+    /// A camera left the fleet at a round boundary.
+    CameraLeave {
+        /// Round the camera ceased to be a member in.
+        round: usize,
+        /// The departing camera.
+        camera: usize,
+    },
 }
 
 impl TraceEvent {
@@ -184,7 +198,9 @@ impl TraceEvent {
             | TraceEvent::Election { round, .. }
             | TraceEvent::Reconcile { round, .. }
             | TraceEvent::CorruptFrame { round, .. }
-            | TraceEvent::CheckpointRollback { round, .. } => round,
+            | TraceEvent::CheckpointRollback { round, .. }
+            | TraceEvent::CameraJoin { round, .. }
+            | TraceEvent::CameraLeave { round, .. } => round,
         }
     }
 
@@ -196,7 +212,9 @@ impl TraceEvent {
             | TraceEvent::Detection { camera, .. }
             | TraceEvent::QuarantineStrike { camera, .. }
             | TraceEvent::Retransmit { camera, .. }
-            | TraceEvent::CorruptFrame { camera, .. } => Some(camera),
+            | TraceEvent::CorruptFrame { camera, .. }
+            | TraceEvent::CameraJoin { camera, .. }
+            | TraceEvent::CameraLeave { camera, .. } => Some(camera),
             TraceEvent::Failover { elected, .. } | TraceEvent::Election { elected, .. } => {
                 Some(elected)
             }
@@ -228,6 +246,8 @@ impl TraceEvent {
             TraceEvent::Reconcile { .. } => "reconcile",
             TraceEvent::CorruptFrame { .. } => "corrupt_frame",
             TraceEvent::CheckpointRollback { .. } => "checkpoint_rollback",
+            TraceEvent::CameraJoin { .. } => "camera_join",
+            TraceEvent::CameraLeave { .. } => "camera_leave",
         }
     }
 
@@ -347,6 +367,9 @@ impl TraceEvent {
             } => {
                 members.push(("generation".into(), n(generation as usize)));
                 members.push(("rolled_back".into(), n(rolled_back as usize)));
+            }
+            TraceEvent::CameraJoin { camera, .. } | TraceEvent::CameraLeave { camera, .. } => {
+                members.push(("camera".into(), n(camera)));
             }
         }
         Json::Obj(members)
@@ -469,6 +492,22 @@ mod tests {
         assert_eq!(e.camera(), Some(1));
         assert_eq!(e.kind(), "failover");
         assert_eq!(TraceEvent::Checkpoint { round: 5 }.camera(), None);
+        let join = TraceEvent::CameraJoin {
+            round: 2,
+            camera: 3,
+        };
+        assert_eq!((join.round(), join.camera()), (2, Some(3)));
+        assert_eq!(join.kind(), "camera_join");
+        let leave = TraceEvent::CameraLeave {
+            round: 4,
+            camera: 0,
+        };
+        assert_eq!((leave.round(), leave.camera()), (4, Some(0)));
+        assert_eq!(leave.kind(), "camera_leave");
+        let text = leave.to_json_value().write().unwrap();
+        let v = crate::jsonio::parse(&text).unwrap();
+        assert_eq!(v.get("event").and_then(Json::as_str), Some("camera_leave"));
+        assert_eq!(v.get("camera").and_then(Json::as_num), Some(0.0));
     }
 
     #[test]

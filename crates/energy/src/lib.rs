@@ -12,7 +12,9 @@
 //! * [`budget`] — the paper's budget computation: operation time + frame
 //!   rate + residual battery → Joules per frame,
 //! * [`meter`] — a PowerTutor-like accumulating meter with per-category
-//!   breakdown.
+//!   breakdown,
+//! * [`profile`] — per-camera device classes (energy model + battery +
+//!   resolution cap) for heterogeneous fleets.
 //!
 //! Calibration: the default device constant is chosen so the ACF detector
 //! on a 360×288 frame costs ≈ 0.07 J, the paper's Table II anchor; all
@@ -22,11 +24,13 @@ pub mod budget;
 pub mod comm;
 pub mod meter;
 pub mod model;
+pub mod profile;
 
 pub use budget::{BatteryState, EnergyBudget};
 pub use comm::{feature_upload_bytes, jpeg_frame_bytes, metadata_bytes, LinkModel};
 pub use meter::{EnergyCategory, PowerMeter};
 pub use model::DeviceEnergyModel;
+pub use profile::DeviceProfile;
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,229 @@
+//! Per-camera device profiles for heterogeneous fleets.
+//!
+//! The paper measures one device class (Asus Zen II phones, Tables
+//! II–IV); real deployments mix hardware generations. A
+//! [`DeviceProfile`] bundles everything that distinguishes one camera's
+//! hardware from another's — its [`DeviceEnergyModel`] (J/op table and
+//! radio costs), its battery capacity, and the largest frame it can
+//! capture — so the controller can optimize each camera against its
+//! *own* cost model instead of a fleet-wide average.
+//!
+//! The three presets keep the paper's cost *ordering*: a `flagship`
+//! matches the calibrated Zen II constants exactly (so a uniform
+//! flagship fleet is bit-identical to the homogeneous model), a
+//! `midrange` pays ~1.6× per operation, and a `lowend` ~3× with a
+//! costlier radio and a smaller battery.
+
+use crate::model::DeviceEnergyModel;
+use crate::{EnergyError, Result};
+
+/// One camera's hardware class: energy model, battery, resolution cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable class name (stamped into checkpoints).
+    pub name: String,
+    /// Processing and radio energy constants for this class.
+    pub device: DeviceEnergyModel,
+    /// Battery capacity in Joules.
+    pub battery_capacity_j: f64,
+    /// Widest frame this class can capture (pixels).
+    pub max_width: usize,
+    /// Tallest frame this class can capture (pixels).
+    pub max_height: usize,
+}
+
+impl DeviceProfile {
+    /// The capacity used by the homogeneous simulation since v0 —
+    /// effectively unlimited, so energy accounting, not exhaustion,
+    /// drives the results.
+    pub const UNIFORM_CAPACITY_J: f64 = 1e12;
+
+    /// The exact homogeneous model every run used before profiles
+    /// existed: the given device constants, the legacy 1 TJ battery and
+    /// no resolution cap. A fleet of these is bit-identical to the
+    /// pre-profile simulation.
+    pub fn uniform(device: DeviceEnergyModel) -> DeviceProfile {
+        DeviceProfile {
+            name: "uniform".into(),
+            device,
+            battery_capacity_j: DeviceProfile::UNIFORM_CAPACITY_J,
+            max_width: usize::MAX,
+            max_height: usize::MAX,
+        }
+    }
+
+    /// Current-generation phone: the paper's calibrated Zen II constants
+    /// (identical to [`DeviceEnergyModel::default`]) and a battery large
+    /// enough that accounting, not exhaustion, shapes the run.
+    pub fn flagship() -> DeviceProfile {
+        DeviceProfile {
+            name: "flagship".into(),
+            device: DeviceEnergyModel::default(),
+            battery_capacity_j: DeviceProfile::UNIFORM_CAPACITY_J,
+            max_width: 1024,
+            max_height: 768,
+        }
+    }
+
+    /// Mid-tier device: ~1.6× the flagship's Joules per operation and a
+    /// slower pipeline, same radio, half the battery.
+    pub fn midrange() -> DeviceProfile {
+        let d = DeviceEnergyModel::default();
+        DeviceProfile {
+            name: "midrange".into(),
+            device: DeviceEnergyModel {
+                joules_per_op: d.joules_per_op * 1.6,
+                ops_per_second: d.ops_per_second * 0.75,
+                ..d
+            },
+            battery_capacity_j: DeviceProfile::UNIFORM_CAPACITY_J * 0.5,
+            max_width: 1024,
+            max_height: 768,
+        }
+    }
+
+    /// Legacy device: ~3× the flagship's Joules per operation, a hungry
+    /// radio, a small battery and a VGA sensor cap.
+    pub fn lowend() -> DeviceProfile {
+        let d = DeviceEnergyModel::default();
+        DeviceProfile {
+            name: "lowend".into(),
+            device: DeviceEnergyModel {
+                joules_per_op: d.joules_per_op * 3.0,
+                joules_per_byte_tx: d.joules_per_byte_tx * 1.5,
+                radio_overhead_j: d.radio_overhead_j * 1.5,
+                ops_per_second: d.ops_per_second * 0.5,
+            },
+            battery_capacity_j: DeviceProfile::UNIFORM_CAPACITY_J * 0.2,
+            max_width: 640,
+            max_height: 480,
+        }
+    }
+
+    /// Same profile with a different battery capacity.
+    pub fn with_capacity(mut self, battery_capacity_j: f64) -> DeviceProfile {
+        self.battery_capacity_j = battery_capacity_j;
+        self
+    }
+
+    /// The relative per-operation cost of this class against a reference
+    /// device — the factor the controller divides a camera's budget by
+    /// so algorithm profiles trained on the reference stay comparable.
+    pub fn cost_scale(&self, reference: &DeviceEnergyModel) -> f64 {
+        self.device.joules_per_op / reference.joules_per_op
+    }
+
+    /// Whether this class can capture `width`×`height` frames.
+    pub fn supports_resolution(&self, width: usize, height: usize) -> bool {
+        width <= self.max_width && height <= self.max_height
+    }
+
+    /// Structural validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidArgument`] for a non-positive or
+    /// non-finite battery capacity, zero resolution caps, or negative
+    /// energy constants.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.battery_capacity_j > 0.0 && self.battery_capacity_j.is_finite()) {
+            return Err(EnergyError::InvalidArgument(format!(
+                "profile {:?}: battery capacity must be positive and finite, got {}",
+                self.name, self.battery_capacity_j
+            )));
+        }
+        if self.max_width == 0 || self.max_height == 0 {
+            return Err(EnergyError::InvalidArgument(format!(
+                "profile {:?}: resolution caps must be positive",
+                self.name
+            )));
+        }
+        if self.device.joules_per_op < 0.0
+            || self.device.joules_per_byte_tx < 0.0
+            || self.device.radio_overhead_j < 0.0
+            || self.device.ops_per_second <= 0.0
+        {
+            return Err(EnergyError::InvalidArgument(format!(
+                "profile {:?}: energy constants out of domain",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_the_legacy_homogeneous_model() {
+        let p = DeviceProfile::uniform(DeviceEnergyModel::default());
+        assert_eq!(p.device, DeviceEnergyModel::default());
+        assert_eq!(p.battery_capacity_j, 1e12);
+        assert!(p.supports_resolution(1024, 768));
+        assert_eq!(p.cost_scale(&DeviceEnergyModel::default()), 1.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn presets_keep_the_paper_cost_ordering() {
+        let (f, m, l) = (
+            DeviceProfile::flagship(),
+            DeviceProfile::midrange(),
+            DeviceProfile::lowend(),
+        );
+        for p in [&f, &m, &l] {
+            p.validate().unwrap();
+        }
+        // Tables II–IV structure: each class down pays strictly more per
+        // operation and holds no more battery.
+        assert!(f.device.joules_per_op < m.device.joules_per_op);
+        assert!(m.device.joules_per_op < l.device.joules_per_op);
+        assert!(f.battery_capacity_j > m.battery_capacity_j);
+        assert!(m.battery_capacity_j > l.battery_capacity_j);
+        // The flagship IS the calibrated Zen II.
+        assert_eq!(f.device, DeviceEnergyModel::default());
+    }
+
+    #[test]
+    fn cost_scale_is_relative_to_the_reference() {
+        let reference = DeviceEnergyModel::default();
+        assert_eq!(DeviceProfile::flagship().cost_scale(&reference), 1.0);
+        let m = DeviceProfile::midrange().cost_scale(&reference);
+        assert!((m - 1.6).abs() < 1e-12, "midrange scale {m}");
+        let l = DeviceProfile::lowend().cost_scale(&reference);
+        assert!((l - 3.0).abs() < 1e-12, "lowend scale {l}");
+    }
+
+    #[test]
+    fn resolution_caps_gate_large_sensors() {
+        let l = DeviceProfile::lowend();
+        assert!(l.supports_resolution(360, 288));
+        assert!(l.supports_resolution(640, 480));
+        assert!(!l.supports_resolution(1024, 768));
+    }
+
+    #[test]
+    fn validation_rejects_broken_profiles() {
+        let mut p = DeviceProfile::flagship();
+        p.battery_capacity_j = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = DeviceProfile::flagship();
+        p.battery_capacity_j = f64::INFINITY;
+        assert!(p.validate().is_err());
+        let mut p = DeviceProfile::flagship();
+        p.max_width = 0;
+        assert!(p.validate().is_err());
+        let mut p = DeviceProfile::flagship();
+        p.device.joules_per_op = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn with_capacity_overrides_only_the_battery() {
+        let p = DeviceProfile::lowend().with_capacity(42.0);
+        assert_eq!(p.battery_capacity_j, 42.0);
+        assert_eq!(p.device, DeviceProfile::lowend().device);
+    }
+}

@@ -631,6 +631,155 @@ impl ControllerFaultPlan {
     }
 }
 
+/// A deterministic schedule of fleet membership churn.
+///
+/// Where [`FaultPlan`] makes cameras *fail* (crashed hardware the
+/// controller still plans around), a `ChurnPlan` makes them *come and
+/// go*: a departed camera is not part of the fleet at all — its routes,
+/// re-probe schedules, quarantine entries and sticky assignments are
+/// drained, and a later rejoin re-admits it through an incremental
+/// assessment probe. Membership is evaluated at round boundaries only.
+///
+/// Three schedule kinds compose:
+///
+/// * **late joins** — `with_join(camera, round)` keeps the camera out of
+///   the fleet until `round`,
+/// * **absence windows** — `with_leave(camera, start, end)` removes the
+///   camera over `[start, end)` (rejoining at `end`);
+///   `with_depart(camera, round)` removes it for good,
+/// * **random absences** — `with_random_absence(rate, from)` makes every
+///   `(camera, round)` from `from` on absent with probability `rate`.
+///
+/// Every decision — including the random one — is a pure
+/// SplitMix64-finalized function of `(seed, camera, round)`: no counter,
+/// no global RNG state. An [`ChurnPlan::ideal`] plan therefore consumes
+/// zero rolls and leaves runs bit-identical to builds without churn, and
+/// worker count can never perturb membership.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChurnPlan {
+    seed: u64,
+    joins: BTreeMap<usize, usize>,
+    absences: Vec<(usize, Window)>,
+    departures: Vec<(usize, usize)>,
+    random_rate: f64,
+    random_from: usize,
+}
+
+impl ChurnPlan {
+    /// A fixed fleet — every configured camera is a member of every
+    /// round, exactly the pre-churn behavior.
+    pub fn ideal() -> ChurnPlan {
+        ChurnPlan::default()
+    }
+
+    /// An empty plan carrying the RNG `seed` for random absences; add
+    /// schedules with the `with_*` builders.
+    pub fn seeded(seed: u64) -> ChurnPlan {
+        ChurnPlan {
+            seed,
+            ..ChurnPlan::default()
+        }
+    }
+
+    /// The seed random absences are derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Keeps `camera` out of the fleet until `round` (a late join at
+    /// `round`). Joining at round 0 schedules nothing.
+    pub fn with_join(mut self, camera: usize, round: usize) -> ChurnPlan {
+        if round > 0 {
+            let slot = self.joins.entry(camera).or_insert(round);
+            *slot = (*slot).max(round);
+        }
+        self
+    }
+
+    /// Removes `camera` from the fleet over rounds `[start, end)`; it
+    /// rejoins at `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start >= end`.
+    pub fn with_leave(mut self, camera: usize, start: usize, end: usize) -> ChurnPlan {
+        self.absences.push((camera, Window::new(start, end)));
+        self
+    }
+
+    /// Removes `camera` from the fleet at `round`, permanently.
+    pub fn with_depart(mut self, camera: usize, round: usize) -> ChurnPlan {
+        self.departures.push((camera, round));
+        self
+    }
+
+    /// Makes each `(camera, round)` with `round >= from` absent with
+    /// probability `rate`, decided purely from the seed. Starting the
+    /// randomness at `from > 0` keeps the initial fleet deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rate < 1` (at rate 1 the fleet would be
+    /// permanently empty).
+    pub fn with_random_absence(mut self, rate: f64, from: usize) -> ChurnPlan {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "absence rate must be in [0, 1), got {rate}"
+        );
+        self.random_rate = rate;
+        self.random_from = from;
+        self
+    }
+
+    /// Whether `camera` is a fleet member at `round` — a pure function
+    /// of the plan, so replays and parallel schedules always agree.
+    pub fn is_member(&self, camera: usize, round: usize) -> bool {
+        if self.joins.get(&camera).is_some_and(|&r| round < r) {
+            return false;
+        }
+        if self
+            .absences
+            .iter()
+            .any(|(c, w)| *c == camera && w.contains(round))
+        {
+            return false;
+        }
+        if self
+            .departures
+            .iter()
+            .any(|(c, r)| *c == camera && round >= *r)
+        {
+            return false;
+        }
+        if self.random_rate > 0.0 && round >= self.random_from {
+            // Keyed directly on (camera, round): no event counter, so
+            // the draw cannot drift with evaluation order.
+            let mut z = self
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((camera as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add((round as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < self.random_rate {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the plan schedules any membership change at all. An
+    /// ideal plan lets the runtime skip the churn bookkeeping entirely.
+    pub fn enabled(&self) -> bool {
+        !self.joins.is_empty()
+            || !self.absences.is_empty()
+            || !self.departures.is_empty()
+            || self.random_rate > 0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,6 +1017,94 @@ mod tests {
     #[should_panic(expected = "flips must be in 1..=3")]
     fn excessive_flips_rejected() {
         CorruptionPlan::with_rate(0.1).with_flips(4);
+    }
+
+    #[test]
+    fn churn_plan_ideal_is_disabled_and_all_member() {
+        let plan = ChurnPlan::ideal();
+        assert!(!plan.enabled());
+        assert!(
+            !ChurnPlan::seeded(7).enabled(),
+            "a bare seed changes nothing"
+        );
+        for camera in 0..4 {
+            for round in 0..20 {
+                assert!(plan.is_member(camera, round));
+            }
+        }
+    }
+
+    #[test]
+    fn churn_windows_are_half_open_and_per_camera() {
+        let plan = ChurnPlan::seeded(3).with_leave(1, 2, 5);
+        assert!(plan.enabled());
+        assert!(plan.is_member(1, 1));
+        assert!(!plan.is_member(1, 2) && !plan.is_member(1, 4));
+        assert!(plan.is_member(1, 5), "rejoins at the window end");
+        assert!(plan.is_member(0, 3), "absence is per-camera");
+    }
+
+    #[test]
+    fn late_joins_and_departures() {
+        let plan = ChurnPlan::seeded(0).with_join(2, 3).with_depart(0, 6);
+        assert!(!plan.is_member(2, 0) && !plan.is_member(2, 2));
+        assert!(plan.is_member(2, 3) && plan.is_member(2, 100));
+        assert!(plan.is_member(0, 5));
+        assert!(!plan.is_member(0, 6) && !plan.is_member(0, 1000));
+        // Joining at round 0 is a no-op, not an event.
+        assert!(!ChurnPlan::seeded(0).with_join(1, 0).enabled());
+    }
+
+    #[test]
+    fn leave_rejoin_round_trips_membership() {
+        // After every scheduled window has closed, membership equals the
+        // starting set — joins, leaves and rejoins cancel out.
+        let plan = ChurnPlan::seeded(11)
+            .with_join(3, 2)
+            .with_leave(0, 1, 4)
+            .with_leave(2, 3, 5);
+        let before: Vec<bool> = (0..4).map(|j| ChurnPlan::ideal().is_member(j, 0)).collect();
+        let after: Vec<bool> = (0..4).map(|j| plan.is_member(j, 10)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn random_absence_is_pure_and_seed_keyed() {
+        let plan = ChurnPlan::seeded(42).with_random_absence(0.5, 1);
+        assert!(plan.enabled());
+        for camera in 0..4 {
+            assert!(plan.is_member(camera, 0), "randomness starts at `from`");
+            for round in 0..32 {
+                assert_eq!(
+                    plan.is_member(camera, round),
+                    plan.is_member(camera, round),
+                    "pure function of (camera, round)"
+                );
+            }
+        }
+        // At rate 0.5 over 4×32 draws both outcomes must occur, and a
+        // different seed must disagree somewhere.
+        let draws: Vec<bool> = (0..4)
+            .flat_map(|c| (1..33).map(move |r| (c, r)))
+            .map(|(c, r)| plan.is_member(c, r))
+            .collect();
+        assert!(draws.iter().any(|&m| m) && draws.iter().any(|&m| !m));
+        let other = ChurnPlan::seeded(43).with_random_absence(0.5, 1);
+        assert!((0..4)
+            .flat_map(|c| (1..33).map(move |r| (c, r)))
+            .any(|(c, r)| plan.is_member(c, r) != other.is_member(c, r)));
+    }
+
+    #[test]
+    #[should_panic(expected = "absence rate")]
+    fn certain_absence_rejected() {
+        let _ = ChurnPlan::seeded(1).with_random_absence(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fault window")]
+    fn empty_churn_window_rejected() {
+        let _ = ChurnPlan::seeded(1).with_leave(0, 4, 4);
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod reliable;
 pub mod transport;
 
 pub use fault::{
-    ControllerFaultPlan, CorruptionPlan, Endpoint, FaultPlan, LinkFaults, PartitionPlan, Window,
+    ChurnPlan, ControllerFaultPlan, CorruptionPlan, Endpoint, FaultPlan, LinkFaults, PartitionPlan,
+    Window,
 };
 pub use message::{Message, WireSize};
 pub use reliable::{Delivery, RetryPolicy};

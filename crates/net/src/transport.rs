@@ -131,6 +131,11 @@ struct Node {
     link: LinkModel,
     device: DeviceEnergyModel,
     stats: TransportStats,
+    /// Whether the camera is currently attached to the network. A
+    /// detached node (a camera that left the fleet) behaves exactly
+    /// like a crashed one — no sends, no receives, no energy — but its
+    /// identity (stats, sequence numbers) survives for a later rejoin.
+    attached: bool,
     /// Next uplink sequence number this camera will use.
     next_seq: u64,
     /// Sequence numbers already accepted into the inbox (duplicate
@@ -144,6 +149,7 @@ impl Node {
             link,
             device,
             stats: TransportStats::default(),
+            attached: true,
             next_seq: 0,
             delivered_seqs: BTreeSet::new(),
         }
@@ -258,9 +264,40 @@ impl Network {
         self.pending = still_pending;
     }
 
-    /// Whether `camera` is crashed (unpowered) in the current round.
+    /// Whether `camera` is dark in the current round: crashed
+    /// (unpowered) per the fault plan, or detached from the fleet.
     pub fn is_camera_down(&self, camera: usize) -> bool {
         self.plan.is_crashed(camera, self.round)
+            || self.nodes.get(camera).is_some_and(|n| !n.attached)
+    }
+
+    /// Adds a fresh endpoint for a new camera on a live network,
+    /// returning its index. The newcomer starts attached with zeroed
+    /// statistics and sequence numbers.
+    pub fn add_endpoint(&mut self, link: LinkModel, device: DeviceEnergyModel) -> usize {
+        self.nodes.push(Node::new(link, device));
+        self.nodes.len() - 1
+    }
+
+    /// Attaches or detaches camera `id`. Detaching models a fleet
+    /// departure: the radio goes dark (every path treats the node as
+    /// crashed) but its identity survives, so a later re-attach resumes
+    /// the same sequence space and statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for a bad index.
+    pub fn set_attached(&mut self, id: usize, attached: bool) -> Result<()> {
+        self.nodes
+            .get_mut(id)
+            .map(|n| n.attached = attached)
+            .ok_or(NetError::UnknownNode(id))
+    }
+
+    /// Whether camera `id` is currently attached (an out-of-range index
+    /// is simply not attached).
+    pub fn is_attached(&self, id: usize) -> bool {
+        self.nodes.get(id).is_some_and(|n| n.attached)
     }
 
     /// Marks the controller (hub) dead or alive. While dead, every
@@ -358,7 +395,7 @@ impl Network {
         self.nodes[from].next_seq += 1;
         let mut delivery = Delivery::pending(seq);
 
-        if self.plan.is_crashed(from, self.round) {
+        if self.is_camera_down(from) {
             self.nodes[from].stats.timeouts += 1;
             return Ok(delivery);
         }
@@ -469,7 +506,7 @@ impl Network {
             self.downlink_stats.timeouts += 1;
             return Ok(delivery);
         }
-        if self.plan.is_crashed(to, self.round) {
+        if self.is_camera_down(to) {
             self.downlink_stats.timeouts += 1;
             return Ok(delivery);
         }
@@ -557,7 +594,7 @@ impl Network {
         self.nodes[from].next_seq += 1;
         let mut delivery = Delivery::pending(seq);
 
-        if self.plan.is_crashed(from, self.round) {
+        if self.is_camera_down(from) {
             self.nodes[from].stats.timeouts += 1;
             return Ok(delivery);
         }
@@ -567,7 +604,7 @@ impl Network {
         // A dead or outaged peer cannot respond; either end's outage
         // window — or a partition between the two cameras — kills the
         // channel for the round.
-        let peer_dark = self.plan.is_crashed(to, self.round)
+        let peer_dark = self.is_camera_down(to)
             || self.plan.is_outage(from, self.round)
             || self.plan.is_outage(to, self.round)
             || !self.plan.partition().can_reach(
@@ -1472,6 +1509,76 @@ mod tests {
         assert!(d.delivered && d.acked);
         assert_eq!(d.attempts, 0);
         assert_eq!(d.backoff_s, 0.0);
+    }
+
+    #[test]
+    fn detached_camera_is_dark_on_every_path() {
+        let (mut net, mut bat, mut meter) = setup();
+        assert!(net.is_attached(1));
+        net.set_attached(1, false).unwrap();
+        assert!(!net.is_attached(1));
+        assert!(net.is_camera_down(1), "detached reads as down");
+
+        // Uplink: no attempt, no energy, a timeout on the books.
+        let d = net
+            .send_reliable(1, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(!d.delivered && !d.acked);
+        assert_eq!(d.attempts, 0);
+        assert_eq!(bat.used(), 0.0, "a detached radio draws nothing");
+
+        // Downlink: a departed camera hears nothing.
+        let d = net.send_downlink(1, Message::AlgorithmAssignment).unwrap();
+        assert!(!d.delivered);
+
+        // Peer path: one probe discovers the hole in the fleet.
+        let d = net
+            .send_peer(
+                0,
+                1,
+                Message::ControllerHandover {
+                    controller: 0,
+                    epoch: 1,
+                },
+                &mut bat,
+                &mut meter,
+            )
+            .unwrap();
+        assert!(!d.delivered);
+        assert_eq!(d.attempts, 1);
+
+        // Re-attach restores service with the same identity.
+        net.set_attached(1, true).unwrap();
+        let seq_before = net.stats(1).unwrap().timeouts;
+        let d = net
+            .send_reliable(1, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(d.delivered && d.acked, "rejoin restores delivery");
+        assert_eq!(
+            net.stats(1).unwrap().timeouts,
+            seq_before,
+            "the rejoin send must not time out"
+        );
+        assert!(matches!(
+            net.set_attached(9, false),
+            Err(NetError::UnknownNode(9))
+        ));
+        assert!(!net.is_attached(9));
+    }
+
+    #[test]
+    fn add_endpoint_grows_a_live_network() {
+        let (mut net, mut bat, mut meter) = setup();
+        assert_eq!(net.cameras(), 4);
+        let id = net.add_endpoint(LinkModel::default(), DeviceEnergyModel::default());
+        assert_eq!(id, 4);
+        assert_eq!(net.cameras(), 5);
+        assert!(net.is_attached(id));
+        let d = net
+            .send_reliable(id, Message::EnergyReport, &mut bat, &mut meter)
+            .unwrap();
+        assert!(d.delivered && d.acked);
+        assert_eq!(net.stats(id).unwrap().messages, 1);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod world;
 
 pub use dataset::{DatasetId, DatasetProfile};
 pub use ground_truth::GtBox;
+pub use rig::FleetView;
 pub use sensor_fault::{FrameImpairment, SensorFaultPlan, SensorImpairments};
 pub use sequence::{FrameData, VideoFeed};
 pub use world::World;

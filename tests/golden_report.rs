@@ -1,7 +1,7 @@
-//! Golden-master snapshots: three canonical runs (ideal, net-chaos,
-//! sensor-chaos) serialized — report + final metrics registry — through
-//! `eecs_core::jsonio` and compared byte-for-byte against checked-in
-//! `tests/golden/*.json`.
+//! Golden-master snapshots: four canonical runs (ideal, net-chaos,
+//! sensor-chaos, churn-fleet) serialized — report + final metrics
+//! registry — through `eecs_core::jsonio` and compared byte-for-byte
+//! against checked-in `tests/golden/*.json`.
 //!
 //! Regenerate after an intentional behavior change with:
 //!
@@ -18,7 +18,8 @@ use eecs::core::simulation::{OperatingMode, Parallelism, Simulation, SimulationC
 use eecs::core::telemetry::summary::golden_document;
 use eecs::core::telemetry::Telemetry;
 use eecs::detect::bank::DetectorBank;
-use eecs::net::fault::{ControllerFaultPlan, FaultPlan, LinkFaults};
+use eecs::energy::profile::DeviceProfile;
+use eecs::net::fault::{ChurnPlan, ControllerFaultPlan, FaultPlan, LinkFaults};
 use eecs::scene::dataset::{DatasetId, DatasetProfile};
 use eecs::scene::sensor_fault::{SensorFaultPlan, SensorImpairments};
 use std::path::PathBuf;
@@ -62,7 +63,50 @@ fn base_simulation() -> &'static Simulation {
     })
 }
 
-/// The three canonical scenarios, with fixed seeds.
+/// Heterogeneous fleet under churn: three distinct device profiles,
+/// with the lowend camera leaving at round 1 and rejoining at round 3.
+fn churn_fleet_simulation() -> &'static Simulation {
+    static SIM: OnceLock<Simulation> = OnceLock::new();
+    SIM.get_or_init(|| {
+        let mut profile = DatasetProfile::miniature(DatasetId::Lab);
+        profile.num_people = 4;
+        let eecs = EecsConfig {
+            assessment_period: 10,
+            recalibration_interval: 30,
+            key_frames: 8,
+            ..EecsConfig::default()
+        };
+        Simulation::prepare(
+            DetectorBank::train_quick(42).expect("bank"),
+            SimulationConfig {
+                profile,
+                cameras: 3,
+                start_frame: 40,
+                end_frame: 160,
+                budget_j_per_frame: 10.0,
+                mode: OperatingMode::FullEecs,
+                eecs,
+                feature_words: 12,
+                max_training_frames: 8,
+                boost_every: 0,
+                fault_plan: FaultPlan::ideal(),
+                sensor_plan: SensorFaultPlan::ideal(),
+                controller_plan: ControllerFaultPlan::none(),
+                parallel: Parallelism::default(),
+            },
+        )
+        .expect("prepare")
+        .with_fleet(vec![
+            DeviceProfile::flagship(),
+            DeviceProfile::midrange(),
+            DeviceProfile::lowend(),
+        ])
+        .expect("fleet")
+        .with_churn(ChurnPlan::seeded(13).with_leave(2, 1, 3))
+    })
+}
+
+/// The four canonical scenarios, with fixed seeds.
 fn scenario(name: &str) -> Simulation {
     let base = base_simulation();
     match name {
@@ -79,6 +123,7 @@ fn scenario(name: &str) -> Simulation {
                 .with_occlusion(1, 40, 100, 0.25),
             ControllerFaultPlan::none(),
         ),
+        "churn_fleet" => churn_fleet_simulation().clone(),
         other => panic!("unknown scenario {other}"),
     }
 }
@@ -110,7 +155,7 @@ fn run_scenario(name: &str, parallel: Parallelism) -> (String, String) {
 #[test]
 fn golden_reports_match_byte_for_byte() {
     let bless = std::env::var_os("EECS_BLESS").is_some_and(|v| v == "1");
-    for name in ["ideal", "net_chaos", "sensor_chaos"] {
+    for name in ["ideal", "net_chaos", "sensor_chaos", "churn_fleet"] {
         let (serial_doc, serial_trace) = run_scenario(name, Parallelism::serial());
         let (parallel_doc, parallel_trace) = run_scenario(name, Parallelism::default());
 

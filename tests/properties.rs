@@ -2,11 +2,16 @@
 
 use eecs::core::accuracy::combined_probability;
 use eecs::core::checkpoint::CacheSlot;
+use eecs::core::config::EecsConfig;
 use eecs::core::controller::{CameraAssessment, QuarantineLedger, QuarantinePolicy};
 use eecs::core::jsonio::{self, Json};
 use eecs::core::metadata::CameraReport;
 use eecs::core::reconcile::{reconcile, SeatSnapshot};
+use eecs::core::simulation::{
+    OperatingMode, Parallelism, Simulation, SimulationConfig, SimulationReport,
+};
 use eecs::core::telemetry::{FlightRecorder, MetricsRegistry, TraceEvent};
+use eecs::detect::bank::DetectorBank;
 use eecs::detect::detection::AlgorithmId;
 use eecs::detect::detection::BBox;
 use eecs::detect::detection::Detection;
@@ -19,10 +24,12 @@ use eecs::linalg::Mat;
 use eecs::manifold::gfk::GeodesicFlowKernel;
 use eecs::manifold::subspace::Subspace;
 use eecs::manifold::video::VideoItem;
-use eecs::net::fault::{Endpoint, FaultPlan, PartitionPlan};
+use eecs::net::fault::{ChurnPlan, ControllerFaultPlan, Endpoint, FaultPlan, PartitionPlan};
+use eecs::scene::dataset::{DatasetId, DatasetProfile};
 use eecs::scene::sensor_fault::{SensorFaultPlan, SensorImpairments};
 use eecs::vision::image::RgbImage;
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 fn bbox_strategy() -> impl Strategy<Value = BBox> {
     (0.0..100.0f64, 0.0..100.0f64, 1.0..50.0f64, 1.0..50.0f64)
@@ -550,10 +557,19 @@ fn seat_snapshot_strategy() -> impl Strategy<Value = SeatSnapshot> {
             // (epoch, plan_round, seat): priority ties carry equal plans,
             // as they do in the real system.
             let cam = (plan_round + seat.unwrap_or(0)) % 4;
+            // Membership is likewise key-derived, pre-sorted and deduped
+            // as the runtime maintains it, so the union join stays
+            // idempotent on these inputs.
+            let members: Vec<usize> = [cam, seat.unwrap_or(0), (epoch as usize) % 4]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
             SeatSnapshot {
                 epoch,
                 seat,
                 plan_round,
+                members,
                 assignment: [(cam, ALGS[(epoch as usize) % 4])].into(),
                 active: vec![cam],
                 cache,
@@ -611,5 +627,206 @@ proptest! {
         let ep = |i: usize| if i == 5 { Endpoint::Hub } else { Endpoint::Camera(i) };
         prop_assert!(plan.can_reach(ep(a), ep(b), round));
         prop_assert!(!FaultPlan::ideal().with_partition(plan).enabled());
+    }
+
+    // ---- churn-plan membership algebra (pure, no simulation) ----
+
+    #[test]
+    fn churn_leave_rejoin_roundtrips_membership(
+        seed in 0..u64::MAX,
+        cam in 0..6usize,
+        start in 1..30usize,
+        len in 1..10usize,
+    ) {
+        let plan = ChurnPlan::seeded(seed).with_leave(cam, start, start + len);
+        prop_assert!(plan.enabled());
+        // Member before, absent over the half-open window, member again
+        // from the rejoin round on — the round-trip restores identity.
+        prop_assert!(plan.is_member(cam, 0));
+        prop_assert!(plan.is_member(cam, start - 1));
+        for r in start..start + len {
+            prop_assert!(!plan.is_member(cam, r), "round {r} should be absent");
+        }
+        for r in start + len..start + len + 8 {
+            prop_assert!(plan.is_member(cam, r), "round {r} should have rejoined");
+        }
+        // Neighbours are untouched by another camera's schedule.
+        prop_assert!(plan.is_member(cam + 1, start));
+    }
+
+    #[test]
+    fn churn_join_and_depart_partition_the_timeline(
+        seed in 0..u64::MAX,
+        cam in 0..6usize,
+        join in 1..10usize,
+        tenure in 1..10usize,
+    ) {
+        let depart = join + tenure;
+        let plan = ChurnPlan::seeded(seed)
+            .with_join(cam, join)
+            .with_depart(cam, depart);
+        for r in 0..join {
+            prop_assert!(!plan.is_member(cam, r), "round {r}: not yet joined");
+        }
+        for r in join..depart {
+            prop_assert!(plan.is_member(cam, r), "round {r}: inside tenure");
+        }
+        for r in depart..depart + 8 {
+            prop_assert!(!plan.is_member(cam, r), "round {r}: departed for good");
+        }
+    }
+
+    #[test]
+    fn churn_inert_plans_are_roll_free(
+        seed in 0..u64::MAX,
+        cam in 0..8usize,
+        round in 0..64usize,
+    ) {
+        // A seeded plan with no schedules is structurally inert: it is
+        // not `enabled()` (so the round loop skips churn bookkeeping
+        // entirely — zero draws), and membership is the constant `true`,
+        // matching [`ChurnPlan::ideal`] for every key.
+        let plan = ChurnPlan::seeded(seed);
+        prop_assert!(!plan.enabled());
+        prop_assert!(plan.is_member(cam, round));
+        prop_assert_eq!(
+            plan.is_member(cam, round),
+            ChurnPlan::ideal().is_member(cam, round)
+        );
+    }
+
+    #[test]
+    fn churn_random_absence_is_order_independent(
+        seed in 0..u64::MAX,
+        rate in 0.01..0.9f64,
+        queries in prop::collection::vec((0..6usize, 1..40usize), 1..32),
+    ) {
+        // Membership draws are keyed on (seed, camera, round) with no
+        // counter, so two identically-built plans agree no matter how
+        // many queries ran before, or in what order.
+        let a = ChurnPlan::seeded(seed).with_random_absence(rate, 1);
+        let b = ChurnPlan::seeded(seed).with_random_absence(rate, 1);
+        let forward: Vec<bool> =
+            queries.iter().map(|&(c, r)| a.is_member(c, r)).collect();
+        let mut backward: Vec<bool> =
+            queries.iter().rev().map(|&(c, r)| b.is_member(c, r)).collect();
+        backward.reverse();
+        prop_assert_eq!(forward, backward);
+        // Randomness starting at round 1 leaves round 0 deterministic.
+        prop_assert!(a.is_member(0, 0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Churn end-to-end laws: arbitrary plans replay bit-identically across
+// worker counts, and inert plans are invisible in the report. Each case
+// runs full miniature simulations, so the case counts stay deliberately
+// tiny — breadth comes from the pure membership algebra above.
+// ---------------------------------------------------------------------------
+
+/// Three cameras over three rounds: enough surface for joins, leaves,
+/// and departures to all land mid-run.
+fn churn_base() -> &'static Simulation {
+    static SIM: OnceLock<Simulation> = OnceLock::new();
+    SIM.get_or_init(|| {
+        let mut profile = DatasetProfile::miniature(DatasetId::Lab);
+        profile.num_people = 4;
+        let eecs = EecsConfig {
+            assessment_period: 10,
+            recalibration_interval: 30,
+            key_frames: 8,
+            ..EecsConfig::default()
+        };
+        Simulation::prepare(
+            DetectorBank::train_quick(23).expect("bank"),
+            SimulationConfig {
+                profile,
+                cameras: 3,
+                start_frame: 40,
+                end_frame: 130,
+                budget_j_per_frame: 5.0,
+                mode: OperatingMode::FullEecs,
+                eecs,
+                feature_words: 12,
+                max_training_frames: 8,
+                boost_every: 0,
+                fault_plan: FaultPlan::ideal(),
+                sensor_plan: SensorFaultPlan::ideal(),
+                controller_plan: ControllerFaultPlan::none(),
+                parallel: Parallelism::default(),
+            },
+        )
+        .expect("prepare")
+    })
+}
+
+/// The churn-free reference run, computed once.
+fn churn_baseline() -> &'static SimulationReport {
+    static REPORT: OnceLock<SimulationReport> = OnceLock::new();
+    REPORT.get_or_init(|| churn_base().run().expect("baseline run"))
+}
+
+/// Arbitrary plans over the three-camera, three-round window: scheduled
+/// leaves, permanent departures, late joins, and sometimes a random
+/// absence lottery on top.
+fn churn_plan_strategy() -> impl Strategy<Value = ChurnPlan> {
+    let op = (0..3usize, 1..3usize, 1..2usize, 0..3u8);
+    (
+        0..u64::MAX,
+        prop::collection::vec(op, 0..4),
+        0.0..0.35f64,
+        0..2u8,
+    )
+        .prop_map(|(seed, ops, rate, random)| {
+            let random = random == 1;
+            let mut plan = ChurnPlan::seeded(seed);
+            for (cam, at, len, kind) in ops {
+                plan = match kind {
+                    0 => plan.with_leave(cam, at, at + len),
+                    1 => plan.with_depart(cam, at),
+                    _ => plan.with_join(cam, at),
+                };
+            }
+            if random {
+                plan = plan.with_random_absence(rate, 1);
+            }
+            plan
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn churn_runs_bit_identical_across_worker_counts(plan in churn_plan_strategy()) {
+        // The full outcome — including an identical error, should the
+        // plan shrink the fleet into infeasibility — must not depend on
+        // the host's thread count.
+        let outcome = |workers: usize| {
+            churn_base()
+                .with_churn(plan.clone())
+                .with_parallelism(Parallelism {
+                    workers,
+                    feature_cache: workers != 1,
+                })
+                .run()
+        };
+        let one = outcome(1);
+        let two = outcome(2);
+        let eight = outcome(8);
+        prop_assert_eq!(&one, &two);
+        prop_assert_eq!(&one, &eight);
+    }
+
+    #[test]
+    fn churn_inert_seeded_plans_are_invisible(seed in 0..u64::MAX) {
+        // Any seed, no schedules: the run must be byte-identical to one
+        // that never heard of churn, and report zero membership events.
+        let plan = ChurnPlan::seeded(seed);
+        prop_assert!(!plan.enabled());
+        let report = churn_base().with_churn(plan).run().expect("inert churn run");
+        prop_assert_eq!(report.camera_joins, 0);
+        prop_assert_eq!(report.camera_leaves, 0);
+        prop_assert_eq!(&report, churn_baseline());
     }
 }
