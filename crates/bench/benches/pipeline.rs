@@ -10,8 +10,11 @@
 //! PRs regress against. `EECS_BENCH_ITERS=1` keeps smoke runs short.
 
 use criterion::{black_box, Criterion};
+use eecs_bench::artifacts::Artifacts;
 use eecs_bench::report::{self, BenchEntry};
+use eecs_bench::serving::{mixed_batch, service_base};
 use eecs_bench::sweep::{run_sweep, Shard, SweepOptions, SweepSpec};
+use eecs_bench::Scale;
 use eecs_core::config::EecsConfig;
 use eecs_core::metadata::{CameraReport, ObjectMetadata};
 use eecs_core::reid::{fuse_reports, ReidConfig};
@@ -416,6 +419,38 @@ fn sweep_bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// Mission-service throughput: one 4-mission batch through the service
+/// at 1 worker vs 4 workers. The schedule is a pure function of the
+/// seed, so both produce the identical service trace — asserted once
+/// here, outside the timing loop — and the worker count only changes
+/// wall-clock. The `Artifacts` cache means both services (and every
+/// timed iteration) reuse one training pass.
+fn serve_bench(c: &mut Criterion) {
+    use eecs_serve::{BatchOptions, MissionService, ServiceConfig};
+    let artifacts = Artifacts::quick_trained(Scale::Quick, 5);
+    let base = service_base(&artifacts);
+    let batch = mixed_batch(4, &["acme", "zenith"], false);
+    let config = ServiceConfig::new(11).with_slots(2).with_queue_capacity(4);
+    let run = |workers: usize| {
+        MissionService::new(base.clone(), config.clone().with_workers(workers))
+            .run_batch(&batch, &BatchOptions::default())
+            .expect("service batch")
+            .run
+            .expect("assembled run")
+            .trace_bytes()
+    };
+    assert_eq!(
+        run(1),
+        run(4),
+        "worker count must not change the service trace"
+    );
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("batch4_serial", |b| b.iter(|| black_box(run(1))));
+    group.bench_function("batch4_4workers", |b| b.iter(|| black_box(run(4))));
+    group.finish();
+}
+
 /// Repo-root path of the machine-readable report.
 const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
 
@@ -434,6 +469,7 @@ fn main() {
     round_bench(&mut c);
     churn_bench(&mut c);
     sweep_bench(&mut c);
+    serve_bench(&mut c);
 
     let entries: Vec<BenchEntry> = c
         .results()
@@ -492,6 +528,16 @@ fn main() {
     let churn_replan_ns = c.mean_ns("churn_replan").expect("churn_replan ran") as f64;
     println!("churn replan bookkeeping: {churn_replan_ns:.0} ns");
     metrics.push(("churn_replan_ns".into(), churn_replan_ns));
+    // Service throughput: same batch, 1 worker vs 4 — like the sweep
+    // speedup, a host-relative ratio over byte-identical outputs.
+    let serve_serial_ns = c.mean_ns("serve/batch4_serial").expect("serial serve ran");
+    let serve_parallel_ns = c
+        .mean_ns("serve/batch4_4workers")
+        .expect("4-worker serve ran")
+        .max(1);
+    let serve_speedup = serve_serial_ns as f64 / serve_parallel_ns as f64;
+    println!("serve speedup (1 worker / 4 workers): {serve_speedup:.2}x");
+    metrics.push(("serve_speedup".into(), serve_speedup));
     let text = report::render(&entries, &metrics);
     report::validate_pipeline_report(&text).expect("generated report validates");
     std::fs::write(REPORT_PATH, &text).expect("write BENCH_pipeline.json");

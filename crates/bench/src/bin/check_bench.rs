@@ -152,6 +152,9 @@ fn run() -> Result<(), String> {
     if let Some(ns) = summary.churn_replan_ns {
         println!("  churn replan bookkeeping: {ns:.0} ns");
     }
+    if let Some(x) = summary.serve_speedup {
+        println!("  serve speedup (1 worker / 4 workers): {x:.2}x");
+    }
     check_parallel_speedups(&summary)?;
     if let Some(path) = &args.baseline {
         let baseline = load(path)?;

@@ -21,6 +21,7 @@
 pub mod artifacts;
 pub mod report;
 pub mod scenarios;
+pub mod serving;
 pub mod sweep;
 
 use eecs_core::config::EecsConfig;

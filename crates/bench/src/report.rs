@@ -89,6 +89,11 @@ pub struct PipelineSummary {
     /// non-negative — a sub-resolution timer may legally report zero.
     /// Absent in reports predating the elastic-fleet benches.
     pub churn_replan_ns: Option<f64>,
+    /// Mission-service throughput ratio (1 worker / 4 workers) over
+    /// byte-identical service traces, when recorded. Host-relative like
+    /// `sweep_speedup`, validated finite and positive. Absent in
+    /// reports predating the serving layer.
+    pub serve_speedup: Option<f64>,
 }
 
 /// Validates a `BENCH_pipeline.json` document: schema tag, a non-empty
@@ -175,6 +180,17 @@ pub fn validate_pipeline_report(text: &str) -> Result<PipelineSummary, String> {
             Ok(value)
         })
         .transpose()?;
+    let serve_speedup = doc
+        .get("metrics")
+        .and_then(|m| m.get("serve_speedup"))
+        .map(|v| {
+            let value = v.as_num().ok_or("metrics.serve_speedup is not a number")?;
+            if !(value.is_finite() && value > 0.0) {
+                return Err(format!("serve_speedup must be positive, got {value}"));
+            }
+            Ok(value)
+        })
+        .transpose()?;
     Ok(PipelineSummary {
         entries,
         round_speedup: speedup("round_speedup")?,
@@ -182,6 +198,7 @@ pub fn validate_pipeline_report(text: &str) -> Result<PipelineSummary, String> {
         kernel_speedups,
         host_parallelism,
         churn_replan_ns,
+        serve_speedup,
     })
 }
 
@@ -257,6 +274,29 @@ mod tests {
         assert!(validate_pipeline_report(&text)
             .unwrap_err()
             .contains("churn_replan_ns"));
+    }
+
+    #[test]
+    fn serve_speedup_parsed_and_sign_checked() {
+        // Absent: the field stays None and validation passes.
+        let text = render(&sample_entries(), &sample_metrics());
+        assert_eq!(validate_pipeline_report(&text).unwrap().serve_speedup, None);
+        // Present and positive.
+        let mut metrics = sample_metrics();
+        metrics.push(("serve_speedup".into(), 1.7));
+        let text = render(&sample_entries(), &metrics);
+        assert_eq!(
+            validate_pipeline_report(&text).unwrap().serve_speedup,
+            Some(1.7)
+        );
+        // Zero is rejected: a throughput ratio over two real runs is
+        // never zero.
+        let mut metrics = sample_metrics();
+        metrics.push(("serve_speedup".into(), 0.0));
+        let text = render(&sample_entries(), &metrics);
+        assert!(validate_pipeline_report(&text)
+            .unwrap_err()
+            .contains("serve_speedup"));
     }
 
     #[test]

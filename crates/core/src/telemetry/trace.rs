@@ -178,6 +178,32 @@ pub enum TraceEvent {
         /// The departing camera.
         camera: usize,
     },
+    /// The mission service admitted a mission and started executing it.
+    ///
+    /// Service events reuse the `round` scope for the service's virtual
+    /// clock tick, so flight-recorder slicing by round works unchanged.
+    MissionStart {
+        /// Virtual-clock tick the mission started at.
+        round: usize,
+        /// Mission index in the submitted batch.
+        mission: usize,
+    },
+    /// A service-run mission completed and its report was returned.
+    MissionEnd {
+        /// Virtual-clock tick the mission finished at.
+        round: usize,
+        /// Mission index in the submitted batch.
+        mission: usize,
+        /// Whether the mission finished within its declared deadline.
+        deadline_met: bool,
+    },
+    /// The mission service refused a mission at admission.
+    MissionRejected {
+        /// Virtual-clock tick the request arrived at.
+        round: usize,
+        /// Mission index in the submitted batch.
+        mission: usize,
+    },
 }
 
 impl TraceEvent {
@@ -200,7 +226,10 @@ impl TraceEvent {
             | TraceEvent::CorruptFrame { round, .. }
             | TraceEvent::CheckpointRollback { round, .. }
             | TraceEvent::CameraJoin { round, .. }
-            | TraceEvent::CameraLeave { round, .. } => round,
+            | TraceEvent::CameraLeave { round, .. }
+            | TraceEvent::MissionStart { round, .. }
+            | TraceEvent::MissionEnd { round, .. }
+            | TraceEvent::MissionRejected { round, .. } => round,
         }
     }
 
@@ -224,7 +253,10 @@ impl TraceEvent {
             | TraceEvent::PartitionStart { .. }
             | TraceEvent::PartitionHeal { .. }
             | TraceEvent::Reconcile { .. }
-            | TraceEvent::CheckpointRollback { .. } => None,
+            | TraceEvent::CheckpointRollback { .. }
+            | TraceEvent::MissionStart { .. }
+            | TraceEvent::MissionEnd { .. }
+            | TraceEvent::MissionRejected { .. } => None,
         }
     }
 
@@ -248,6 +280,9 @@ impl TraceEvent {
             TraceEvent::CheckpointRollback { .. } => "checkpoint_rollback",
             TraceEvent::CameraJoin { .. } => "camera_join",
             TraceEvent::CameraLeave { .. } => "camera_leave",
+            TraceEvent::MissionStart { .. } => "mission_start",
+            TraceEvent::MissionEnd { .. } => "mission_end",
+            TraceEvent::MissionRejected { .. } => "mission_rejected",
         }
     }
 
@@ -370,6 +405,18 @@ impl TraceEvent {
             }
             TraceEvent::CameraJoin { camera, .. } | TraceEvent::CameraLeave { camera, .. } => {
                 members.push(("camera".into(), n(camera)));
+            }
+            TraceEvent::MissionStart { mission, .. }
+            | TraceEvent::MissionRejected { mission, .. } => {
+                members.push(("mission".into(), n(mission)));
+            }
+            TraceEvent::MissionEnd {
+                mission,
+                deadline_met,
+                ..
+            } => {
+                members.push(("mission".into(), n(mission)));
+                members.push(("deadline_met".into(), Json::Bool(deadline_met)));
             }
         }
         Json::Obj(members)
@@ -508,6 +555,32 @@ mod tests {
         let v = crate::jsonio::parse(&text).unwrap();
         assert_eq!(v.get("event").and_then(Json::as_str), Some("camera_leave"));
         assert_eq!(v.get("camera").and_then(Json::as_num), Some(0.0));
+    }
+
+    #[test]
+    fn mission_events_scope_to_the_service_clock() {
+        let start = TraceEvent::MissionStart {
+            round: 7,
+            mission: 2,
+        };
+        assert_eq!((start.round(), start.camera()), (7, None));
+        assert_eq!(start.kind(), "mission_start");
+        let end = TraceEvent::MissionEnd {
+            round: 9,
+            mission: 2,
+            deadline_met: false,
+        };
+        assert_eq!(end.kind(), "mission_end");
+        let text = end.to_json_value().write().unwrap();
+        let v = crate::jsonio::parse(&text).unwrap();
+        assert_eq!(v.get("mission").and_then(Json::as_num), Some(2.0));
+        assert_eq!(v.get("deadline_met"), Some(&Json::Bool(false)));
+        let rejected = TraceEvent::MissionRejected {
+            round: 1,
+            mission: 5,
+        };
+        assert_eq!((rejected.round(), rejected.camera()), (1, None));
+        assert_eq!(rejected.kind(), "mission_rejected");
     }
 
     #[test]

@@ -85,6 +85,35 @@ pub enum Message {
     AlgorithmAssignment,
     /// Controller → camera: activate or deactivate the camera.
     ActivationCommand,
+    /// Client → mission service: submit one detection mission. The
+    /// mission spec itself stays modeled-by-size (like bulk payloads);
+    /// the frame carries the batch index and a CRC32 fingerprint of the
+    /// spec so the service can detect a spec that mutated in flight.
+    MissionSubmit {
+        /// Mission index in the submitted batch.
+        mission: usize,
+        /// CRC32 fingerprint of the canonical mission spec.
+        payload_crc: u64,
+    },
+    /// Mission service → client: the admission verdict for one mission
+    /// (0 = accepted; nonzero = the rejection code).
+    MissionVerdict {
+        /// Mission index in the submitted batch.
+        mission: usize,
+        /// 0 accepted, 1 queue full, 2 deadline infeasible, 3 invalid
+        /// config.
+        verdict: u64,
+    },
+    /// Mission service → client: a completed mission's report digest.
+    /// The report body stays modeled-by-size; the frame carries the
+    /// CRC32 of the report's canonical JSON bytes for end-to-end
+    /// verification.
+    MissionReport {
+        /// Mission index in the submitted batch.
+        mission: usize,
+        /// CRC32 of the report's canonical JSON encoding.
+        report_crc: u64,
+    },
 }
 
 /// First byte of every control frame.
@@ -98,15 +127,18 @@ pub const MIN_FRAME_BYTES: usize = 3 + 4;
 /// unknown tag. Tags are assigned in declaration order of [`Message`].
 fn fields_for_tag(tag: u8) -> Option<usize> {
     match tag {
-        0 => Some(2), // FeatureUpload { frames, feature_dim }
-        1 => Some(0), // EnergyReport
-        2 => Some(1), // DetectionMetadata { objects }
-        3 => Some(1), // CroppedImage { bytes }
-        4 => Some(2), // ObjectDelivery { objects, crop_bytes }
-        5 => Some(0), // DegradedFrame
-        6 => Some(2), // ControllerHandover { controller, epoch }
-        7 => Some(0), // AlgorithmAssignment
-        8 => Some(0), // ActivationCommand
+        0 => Some(2),  // FeatureUpload { frames, feature_dim }
+        1 => Some(0),  // EnergyReport
+        2 => Some(1),  // DetectionMetadata { objects }
+        3 => Some(1),  // CroppedImage { bytes }
+        4 => Some(2),  // ObjectDelivery { objects, crop_bytes }
+        5 => Some(0),  // DegradedFrame
+        6 => Some(2),  // ControllerHandover { controller, epoch }
+        7 => Some(0),  // AlgorithmAssignment
+        8 => Some(0),  // ActivationCommand
+        9 => Some(2),  // MissionSubmit { mission, payload_crc }
+        10 => Some(2), // MissionVerdict { mission, verdict }
+        11 => Some(2), // MissionReport { mission, report_crc }
         _ => None,
     }
 }
@@ -129,6 +161,15 @@ pub fn encode_frame(message: &Message) -> Vec<u8> {
         Message::ControllerHandover { controller, epoch } => (6, [*controller as u64, *epoch]),
         Message::AlgorithmAssignment => (7, [0, 0]),
         Message::ActivationCommand => (8, [0, 0]),
+        Message::MissionSubmit {
+            mission,
+            payload_crc,
+        } => (9, [*mission as u64, *payload_crc]),
+        Message::MissionVerdict { mission, verdict } => (10, [*mission as u64, *verdict]),
+        Message::MissionReport {
+            mission,
+            report_crc,
+        } => (11, [*mission as u64, *report_crc]),
     };
     let n_fields = fields_for_tag(tag).expect("every variant has a tag");
     let mut buf = Vec::with_capacity(MIN_FRAME_BYTES + 8 * n_fields);
@@ -214,6 +255,18 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, NetError> {
         },
         7 => Message::AlgorithmAssignment,
         8 => Message::ActivationCommand,
+        9 => Message::MissionSubmit {
+            mission: fields[0] as usize,
+            payload_crc: fields[1],
+        },
+        10 => Message::MissionVerdict {
+            mission: fields[0] as usize,
+            verdict: fields[1],
+        },
+        11 => Message::MissionReport {
+            mission: fields[0] as usize,
+            report_crc: fields[1],
+        },
         _ => unreachable!("fields_for_tag returned Some for this tag"),
     })
 }
@@ -243,6 +296,11 @@ impl WireSize for Message {
                 Message::ControllerHandover { .. } => 12,
                 Message::AlgorithmAssignment => 4,
                 Message::ActivationCommand => 1,
+                // Two u64 header fields each; payloads modeled-by-size
+                // elsewhere.
+                Message::MissionSubmit { .. } => 16,
+                Message::MissionVerdict { .. } => 9,
+                Message::MissionReport { .. } => 12,
             }
     }
 }
@@ -322,7 +380,38 @@ mod tests {
             },
             Message::AlgorithmAssignment,
             Message::ActivationCommand,
+            Message::MissionSubmit {
+                mission: 4,
+                payload_crc: 0xDEAD_BEEF,
+            },
+            Message::MissionVerdict {
+                mission: 4,
+                verdict: 2,
+            },
+            Message::MissionReport {
+                mission: 4,
+                report_crc: 0xCAFE_F00D,
+            },
         ]
+    }
+
+    #[test]
+    fn mission_control_messages_are_tiny() {
+        let submit = Message::MissionSubmit {
+            mission: 1,
+            payload_crc: u64::from(u32::MAX),
+        };
+        let verdict = Message::MissionVerdict {
+            mission: 1,
+            verdict: 3,
+        };
+        let report = Message::MissionReport {
+            mission: 1,
+            report_crc: 7,
+        };
+        for m in [submit, verdict, report] {
+            assert!(m.wire_bytes() < 64, "{m:?}");
+        }
     }
 
     #[test]

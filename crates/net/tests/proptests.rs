@@ -16,7 +16,7 @@ use proptest::prelude::*;
 /// values: a variant selector plus two raw 64-bit words, mapped onto
 /// whichever fields the selected variant carries.
 fn any_message() -> impl Strategy<Value = Message> {
-    (0..9u32, 0..u64::MAX, 0..u64::MAX).prop_map(|(variant, a, b)| match variant {
+    (0..12u32, 0..u64::MAX, 0..u64::MAX).prop_map(|(variant, a, b)| match variant {
         0 => Message::FeatureUpload {
             frames: a as u16 as usize,
             feature_dim: b as u16 as usize,
@@ -36,7 +36,19 @@ fn any_message() -> impl Strategy<Value = Message> {
             epoch: b,
         },
         7 => Message::AlgorithmAssignment,
-        _ => Message::ActivationCommand,
+        8 => Message::ActivationCommand,
+        9 => Message::MissionSubmit {
+            mission: a as u16 as usize,
+            payload_crc: b,
+        },
+        10 => Message::MissionVerdict {
+            mission: a as u16 as usize,
+            verdict: b,
+        },
+        _ => Message::MissionReport {
+            mission: a as u16 as usize,
+            report_crc: b,
+        },
     })
 }
 

@@ -24,10 +24,19 @@ use eecs::linalg::Mat;
 use eecs::manifold::gfk::GeodesicFlowKernel;
 use eecs::manifold::subspace::Subspace;
 use eecs::manifold::video::VideoItem;
-use eecs::net::fault::{ChurnPlan, ControllerFaultPlan, Endpoint, FaultPlan, PartitionPlan};
+use eecs::net::fault::{
+    ChurnPlan, ControllerFaultPlan, CorruptionPlan, Endpoint, FaultPlan, LinkFaults, PartitionPlan,
+};
 use eecs::scene::dataset::{DatasetId, DatasetProfile};
 use eecs::scene::sensor_fault::{SensorFaultPlan, SensorImpairments};
 use eecs::vision::image::RgbImage;
+use eecs_bench::artifacts::Artifacts;
+use eecs_bench::serving::service_base;
+use eecs_bench::Scale;
+use eecs_serve::{
+    plan_schedule, BatchOptions, MissionRequest, MissionService, MissionSpec, MissionVerdict,
+    Priority, ServiceConfig,
+};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -828,5 +837,177 @@ proptest! {
         prop_assert_eq!(report.camera_joins, 0);
         prop_assert_eq!(report.camera_leaves, 0);
         prop_assert_eq!(&report, churn_baseline());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mission-service laws. The scheduler is a pure function over (seed,
+// request list), so the admission properties get full proptest breadth
+// without running a single simulation; only the end-to-end trace
+// bit-identity property pays for real mission runs, with tiny case
+// counts (mirroring the churn laws above).
+// ---------------------------------------------------------------------------
+
+/// Arbitrary mission requests over four tenants: mixed priorities,
+/// zero-work clamps, optional (sometimes infeasible) deadlines, and a
+/// 1-in-12 invalid-budget lottery so every admission verdict fires.
+fn mission_request_strategy() -> impl Strategy<Value = MissionRequest> {
+    (
+        0..4usize,
+        0..3u8,
+        0..6u64,
+        prop::option::of(0..12u64),
+        0..12u8,
+    )
+        .prop_map(|(tenant, priority, work, deadline, lottery)| {
+            let tenants = ["acme", "zenith", "orbit", "kite"];
+            let priority = match priority {
+                0 => Priority::Low,
+                1 => Priority::Normal,
+                _ => Priority::High,
+            };
+            let mut request = MissionRequest::new(tenants[tenant])
+                .with_priority(priority)
+                .with_work(work);
+            if let Some(d) = deadline {
+                request = request.with_deadline(d);
+            }
+            if lottery == 0 {
+                request.spec.budget_j_per_frame = Some(-1.0);
+            }
+            request
+        })
+}
+
+/// Arbitrary service shapes: tight and roomy slots, queues and caps.
+fn service_config_strategy() -> impl Strategy<Value = ServiceConfig> {
+    (0..u64::MAX, 1..4usize, 0..5usize, 1..4usize).prop_map(|(seed, slots, queue, cap)| {
+        ServiceConfig::new(seed)
+            .with_slots(slots)
+            .with_queue_capacity(queue)
+            .with_tenant_cap(cap)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn admission_is_a_pure_function_of_seed_and_requests(
+        config in service_config_strategy(),
+        requests in prop::collection::vec(mission_request_strategy(), 0..20),
+    ) {
+        // Bit-for-bit: two plannings of the same (seed, request order)
+        // agree on every verdict, tick, event and queue-depth bound.
+        prop_assert_eq!(
+            plan_schedule(&config, &requests),
+            plan_schedule(&config, &requests)
+        );
+    }
+
+    #[test]
+    fn admission_conserves_every_submission(
+        config in service_config_strategy(),
+        requests in prop::collection::vec(mission_request_strategy(), 0..20),
+    ) {
+        // rejections + completions == submitted, with each mission index
+        // appearing exactly once.
+        let schedule = plan_schedule(&config, &requests);
+        prop_assert_eq!(schedule.outcomes.len(), requests.len());
+        let mut seen: Vec<usize> = schedule.outcomes.iter().map(|o| o.mission).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..requests.len()).collect::<Vec<_>>());
+        prop_assert_eq!(
+            schedule.admitted().len() + schedule.rejections().len(),
+            requests.len()
+        );
+    }
+
+    #[test]
+    fn no_priority_inversion_between_same_tenant_requests(
+        config in service_config_strategy(),
+        requests in prop::collection::vec(mission_request_strategy(), 0..20),
+    ) {
+        // A higher-priority request already waiting when a same-tenant
+        // lower-priority one starts must itself have started no later.
+        let schedule = plan_schedule(&config, &requests);
+        let starts: Vec<(usize, u64, u64)> = schedule
+            .outcomes
+            .iter()
+            .filter_map(|o| match o.verdict {
+                MissionVerdict::Admitted { start_tick, .. } => {
+                    Some((o.mission, o.arrival_tick, start_tick))
+                }
+                _ => None,
+            })
+            .collect();
+        for &(hi, hi_arrival, hi_start) in &starts {
+            for &(lo, _, lo_start) in &starts {
+                let same_tenant = requests[hi].tenant == requests[lo].tenant;
+                if same_tenant
+                    && requests[hi].priority > requests[lo].priority
+                    && hi_arrival < lo_start
+                {
+                    prop_assert!(
+                        hi_start <= lo_start,
+                        "mission {} (high) started at {} after mission {} (low) at {}",
+                        hi, hi_start, lo, lo_start
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The shared service base — one training pass for this binary, via the
+/// same memoized artifact cache the service shares across missions.
+fn serve_base() -> &'static Simulation {
+    static SIM: OnceLock<Simulation> = OnceLock::new();
+    SIM.get_or_init(|| service_base(&Artifacts::quick_trained(Scale::Quick, 5)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn service_trace_bit_identical_across_worker_counts(
+        seed in 0..u64::MAX,
+        chaos_seed in 0..u64::MAX,
+    ) {
+        // Three missions — one clean, one under lossy+corrupting links,
+        // one under scheduled churn — planned on an arbitrary virtual
+        // clock: the full service trace and every completed report must
+        // not depend on the host's worker count.
+        let batch = vec![
+            MissionRequest::new("acme").with_priority(Priority::High).with_work(2),
+            MissionRequest::new("zenith").with_spec(MissionSpec {
+                budget_j_per_frame: Some(8.0),
+                fault_plan: Some(
+                    FaultPlan::seeded(chaos_seed)
+                        .with_default_faults(LinkFaults::lossy(0.25))
+                        .with_corruption(CorruptionPlan::with_rate(0.2)),
+                ),
+                ..MissionSpec::default()
+            }),
+            MissionRequest::new("zenith").with_deadline(9).with_spec(MissionSpec {
+                churn: Some(ChurnPlan::seeded(chaos_seed).with_leave(1, 1, 2)),
+                ..MissionSpec::default()
+            }),
+        ];
+        let outcome = |workers: usize| {
+            let config = ServiceConfig::new(seed).with_slots(2).with_workers(workers);
+            MissionService::new(serve_base().clone(), config)
+                .run_batch(&batch, &BatchOptions::default())
+                .expect("batch runs")
+                .run
+                .expect("uninterrupted batch assembles")
+        };
+        let one = outcome(1);
+        let two = outcome(2);
+        let eight = outcome(8);
+        prop_assert_eq!(one.trace_bytes(), two.trace_bytes());
+        prop_assert_eq!(one.trace_bytes(), eight.trace_bytes());
+        prop_assert_eq!(&one.completed, &two.completed);
+        prop_assert_eq!(&one.completed, &eight.completed);
     }
 }
